@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestQuickReportRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick report still simulates minutes of virtual fuzzing")
+	}
+	if err := run([]string{"-quick", "-runs", "1", "-seed", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarClamps(t *testing.T) {
+	if bar(-5) != "" {
+		t.Fatal("negative bar")
+	}
+	if len(bar(1000)) != 50 {
+		t.Fatal("bar not clamped")
+	}
+}

@@ -1,0 +1,83 @@
+// Command candump captures traffic from the simulated vehicle and writes a
+// candump-style text log — the capture step of the paper's methodology
+// ("capture the network packets while operating a vehicle feature") whose
+// output seeds targeted fuzzing.
+//
+// Usage:
+//
+//	candump [-dur 5s] [-seed 1] [-bus body|powertrain] [-n 0] [-o file] [-ids]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/capture"
+	"repro/internal/clock"
+	"repro/internal/vehicle"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "candump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("candump", flag.ContinueOnError)
+	dur := fs.Duration("dur", 5*time.Second, "virtual capture duration")
+	seed := fs.Int64("seed", 1, "deterministic simulation seed")
+	busName := fs.String("bus", "body", "bus to capture: body or powertrain")
+	limit := fs.Int("n", 0, "stop after n frames (0 = unlimited)")
+	out := fs.String("o", "", "write log to file instead of stdout")
+	idsOnly := fs.Bool("ids", false, "print only the distinct identifiers observed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	which := vehicle.OBDBody
+	iface := "body0"
+	switch *busName {
+	case "body":
+	case "powertrain":
+		which, iface = vehicle.OBDPowertrain, "pt0"
+	default:
+		return fmt.Errorf("unknown bus %q", *busName)
+	}
+
+	sched := clock.New()
+	v := vehicle.New(sched, vehicle.Config{Seed: *seed})
+	rec := capture.NewRecorder(pick(v, which), *limit)
+	sched.RunUntil(*dur)
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *idsOnly {
+		for _, id := range rec.Trace().IDs() {
+			fmt.Fprintln(w, id)
+		}
+		return nil
+	}
+	return capture.WriteLog(w, rec.Trace(), iface)
+}
+
+// pick returns the requested bus of the vehicle.
+func pick(v *vehicle.Vehicle, which vehicle.OBDBus) *bus.Bus {
+	if which == vehicle.OBDPowertrain {
+		return v.Powertrain
+	}
+	return v.Body
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCapturesLog(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-dur", "1s", "-seed", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("captured only %d lines in 1s", len(lines))
+	}
+	if !strings.Contains(lines[0], "body0") || !strings.Contains(lines[0], "#") {
+		t.Fatalf("unexpected log line %q", lines[0])
+	}
+}
+
+func TestRunIDsOnly(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-dur", "2s", "-ids"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	ids := strings.Fields(sb.String())
+	if len(ids) < 5 {
+		t.Fatalf("only %d distinct ids", len(ids))
+	}
+}
+
+func TestRunPowertrainBus(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-dur", "500ms", "-bus", "powertrain", "-n", "10"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "pt0") {
+		t.Fatal("powertrain interface name missing")
+	}
+}
+
+func TestRunRejectsUnknownBus(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bus", "nope"}, &sb); err == nil {
+		t.Fatal("unknown bus accepted")
+	}
+}

@@ -1,0 +1,267 @@
+// Command canfuzz is the reproduction of the paper's PC-based fuzzer (§V,
+// Figs 2-3): a configurable CAN fuzzer runnable against the built-in
+// targets — the bench-top unlock testbed, the instrument cluster on a
+// bench, or the full simulated vehicle.
+//
+// Usage examples:
+//
+//	canfuzz -target bench -dur 30m              # hunt the unlock (Table V)
+//	canfuzz -target cluster -dur 5m             # brick the cluster (Fig 9)
+//	canfuzz -target vehicle -bus body -dur 10s  # disturb the car (Figs 7-8)
+//	canfuzz -target bench -ids 215 -len-min 7 -len-max 7   # targeted
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bcm"
+	"repro/internal/can"
+	"repro/internal/capture"
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ecu"
+	"repro/internal/oracle"
+	"repro/internal/signal"
+	"repro/internal/testbench"
+	"repro/internal/vehicle"
+
+	busPkg "repro/internal/bus"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "canfuzz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("canfuzz", flag.ContinueOnError)
+	target := fs.String("target", "bench", "target system: bench, cluster or vehicle")
+	busName := fs.String("bus", "body", "vehicle bus: body or powertrain")
+	seed := fs.Int64("seed", 1, "campaign seed")
+	dur := fs.Duration("dur", 10*time.Minute, "maximum virtual fuzzing time")
+	interval := fs.Duration("interval", time.Millisecond, "transmission interval (>= 1ms)")
+	idMin := fs.Uint("id-min", 0, "lowest fuzzed identifier")
+	idMax := fs.Uint("id-max", can.MaxID, "highest fuzzed identifier")
+	ids := fs.String("ids", "", "comma-separated hex identifiers for targeted fuzzing")
+	lenMin := fs.Int("len-min", 0, "minimum payload length")
+	lenMax := fs.Int("len-max", can.MaxDataLen, "maximum payload length")
+	stop := fs.Bool("stop-on-finding", true, "halt at first finding")
+	check := fs.String("bcm-check", "byte", "bench BCM parser: byte, length or twobytes")
+	mode := fs.String("mode", "random", "generation mode: random, mutate, sweep or bits")
+	configFile := fs.String("config", "", "JSON campaign configuration (overrides the range flags)")
+	jsonOut := fs.Bool("json", false, "print a machine-readable campaign report")
+	corpusFile := fs.String("corpus", "", "capture log seeding mutate/bits modes (candump format)")
+	mutateBits := fs.Int("mutate-bits", 1, "bits flipped per frame in mutate/bits modes")
+	sweepLen := fs.Int("sweep-len", 1, "fixed payload length for sweep mode")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := core.Config{
+		Seed:       *seed,
+		IDMin:      can.ID(*idMin),
+		IDMax:      can.ID(*idMax),
+		LenMin:     *lenMin,
+		LenMax:     *lenMax,
+		Interval:   *interval,
+		MutateBits: *mutateBits,
+		SweepLen:   *sweepLen,
+	}
+	if *configFile != "" {
+		f, err := os.Open(*configFile)
+		if err != nil {
+			return err
+		}
+		cfg, err = core.ParseConfigJSON(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("config %s: %w", *configFile, err)
+		}
+		switch cfg.Mode {
+		case core.ModeMutate:
+			*mode = "mutate"
+		case core.ModeSweep:
+			*mode = "sweep"
+		default:
+			*mode = "random"
+		}
+	}
+	if *ids != "" {
+		for _, tok := range strings.Split(*ids, ",") {
+			id64, err := strconv.ParseUint(strings.TrimSpace(tok), 16, 16)
+			if err != nil || id64 > can.MaxID {
+				return fmt.Errorf("bad target id %q", tok)
+			}
+			cfg.TargetIDs = append(cfg.TargetIDs, can.ID(id64))
+		}
+	}
+
+	var corpus []can.Frame
+	if *corpusFile != "" {
+		f, err := os.Open(*corpusFile)
+		if err != nil {
+			return err
+		}
+		trace, err := capture.ParseLog(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		for _, r := range trace.Records() {
+			corpus = append(corpus, r.Frame)
+		}
+		if len(corpus) == 0 {
+			return fmt.Errorf("corpus %q holds no frames", *corpusFile)
+		}
+	}
+
+	switch *mode {
+	case "random":
+	case "mutate":
+		cfg.Mode = core.ModeMutate
+		if len(corpus) > 0 {
+			cfg.Corpus = corpus
+			cfg.MutateID = true
+		}
+	case "sweep":
+		cfg.Mode = core.ModeSweep
+	case "bits":
+		return runBitsMode(*seed, *dur, *interval, *mutateBits, corpus)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	var opts []core.Option
+	if *stop {
+		opts = append(opts, core.WithStopOnFinding())
+	}
+
+	sched := clock.New()
+	var campaign *core.Campaign
+	var err error
+
+	switch *target {
+	case "bench":
+		mode := bcm.CheckByteOnly
+		switch *check {
+		case "byte":
+		case "length":
+			mode = bcm.CheckByteAndLength
+		case "twobytes":
+			mode = bcm.CheckTwoBytes
+		default:
+			return fmt.Errorf("unknown bcm-check %q", *check)
+		}
+		bench := testbench.New(sched, testbench.Config{Check: mode, AckUnlock: true})
+		campaign, err = core.NewCampaign(sched, bench.AttachFuzzer("fuzzer"), cfg, opts...)
+		if err != nil {
+			return err
+		}
+		campaign.AddOracle(bench.UnlockOracle())
+		campaign.AddOracle(bench.LEDOracle(10 * time.Millisecond))
+
+	case "cluster":
+		b := busPkg.New(sched)
+		clusterECU := ecu.New("cluster", sched, b.Connect("cluster"))
+		c := cluster.New(clusterECU)
+		campaign, err = core.NewCampaign(sched, b.Connect("fuzzer"), cfg, opts...)
+		if err != nil {
+			return err
+		}
+		campaign.AddOracle(&oracle.Probe{
+			OracleName: "cluster-crash", Interval: 10 * time.Millisecond, Once: true,
+			Check: func() string {
+				if c.Crashed() {
+					return "persistent CRASH display latched"
+				}
+				return ""
+			},
+		})
+
+	case "vehicle":
+		which := vehicle.OBDBody
+		if *busName == "powertrain" {
+			which = vehicle.OBDPowertrain
+		}
+		v := vehicle.New(sched, vehicle.Config{Seed: *seed, BCMAckUnlock: true})
+		sched.RunUntil(time.Second) // let the car reach steady idle
+		campaign, err = core.NewCampaign(sched, v.AttachOBD(which, "fuzzer"), cfg, opts...)
+		if err != nil {
+			return err
+		}
+		campaign.AddOracle(&oracle.SignalRange{DB: signal.VehicleDB()})
+		campaign.AddOracle(oracle.Physical("bcm-unlock", 10*time.Millisecond,
+			v.BCM.Unlocked, false, "doors unlocked"))
+
+	default:
+		return fmt.Errorf("unknown target %q", *target)
+	}
+
+	fmt.Printf("fuzzing %s: space %d frames, interval %v, seed %d\n",
+		*target, cfg.SpaceSize(), campaign.Generator().Config().Interval, *seed)
+
+	campaign.Start()
+	sched.RunUntil(sched.Now() + *dur)
+	campaign.Stop()
+
+	if *jsonOut {
+		return campaign.BuildReport().WriteJSON(os.Stdout)
+	}
+	fmt.Printf("sent %d frames (%d rejected) in %v virtual time\n",
+		campaign.FramesSent(), campaign.SendErrors(), sched.Now())
+	fmt.Printf("identifier coverage: %d distinct ids fuzzed\n",
+		campaign.Monitor().DistinctIDsSent())
+	findings := campaign.Findings()
+	if len(findings) == 0 {
+		fmt.Println("no findings (remember: not triggering anything does not mean no flaws exist)")
+		return nil
+	}
+	for i, f := range findings {
+		fmt.Printf("finding %d: [%s] %s after %v (%d frames)\n",
+			i+1, f.Verdict.Oracle, f.Verdict.Detail, f.Elapsed, f.FramesSent)
+		fmt.Println("  recent frames (oldest first):")
+		for _, fr := range f.Recent {
+			fmt.Printf("    %s\n", fr)
+		}
+	}
+	return nil
+}
+
+// runBitsMode runs the data-link-layer fuzzer against a bench-mounted
+// victim ECU and reports the protocol-level damage: error-frame counts and
+// the victim's fault-confinement state.
+func runBitsMode(seed int64, dur, interval time.Duration, flipBits int, corpus []can.Frame) error {
+	sched := clock.New()
+	b := busPkg.New(sched)
+	victimECU := ecu.New("victim", sched, b.Connect("victim"))
+	victimECU.HandleAll(func(busPkg.Message) {})
+
+	port := b.Connect("bitfuzzer")
+	bf := core.NewBitFuzzer(sched, port, core.BitFuzzConfig{
+		Seed:     seed,
+		Corpus:   corpus,
+		FlipBits: flipBits,
+		Interval: interval,
+	})
+	bf.Start()
+	// Malicious hardware that ignores fault confinement resets itself.
+	sched.Every(25*time.Millisecond, port.ResetErrors)
+	sched.RunUntil(sched.Now() + dur)
+	bf.Stop()
+
+	st := bf.Stats()
+	fmt.Printf("bit-level fuzzing for %v: %d injected, %d error frames, %d still-valid, %d rejected\n",
+		sched.Now(), st.Injected, st.ErrorFrames, st.Delivered, st.Rejected)
+	tec, rec := victimECU.Port().ErrorCounters()
+	fmt.Printf("victim node: state %v (TEC %d, REC %d); bus corrupted-frame count %d\n",
+		victimECU.Port().State(), tec, rec, b.Stats().FramesCorrupted)
+	return nil
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunBenchTargeted(t *testing.T) {
+	// Targeted at the command id, a hit lands within a few virtual minutes.
+	err := run([]string{"-target", "bench", "-ids", "215", "-dur", "30m", "-seed", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunClusterTarget(t *testing.T) {
+	if err := run([]string{"-target", "cluster", "-dur", "2m", "-seed", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVehicleTarget(t *testing.T) {
+	if err := run([]string{"-target", "vehicle", "-dur", "5s", "-seed", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-target", "nope"},
+		{"-target", "bench", "-bcm-check", "nope"},
+		{"-target", "bench", "-ids", "ZZZ"},
+		{"-target", "bench", "-ids", "FFFF"},
+		{"-target", "bench", "-len-min", "9"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunBitsMode(t *testing.T) {
+	if err := run([]string{"-mode", "bits", "-dur", "2s"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSweepMode(t *testing.T) {
+	if err := run([]string{"-target", "bench", "-mode", "sweep", "-sweep-len", "0", "-dur", "3s"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMutateModeWithCorpus(t *testing.T) {
+	// The paper's recommended workflow: capture traffic, then mutate
+	// "around known message ids". Build a corpus file containing the
+	// unlock command and let single-bit mutation rediscover unlocking.
+	dir := t.TempDir()
+	corpus := dir + "/corpus.log"
+	log := "(0.001000) body0 215#105F010000012000\n" // the LOCK command (byte0 0x10)
+	if err := os.WriteFile(corpus, []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Lock (0x10) and unlock (0x20) differ in two bits of byte 0, so
+	// two-bit mutation can cross between them.
+	err := run([]string{"-target", "bench", "-mode", "mutate", "-corpus", corpus,
+		"-mutate-bits", "2", "-dur", "30m", "-seed", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunModeErrors(t *testing.T) {
+	if err := run([]string{"-mode", "nope"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := run([]string{"-mode", "mutate"}); err == nil {
+		t.Fatal("mutate without corpus accepted")
+	}
+	if err := run([]string{"-mode", "mutate", "-corpus", "/nonexistent"}); err == nil {
+		t.Fatal("missing corpus file accepted")
+	}
+	dir := t.TempDir()
+	empty := dir + "/empty.log"
+	os.WriteFile(empty, []byte("# nothing\n"), 0o644)
+	if err := run([]string{"-mode", "mutate", "-corpus", empty}); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+	bad := dir + "/bad.log"
+	os.WriteFile(bad, []byte("garbage\n"), 0o644)
+	if err := run([]string{"-mode", "mutate", "-corpus", bad}); err == nil {
+		t.Fatal("unparseable corpus accepted")
+	}
+}
+
+func TestRunWithConfigFileAndJSONReport(t *testing.T) {
+	dir := t.TempDir()
+	cfgFile := dir + "/campaign.json"
+	doc := `{"seed": 2, "targetIds": [533], "lenMin": 1, "lenMax": 7}`
+	if err := os.WriteFile(cfgFile, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-target", "bench", "-config", cfgFile, "-json", "-dur", "30m"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunConfigFileErrors(t *testing.T) {
+	if err := run([]string{"-config", "/nonexistent.json"}); err == nil {
+		t.Fatal("missing config accepted")
+	}
+	dir := t.TempDir()
+	bad := dir + "/bad.json"
+	os.WriteFile(bad, []byte(`{"mode":"explode"}`), 0o644)
+	if err := run([]string{"-config", bad}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}

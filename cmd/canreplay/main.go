@@ -1,0 +1,115 @@
+// Command canreplay replays a captured CAN log into a simulated target
+// with original timing — the classic sniff-and-replay attack of the
+// paper's related work (Hoppe & Dittman's simulated electric-window
+// attack, ref [10]): the BodyCommand carries no freshness, so a recorded
+// unlock replays successfully.
+//
+// Usage:
+//
+//	canreplay -log capture.log [-target bench|vehicle]
+//	canreplay -demo            # capture an app unlock, then replay it
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/clock"
+	"repro/internal/testbench"
+	"repro/internal/vehicle"
+
+	busPkg "repro/internal/bus"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "canreplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("canreplay", flag.ContinueOnError)
+	logFile := fs.String("log", "", "candump-format log to replay")
+	target := fs.String("target", "bench", "replay target: bench or vehicle")
+	demo := fs.Bool("demo", false, "self-contained demo: record a legitimate unlock, replay it")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *demo {
+		return runDemo(stdout)
+	}
+	if *logFile == "" {
+		return fmt.Errorf("need -log or -demo (see -h)")
+	}
+	f, err := os.Open(*logFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	trace, err := capture.ParseLog(f)
+	if err != nil {
+		return err
+	}
+	if trace.Len() == 0 {
+		return fmt.Errorf("log %q holds no frames", *logFile)
+	}
+
+	sched := clock.New()
+	var port *busPkg.Port
+	var report func()
+	switch *target {
+	case "bench":
+		bench := testbench.New(sched, testbench.Config{})
+		port = bench.AttachFuzzer("replayer")
+		report = func() {
+			fmt.Fprintf(stdout, "bench after replay: doors unlocked=%v\n", bench.BCM.Unlocked())
+		}
+	case "vehicle":
+		v := vehicle.New(sched, vehicle.Config{Seed: 1})
+		port = v.AttachOBD(vehicle.OBDBody, "replayer")
+		report = func() {
+			fmt.Fprintf(stdout, "vehicle after replay: doors unlocked=%v, MILs=%v\n",
+				v.BCM.Unlocked(), v.Cluster.ECU().MILs())
+		}
+	default:
+		return fmt.Errorf("unknown target %q", *target)
+	}
+
+	dur := capture.Replay(sched, port, trace)
+	sched.RunUntil(sched.Now() + dur + time.Second)
+	fmt.Fprintf(stdout, "replayed %d frames over %v\n", trace.Len(), dur.Round(time.Millisecond))
+	report()
+	return nil
+}
+
+// runDemo records a legitimate app unlock on one bench, then replays the
+// captured frames into a second, locked bench.
+func runDemo(stdout io.Writer) error {
+	// Session 1: record the legitimate unlock.
+	sched1 := clock.New()
+	bench1 := testbench.New(sched1, testbench.Config{AckUnlock: true})
+	rec := capture.NewRecorder(bench1.Bus, 0)
+	if err := bench1.HeadUnit.AppUnlock(testbench.AppToken); err != nil {
+		return err
+	}
+	sched1.RunUntil(time.Second)
+	fmt.Fprintf(stdout, "session 1: recorded %d frames; doors unlocked=%v\n",
+		rec.Trace().Len(), bench1.BCM.Unlocked())
+
+	// Session 2: a fresh, locked bench. The attacker replays the capture
+	// without knowing what any frame means.
+	sched2 := clock.New()
+	bench2 := testbench.New(sched2, testbench.Config{})
+	port := bench2.AttachFuzzer("replayer")
+	dur := capture.Replay(sched2, port, rec.Trace())
+	sched2.RunUntil(dur + time.Second)
+	fmt.Fprintf(stdout, "session 2: replayed capture; doors unlocked=%v (no freshness in the command)\n",
+		bench2.BCM.Unlocked())
+	return nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestDemoReplayUnlocks(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-demo"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "session 2: replayed capture; doors unlocked=true") {
+		t.Fatalf("replay attack failed:\n%s", out)
+	}
+}
+
+func TestReplayLogFileIntoBench(t *testing.T) {
+	dir := t.TempDir()
+	log := dir + "/unlock.log"
+	// The captured 0x215 unlock frame (Fig 13 bytes).
+	content := "(0.100000) body0 215#205F010000012000\n"
+	if err := os.WriteFile(log, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-log", log, "-target", "bench"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "doors unlocked=true") {
+		t.Fatalf("replayed unlock ignored:\n%s", sb.String())
+	}
+}
+
+func TestReplayIntoVehicle(t *testing.T) {
+	dir := t.TempDir()
+	log := dir + "/unlock.log"
+	content := "(0.100000) body0 215#205F010000012000\n"
+	os.WriteFile(log, []byte(content), 0o644)
+	var sb strings.Builder
+	if err := run([]string{"-log", log, "-target", "vehicle"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "doors unlocked=true") {
+		t.Fatalf("vehicle replay failed:\n%s", sb.String())
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Fatal("no -log accepted")
+	}
+	if err := run([]string{"-log", "/nonexistent"}, &sb); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	empty := dir + "/empty.log"
+	os.WriteFile(empty, []byte("# empty\n"), 0o644)
+	if err := run([]string{"-log", empty}, &sb); err == nil {
+		t.Fatal("empty log accepted")
+	}
+	full := dir + "/ok.log"
+	os.WriteFile(full, []byte("(0.000001) c 001#AA\n"), 0o644)
+	if err := run([]string{"-log", full, "-target", "nope"}, &sb); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestRunUnlockCommand(t *testing.T) {
+	if err := run([]string{"-cmd", "unlock"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLockCommand(t *testing.T) {
+	if err := run([]string{"-cmd", "lock"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRawInjection(t *testing.T) {
+	if err := run([]string{"-id", "215", "-data", "205F01000001 20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                            // neither cmd nor id
+		{"-cmd", "explode"},           // unknown command
+		{"-id", "ZZZ"},                // bad identifier
+		{"-id", "FFFF"},               // out of range
+		{"-id", "215", "-data", "XY"}, // bad hex
+		{"-id", "215", "-data", "000102030405060708"}, // too long
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunSignalsMode(t *testing.T) {
+	if err := run([]string{"-dur", "2s", "-mode", "signals"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTrafficMode(t *testing.T) {
+	if err := run([]string{"-dur", "200ms", "-mode", "traffic", "-bus", "powertrain"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-bus", "nope"}); err == nil {
+		t.Fatal("unknown bus accepted")
+	}
+	if err := run([]string{"-mode", "nope"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestRunDriving(t *testing.T) {
+	if err := run([]string{"-dur", "15s", "-throttle", "50"}); err != nil {
+		t.Fatal(err)
+	}
+}

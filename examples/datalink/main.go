@@ -1,0 +1,109 @@
+// Datalink demonstrates the paper's two §VII protocol-level future-work
+// items on one bench:
+//
+//  1. bit-level fuzzing of the data link layer — corrupted wire sequences
+//     become error frames and push a victim ECU out of error-active,
+//     an availability attack that never delivers a single valid frame;
+//  2. CAN FD — the same fuzz technique against an FD-capable ECU, plus
+//     the bulk-transfer speedup bit-rate switching buys.
+//
+// Run with: go run ./examples/datalink
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/can"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/ecu"
+)
+
+func main() {
+	bitLevelAttack()
+	fdFuzzing()
+	fdBulkTransfer()
+}
+
+// bitLevelAttack shows corrupted wire bits degrading a healthy node.
+func bitLevelAttack() {
+	sched := clock.New()
+	b := bus.New(sched)
+	victim := ecu.New("victim", sched, b.Connect("victim"))
+	victim.HandleAll(func(bus.Message) {})
+
+	port := b.Connect("bitfuzzer")
+	bf := core.NewBitFuzzer(sched, port, core.BitFuzzConfig{Seed: 1})
+	bf.Start()
+	sched.Every(25*time.Millisecond, port.ResetErrors) // malicious node self-resets
+	sched.RunUntil(5 * time.Second)
+	bf.Stop()
+
+	st := bf.Stats()
+	_, rec := victim.Port().ErrorCounters()
+	fmt.Printf("bit-level fuzz, 5s: %d injected, %d error frames, %d still valid\n",
+		st.Injected, st.ErrorFrames, st.Delivered)
+	fmt.Printf("victim: %v (REC %d) without receiving one valid frame\n\n",
+		victim.Port().State(), rec)
+}
+
+// fdFuzzing finds a hidden command in an FD-only ECU.
+func fdFuzzing() {
+	sched := clock.New()
+	b := bus.New(sched, bus.WithFDDataBitrate(bus.DefaultFDDataBitrate))
+	sut := b.Connect("fd-ecu")
+	sut.SetFDReceiver(func(m bus.FDMessage) {
+		// Hidden diagnostic trigger deep in a 48-byte FD payload.
+		if m.Frame.ID == 0x480 && m.Frame.Len >= 48 && m.Frame.Data[40] == 0xD7 {
+			sut.Send(can.MustNew(0x481, []byte{0xAC}))
+		}
+	})
+
+	port := b.Connect("fdfuzzer")
+	found := false
+	var foundAfter time.Duration
+	port.SetReceiver(func(m bus.Message) {
+		if m.Frame.ID == 0x481 && !found {
+			found = true
+			foundAfter = sched.Now()
+			sched.Stop()
+		}
+	})
+	fuzzer, err := core.NewFDFuzzer(sched, port, core.FDFuzzConfig{
+		Seed:      7,
+		TargetIDs: []can.ID{0x480},
+		Sizes:     []int{48},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fuzzer.Start()
+	sched.RunUntil(10 * time.Minute)
+	fuzzer.Stop()
+	if found {
+		fmt.Printf("FD fuzzing: hidden trigger found after %v (%d frames)\n\n",
+			foundAfter.Round(time.Millisecond), fuzzer.Sent())
+	} else {
+		fmt.Printf("FD fuzzing: no hit in 10 virtual minutes (%d frames)\n\n", fuzzer.Sent())
+	}
+}
+
+// fdBulkTransfer compares wire time for a 4 KiB payload.
+func fdBulkTransfer() {
+	const volume = 4096
+	chunk := make([]byte, can.MaxDataLen)
+	classic := time.Duration(0)
+	f := can.MustNew(0x100, chunk)
+	perClassic := time.Duration(can.WireBitsWithIFS(f)) * time.Second / 500_000
+	classic = time.Duration(volume/can.MaxDataLen) * perClassic
+
+	fdFrame := can.MustNewFD(0x100, make([]byte, can.MaxFDDataLen), true)
+	perFD := can.FDWireTime(fdFrame, 500_000, 2_000_000)
+	fd := time.Duration(volume/can.MaxFDDataLen) * perFD
+
+	fmt.Printf("moving %d bytes: classic CAN %v, CAN FD (BRS@2M) %v — %.1fx faster\n",
+		volume, classic.Round(time.Microsecond), fd.Round(time.Microsecond),
+		float64(classic)/float64(fd))
+}

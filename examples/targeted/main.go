@@ -1,0 +1,63 @@
+// Targeted demonstrates the paper's §VII recommendation on the full
+// simulated vehicle: capture traffic to learn the identifiers in use, then
+// fuzz "in a specific message space, close to known messages" instead of
+// the whole 2048-ID space — and watch the effect on the instrument cluster
+// and door locks.
+//
+// Run with: go run ./examples/targeted
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/signal"
+	"repro/internal/vehicle"
+)
+
+func main() {
+	sched := clock.New()
+	v := vehicle.New(sched, vehicle.Config{Seed: 3, BCMAckUnlock: true})
+
+	// Step 1 — reconnaissance, exactly as the paper describes: "capture
+	// the network packets while operating a vehicle feature".
+	rec := capture.NewRecorder(v.Body, 0)
+	sched.RunUntil(5 * time.Second)
+	v.HeadUnit.AppUnlock(vehicle.AppToken) // operate the feature
+	sched.RunFor(time.Second)
+	v.HeadUnit.AppLock(vehicle.AppToken)
+	sched.RunFor(time.Second)
+
+	ids := rec.Trace().IDs()
+	fmt.Printf("captured %d frames, %d distinct identifiers: %v\n",
+		rec.Trace().Len(), len(ids), ids)
+
+	// Step 2 — targeted fuzz around the observed identifiers only.
+	cfg := core.Config{Seed: 77, TargetIDs: ids}
+	fmt.Printf("targeted space: %d frames (blind space: %d)\n",
+		cfg.SpaceSize(), core.Config{}.SpaceSize())
+
+	campaign, err := core.NewCampaign(sched, v.AttachOBD(vehicle.OBDBody, "fuzzer"), cfg,
+		core.WithStopOnFinding())
+	if err != nil {
+		panic(err)
+	}
+	campaign.AddOracle(oracle.Physical("door-lock", 10*time.Millisecond,
+		v.BCM.Unlocked, false, "doors unlocked by fuzzing"))
+	campaign.AddOracle(&oracle.SignalRange{DB: signal.VehicleDB()})
+
+	finding, ok := campaign.RunUntilFinding(time.Hour)
+	if !ok {
+		fmt.Println("no finding within an hour")
+		return
+	}
+	fmt.Printf("finding: [%s] %s after %v (%d frames)\n",
+		finding.Verdict.Oracle, finding.Verdict.Detail,
+		finding.Elapsed.Round(time.Millisecond), finding.FramesSent)
+	fmt.Printf("cluster during the run: RPM %.1f, MILs %v, chimes %d\n",
+		v.Cluster.DisplayedRPM(), v.Cluster.ECU().MILs(), v.Cluster.ECU().Chimes())
+}

@@ -1,0 +1,292 @@
+// Package analysis provides the measurement tools behind the paper's
+// evaluation: per-byte-position mean values over large captures (Figs 4 and
+// 5, the fuzzer's data-integrity check), the combinatorial size of the CAN
+// fuzzing space (Table III and the §V discussion), time-series capture of
+// decoded signals (Figs 6 and 7), and summary statistics for repeated runs
+// (Table V).
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/can"
+)
+
+// ByteMeans accumulates the mean data-byte value for each of the eight
+// payload byte positions over a stream of frames — the integrity check the
+// paper's fuzzer performs ("Figure 4 shows the mean data byte value for
+// each byte position, calculated from 100,000 CAN packets").
+type ByteMeans struct {
+	sums   [can.MaxDataLen]float64
+	counts [can.MaxDataLen]uint64
+	frames uint64
+}
+
+// Add accumulates one frame. Only the bytes the frame actually carries
+// contribute to their positions.
+func (b *ByteMeans) Add(f can.Frame) {
+	b.frames++
+	n := int(f.Len)
+	if n > can.MaxDataLen {
+		n = can.MaxDataLen
+	}
+	for i := 0; i < n; i++ {
+		b.sums[i] += float64(f.Data[i])
+		b.counts[i]++
+	}
+}
+
+// Frames returns the number of frames accumulated.
+func (b *ByteMeans) Frames() uint64 { return b.frames }
+
+// Mean returns the mean value of byte position i (0-based) and the number
+// of samples behind it.
+func (b *ByteMeans) Mean(i int) (mean float64, samples uint64) {
+	if i < 0 || i >= can.MaxDataLen || b.counts[i] == 0 {
+		return 0, 0
+	}
+	return b.sums[i] / float64(b.counts[i]), b.counts[i]
+}
+
+// Means returns all eight position means (positions with no samples are 0).
+func (b *ByteMeans) Means() [can.MaxDataLen]float64 {
+	var out [can.MaxDataLen]float64
+	for i := range out {
+		out[i], _ = b.Mean(i)
+	}
+	return out
+}
+
+// OverallMean returns the mean across every sampled byte in every position
+// (the paper reports 127 for the fuzzer's output).
+func (b *ByteMeans) OverallMean() float64 {
+	var sum float64
+	var n uint64
+	for i := 0; i < can.MaxDataLen; i++ {
+		sum += b.sums[i]
+		n += b.counts[i]
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Spread returns max(mean)-min(mean) over positions that have samples: a
+// flatness measure. Uniform fuzz output has a small spread; real vehicle
+// traffic (Fig 4) has a large one.
+func (b *ByteMeans) Spread() float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < can.MaxDataLen; i++ {
+		if b.counts[i] == 0 {
+			continue
+		}
+		m := b.sums[i] / float64(b.counts[i])
+		lo = math.Min(lo, m)
+		hi = math.Max(hi, m)
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// --- Combinatorics (Table III / §V) -------------------------------------
+
+// FuzzSpace describes a fuzzing parameter space over classic CAN frames.
+type FuzzSpace struct {
+	// IDs is the number of distinct identifiers fuzzed.
+	IDs uint64
+	// PayloadBytes is the fixed payload length in bytes.
+	PayloadBytes int
+}
+
+// Combinations returns the number of distinct frames in the space:
+// IDs * 256^PayloadBytes.
+func (s FuzzSpace) Combinations() uint64 {
+	n := s.IDs
+	for i := 0; i < s.PayloadBytes; i++ {
+		n *= 256
+	}
+	return n
+}
+
+// TimeToExhaust returns how long transmitting every combination takes at
+// one frame per period.
+func (s FuzzSpace) TimeToExhaust(period time.Duration) time.Duration {
+	return time.Duration(s.Combinations()) * period
+}
+
+// String summarises the space the way §V does ("A standard CAN packet with
+// a 11-bit id and a one byte payload has half a million packet
+// combinations (2^19)").
+func (s FuzzSpace) String() string {
+	return fmt.Sprintf("%d ids x %d payload bytes = %d combinations",
+		s.IDs, s.PayloadBytes, s.Combinations())
+}
+
+// --- Signal time series (Figs 6/7) ---------------------------------------
+
+// Sample is one point of a signal time series.
+type Sample struct {
+	// Time is the virtual sampling instant.
+	Time time.Duration
+	// Value is the signal value at that instant.
+	Value float64
+}
+
+// Series is a named signal trace.
+type Series struct {
+	// Name identifies the signal ("EngineRPM").
+	Name string
+	// Samples holds the trace in time order.
+	Samples []Sample
+}
+
+// Add appends a sample.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.Samples = append(s.Samples, Sample{Time: t, Value: v})
+}
+
+// Min returns the smallest sampled value (0 for an empty series).
+func (s *Series) Min() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	m := s.Samples[0].Value
+	for _, p := range s.Samples[1:] {
+		m = math.Min(m, p.Value)
+	}
+	return m
+}
+
+// Max returns the largest sampled value (0 for an empty series).
+func (s *Series) Max() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	m := s.Samples[0].Value
+	for _, p := range s.Samples[1:] {
+		m = math.Max(m, p.Value)
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of the samples.
+func (s *Series) Mean() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Samples {
+		sum += p.Value
+	}
+	return sum / float64(len(s.Samples))
+}
+
+// StdDev returns the population standard deviation — the erratic-signal
+// measure separating Fig 7 from Fig 6.
+func (s *Series) StdDev() float64 {
+	n := len(s.Samples)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	var sum float64
+	for _, p := range s.Samples {
+		d := p.Value - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// MaxStep returns the largest absolute change between consecutive samples
+// ("rapid variation in signals induced by the malformed CAN data").
+func (s *Series) MaxStep() float64 {
+	var m float64
+	for i := 1; i < len(s.Samples); i++ {
+		d := math.Abs(s.Samples[i].Value - s.Samples[i-1].Value)
+		m = math.Max(m, d)
+	}
+	return m
+}
+
+// --- Run statistics (Table V) --------------------------------------------
+
+// RunStats summarises a set of repeated experiment durations, as Table V
+// does for the twelve unlock runs.
+type RunStats struct {
+	// Times holds the individual run durations.
+	Times []time.Duration
+}
+
+// Mean returns the arithmetic mean duration (Table V's "Mean (s)" column).
+func (r RunStats) Mean() time.Duration {
+	if len(r.Times) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, t := range r.Times {
+		sum += t
+	}
+	return sum / time.Duration(len(r.Times))
+}
+
+// Median returns the median duration.
+func (r RunStats) Median() time.Duration {
+	if len(r.Times) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(r.Times))
+	copy(sorted, r.Times)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+// Min returns the shortest run.
+func (r RunStats) Min() time.Duration {
+	if len(r.Times) == 0 {
+		return 0
+	}
+	m := r.Times[0]
+	for _, t := range r.Times[1:] {
+		if t < m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Max returns the longest run.
+func (r RunStats) Max() time.Duration {
+	if len(r.Times) == 0 {
+		return 0
+	}
+	m := r.Times[0]
+	for _, t := range r.Times[1:] {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Seconds renders the run list the way Table V prints it: whole seconds,
+// comma separated.
+func (r RunStats) Seconds() string {
+	out := ""
+	for i, t := range r.Times {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%d", int(t.Round(time.Second)/time.Second))
+	}
+	return out
+}

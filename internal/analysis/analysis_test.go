@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/can"
+)
+
+func TestByteMeansUniformInput(t *testing.T) {
+	var bm ByteMeans
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 66144; i++ {
+		n := rng.Intn(9)
+		data := make([]byte, n)
+		rng.Read(data)
+		bm.Add(can.MustNew(can.ID(rng.Intn(2048)), data))
+	}
+	if bm.Frames() != 66144 {
+		t.Fatalf("Frames = %d", bm.Frames())
+	}
+	overall := bm.OverallMean()
+	if overall < 125 || overall > 130 {
+		t.Fatalf("overall mean = %v, want ~127.5 (Fig 5)", overall)
+	}
+	if spread := bm.Spread(); spread > 6 {
+		t.Fatalf("spread = %v, uniform input should be flat", spread)
+	}
+}
+
+func TestByteMeansStructuredInputIsNonLinear(t *testing.T) {
+	// Constant 0x00 bytes in position 0, 0xFF in position 7 — like real
+	// vehicle traffic (Fig 4).
+	var bm ByteMeans
+	for i := 0; i < 1000; i++ {
+		bm.Add(can.MustNew(0x43A, []byte{0x00, 0x10, 0x20, 0x30, 0x40, 0x50, 0xFF, 0xFF}))
+	}
+	m0, _ := bm.Mean(0)
+	m7, _ := bm.Mean(7)
+	if m0 != 0 || m7 != 255 {
+		t.Fatalf("means = %v / %v", m0, m7)
+	}
+	if bm.Spread() != 255 {
+		t.Fatalf("spread = %v, want 255", bm.Spread())
+	}
+}
+
+func TestByteMeansShortFramesOnlyCountPresentBytes(t *testing.T) {
+	var bm ByteMeans
+	bm.Add(can.MustNew(1, []byte{100}))
+	bm.Add(can.MustNew(1, []byte{200, 50}))
+	m0, n0 := bm.Mean(0)
+	if n0 != 2 || m0 != 150 {
+		t.Fatalf("pos0 = %v (%d samples)", m0, n0)
+	}
+	m1, n1 := bm.Mean(1)
+	if n1 != 1 || m1 != 50 {
+		t.Fatalf("pos1 = %v (%d samples)", m1, n1)
+	}
+	if _, n := bm.Mean(5); n != 0 {
+		t.Fatal("position 5 should have no samples")
+	}
+}
+
+func TestByteMeansBoundsChecks(t *testing.T) {
+	var bm ByteMeans
+	if m, n := bm.Mean(-1); m != 0 || n != 0 {
+		t.Fatal("negative index not handled")
+	}
+	if m, n := bm.Mean(8); m != 0 || n != 0 {
+		t.Fatal("index 8 not handled")
+	}
+	if bm.OverallMean() != 0 || bm.Spread() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+}
+
+func TestFuzzSpaceCombinationsMatchPaper(t *testing.T) {
+	// §V: 11-bit id + 1 payload byte = 2^19 = 524288 combinations; at 1 ms
+	// each, "over eight minutes".
+	s := FuzzSpace{IDs: can.NumIDs, PayloadBytes: 1}
+	if got := s.Combinations(); got != 1<<19 {
+		t.Fatalf("combinations = %d, want 2^19", got)
+	}
+	d := s.TimeToExhaust(time.Millisecond)
+	if d < 8*time.Minute || d > 9*time.Minute {
+		t.Fatalf("time to exhaust = %v, want ~8.7 min", d)
+	}
+	// "Add another data byte and all combinations transmit over a 1.5 days."
+	s2 := FuzzSpace{IDs: can.NumIDs, PayloadBytes: 2}
+	d2 := s2.TimeToExhaust(time.Millisecond)
+	if d2 < 36*time.Hour || d2 > 38*time.Hour {
+		t.Fatalf("2-byte space = %v, want ~1.5 days", d2)
+	}
+}
+
+func TestFuzzSpaceString(t *testing.T) {
+	s := FuzzSpace{IDs: 2048, PayloadBytes: 1}
+	if s.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	s.Name = "rpm"
+	for i, v := range []float64{800, 850, 900, 850, 800} {
+		s.Add(time.Duration(i)*time.Second, v)
+	}
+	if s.Min() != 800 || s.Max() != 900 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Mean() != 840 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.MaxStep() != 50 {
+		t.Fatalf("maxstep = %v", s.MaxStep())
+	}
+	if sd := s.StdDev(); math.Abs(sd-37.416) > 0.01 {
+		t.Fatalf("stddev = %v", sd)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.MaxStep() != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+}
+
+func TestSeriesErraticVsSteady(t *testing.T) {
+	var steady, erratic Series
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		steady.Add(time.Duration(i)*time.Millisecond, 850+rng.Float64()*20)
+		erratic.Add(time.Duration(i)*time.Millisecond, rng.Float64()*16000-8000)
+	}
+	if erratic.StdDev() < steady.StdDev()*10 {
+		t.Fatalf("erratic stddev %v not >> steady %v", erratic.StdDev(), steady.StdDev())
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	// The paper's Table V first row.
+	secs := []int{89, 1650, 373, 400, 223, 143, 773, 292, 21, 559, 572, 80}
+	var r RunStats
+	for _, s := range secs {
+		r.Times = append(r.Times, time.Duration(s)*time.Second)
+	}
+	mean := r.Mean()
+	if mean < 430*time.Second || mean > 432*time.Second {
+		t.Fatalf("mean = %v, want ~431s (Table V)", mean)
+	}
+	if r.Min() != 21*time.Second || r.Max() != 1650*time.Second {
+		t.Fatalf("min/max = %v/%v", r.Min(), r.Max())
+	}
+	med := r.Median()
+	if med < 330*time.Second || med > 390*time.Second {
+		t.Fatalf("median = %v", med)
+	}
+	if r.Seconds() == "" {
+		t.Fatal("Seconds() empty")
+	}
+}
+
+func TestRunStatsEmpty(t *testing.T) {
+	var r RunStats
+	if r.Mean() != 0 || r.Median() != 0 || r.Min() != 0 || r.Max() != 0 || r.Seconds() != "" {
+		t.Fatal("empty RunStats should report zeros")
+	}
+}
+
+func TestRunStatsMedianOdd(t *testing.T) {
+	r := RunStats{Times: []time.Duration{3 * time.Second, time.Second, 2 * time.Second}}
+	if r.Median() != 2*time.Second {
+		t.Fatalf("median = %v", r.Median())
+	}
+}

@@ -1,0 +1,210 @@
+// Package bcm models the Body Control Module: the ECU that owns the
+// central-locking actuator in the paper's bench-top experiment (Figs
+// 11-12). An LED on the bench showed the lock state (off = locked,
+// on = unlocked); here the LED is the Unlocked() accessor plus an optional
+// callback.
+//
+// The command-parser strictness is configurable because it is exactly the
+// variable of the paper's Table V experiment: the original firmware checked
+// only "a specific byte value in byte position one in a message with a
+// specific id"; adding a data-length check multiplied the fuzzer's
+// time-to-unlock by ~4.5x, and the paper predicts a two-byte check would
+// increase it further.
+package bcm
+
+import (
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/ecu"
+	"repro/internal/signal"
+)
+
+// CheckMode selects how strictly the BCM validates IDBodyCommand frames,
+// reproducing the code change studied in Table V.
+type CheckMode int
+
+const (
+	// CheckByteOnly accepts any frame on the command identifier whose first
+	// byte is the command code (the paper's original firmware).
+	CheckByteOnly CheckMode = iota + 1
+	// CheckByteAndLength additionally requires the exact 7-byte DLC (the
+	// paper's hardened variant: mean time-to-unlock grew from 431 s to
+	// 1959 s).
+	CheckByteAndLength
+	// CheckTwoBytes additionally requires the source byte to match (the
+	// paper: "If the change had been to check for a two byte value the time
+	// increase would have been even greater").
+	CheckTwoBytes
+	// CheckAuthenticated requires the exact DLC and a valid truncated MAC
+	// in the last payload byte (signal.CommandAuthCode) — the
+	// "additions to ECU software to mitigate cyber attacks" of §VII.
+	CheckAuthenticated
+)
+
+// String returns the mode name.
+func (m CheckMode) String() string {
+	switch m {
+	case CheckByteOnly:
+		return "single id and byte"
+	case CheckByteAndLength:
+		return "single id, byte plus data length"
+	case CheckTwoBytes:
+		return "single id, two bytes plus data length"
+	case CheckAuthenticated:
+		return "single id plus truncated MAC"
+	default:
+		return "unknown"
+	}
+}
+
+// commandLen is the nominal BodyCommand DLC.
+const commandLen = 7
+
+// sourceByte is the expected second payload byte (0x5F, the 95 decimal of
+// the paper's PC app).
+const sourceByte = 0x5F
+
+// Config tunes the BCM.
+type Config struct {
+	// Check selects the command-parser strictness (default CheckByteOnly).
+	Check CheckMode
+	// AckUnlock enables the unlock-acknowledgement broadcast added to the
+	// paper's testbench so the fuzzer could detect success.
+	AckUnlock bool
+	// StartUnlocked sets the initial lock state (default: locked).
+	StartUnlocked bool
+}
+
+// BCM is the body-control application.
+type BCM struct {
+	ecu *ecu.ECU
+	db  *signal.Database
+	cfg Config
+
+	unlocked bool
+	alive    uint8
+	ackSeq   uint8
+	unlocks  uint64
+	locks    uint64
+	onChange func(unlocked bool)
+}
+
+// New builds the BCM application on an ECU runtime.
+func New(e *ecu.ECU, cfg Config) *BCM {
+	if cfg.Check == 0 {
+		cfg.Check = CheckByteOnly
+	}
+	b := &BCM{ecu: e, db: signal.VehicleDB(), cfg: cfg, unlocked: cfg.StartUnlocked}
+	e.Handle(signal.IDBodyCommand, b.onCommand)
+	e.Periodic(100*time.Millisecond, b.broadcastStatus)
+	return b
+}
+
+// ECU exposes the underlying runtime.
+func (b *BCM) ECU() *ecu.ECU { return b.ecu }
+
+// Unlocked reports the lock state (true = unlocked = bench LED on).
+func (b *BCM) Unlocked() bool { return b.unlocked }
+
+// Counters returns how many unlock and lock transitions have occurred.
+func (b *BCM) Counters() (unlocks, locks uint64) { return b.unlocks, b.locks }
+
+// OnChange registers a callback fired on every lock-state transition (the
+// bench observer watching the LED).
+func (b *BCM) OnChange(fn func(unlocked bool)) { b.onChange = fn }
+
+// acceptFrame reports whether the frame is a valid command under the
+// configured check mode, and returns the command byte.
+func (b *BCM) acceptFrame(m bus.Message) (byte, bool) {
+	f := m.Frame
+	if f.Remote || f.Len < 1 {
+		return 0, false
+	}
+	cmd := f.Data[0]
+	if cmd != signal.CmdLock && cmd != signal.CmdUnlock {
+		return 0, false
+	}
+	switch b.cfg.Check {
+	case CheckByteAndLength:
+		if f.Len != commandLen {
+			return 0, false
+		}
+	case CheckTwoBytes:
+		if f.Len != commandLen || f.Data[1] != sourceByte {
+			return 0, false
+		}
+	case CheckAuthenticated:
+		if f.Len != commandLen || f.Data[6] != signal.CommandAuthCode(f.Data[:6]) {
+			return 0, false
+		}
+	}
+	return cmd, true
+}
+
+func (b *BCM) onCommand(m bus.Message) {
+	cmd, ok := b.acceptFrame(m)
+	if !ok {
+		return
+	}
+	switch cmd {
+	case signal.CmdUnlock:
+		if !b.unlocked {
+			b.unlocked = true
+			b.unlocks++
+			if b.onChange != nil {
+				b.onChange(true)
+			}
+		}
+		if b.cfg.AckUnlock {
+			b.sendAck()
+		}
+	case signal.CmdLock:
+		if b.unlocked {
+			b.unlocked = false
+			b.locks++
+			if b.onChange != nil {
+				b.onChange(false)
+			}
+		}
+	}
+}
+
+// sendAck broadcasts the unlock acknowledgement the augmented testbench
+// used as its fuzzing oracle.
+func (b *BCM) sendAck() {
+	b.ackSeq++
+	def, ok := b.db.ByID(signal.IDUnlockAck)
+	if !ok {
+		return
+	}
+	f, err := def.Encode(map[string]float64{
+		"AckCode": float64(signal.UnlockAckCode),
+		"AckSeq":  float64(b.ackSeq),
+	})
+	if err != nil {
+		return
+	}
+	_ = b.ecu.Send(f)
+}
+
+// broadcastStatus emits the periodic BodyStatus message.
+func (b *BCM) broadcastStatus() {
+	b.alive++
+	def, ok := b.db.ByID(signal.IDBodyStatus)
+	if !ok {
+		return
+	}
+	locked := 1.0
+	if b.unlocked {
+		locked = 0
+	}
+	f, err := def.Encode(map[string]float64{
+		"DoorsLocked": locked,
+		"BodyAlive":   float64(b.alive),
+	})
+	if err != nil {
+		return
+	}
+	_ = b.ecu.Send(f)
+}

@@ -1,0 +1,297 @@
+// Package bus simulates a shared CAN bus: a broadcast medium with
+// priority-based arbitration, bit-accurate transmission latency, error
+// counters with error-passive/bus-off states, passive taps (the OBD port of
+// the paper), and load accounting.
+//
+// The model is event-driven on a clock.Scheduler. When the bus is idle and
+// at least one connected port has a pending frame, the frame with the
+// lowest arbitration identifier wins (CAN's dominant-bit arbitration) and
+// occupies the bus for its stuffed wire length at the configured bitrate.
+// Receivers see the frame at end-of-frame time, exactly as a real
+// controller raises its RX interrupt.
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/clock"
+)
+
+// Errors returned by Port.Send.
+var (
+	ErrDetached    = errors.New("bus: port is detached")
+	ErrBusOff      = errors.New("bus: node is in bus-off state")
+	ErrTxQueueFull = errors.New("bus: transmit queue full")
+)
+
+// DefaultBitrate is the common in-vehicle CAN speed used by the paper's
+// target car (§IV: "A common transmission speed used in cars is 500kb/s").
+const DefaultBitrate = 500_000
+
+// DefaultTxQueueCap bounds each port's transmit queue, mirroring the finite
+// mailbox depth of a CAN controller.
+const DefaultTxQueueCap = 256
+
+// Error-counter thresholds from the CAN specification.
+const (
+	errorPassiveThreshold = 128
+	busOffThreshold       = 256
+)
+
+// NodeState describes a port's CAN fault-confinement state.
+type NodeState int
+
+const (
+	// ErrorActive is the normal operating state.
+	ErrorActive NodeState = iota + 1
+	// ErrorPassive is entered when an error counter exceeds 127.
+	ErrorPassive
+	// BusOff is entered when the transmit error counter exceeds 255; the
+	// node no longer participates on the bus until reset.
+	BusOff
+)
+
+// String returns the state name.
+func (s NodeState) String() string {
+	switch s {
+	case ErrorActive:
+		return "error-active"
+	case ErrorPassive:
+		return "error-passive"
+	case BusOff:
+		return "bus-off"
+	default:
+		return fmt.Sprintf("NodeState(%d)", int(s))
+	}
+}
+
+// Message is a frame as observed on the bus.
+type Message struct {
+	// Frame is the delivered frame.
+	Frame can.Frame
+	// Time is the virtual end-of-frame instant.
+	Time time.Duration
+	// Origin names the transmitting port.
+	Origin string
+}
+
+// Receiver consumes delivered frames. Implementations must not block; they
+// run inline inside the simulation event loop.
+type Receiver func(Message)
+
+// Option configures a Bus.
+type Option func(*Bus)
+
+// WithBitrate sets the bus speed in bits per second.
+func WithBitrate(bps int) Option {
+	return func(b *Bus) {
+		if bps > 0 {
+			b.bitrate = bps
+		}
+	}
+}
+
+// WithTxQueueCap sets the per-port transmit queue capacity.
+func WithTxQueueCap(n int) Option {
+	return func(b *Bus) {
+		if n > 0 {
+			b.queueCap = n
+		}
+	}
+}
+
+// Corruptor decides whether a frame transmission is corrupted on the wire
+// (fault injection). Returning true destroys the frame: receivers never see
+// it and the transmitter's error counter increases.
+type Corruptor func(can.Frame) bool
+
+// Stats is a snapshot of bus-level counters.
+type Stats struct {
+	// FramesDelivered counts successfully transmitted frames.
+	FramesDelivered uint64
+	// FramesCorrupted counts transmissions destroyed by fault injection.
+	FramesCorrupted uint64
+	// BitsTransmitted counts wire bits of successful frames (with IFS).
+	BitsTransmitted uint64
+	// BusyTime is cumulative time the bus spent transmitting.
+	BusyTime time.Duration
+}
+
+// Bus is the shared medium. Create with New; attach nodes with Connect.
+type Bus struct {
+	sched    *clock.Scheduler
+	bitrate  int
+	queueCap int
+
+	ports         []*Port
+	taps          []Receiver
+	fdTaps        []FDReceiver
+	fdDataBitrate int
+	busy          bool
+	delivering    bool
+	corrupt       Corruptor
+
+	stats Stats
+	start time.Duration
+}
+
+// New creates a bus on the given scheduler.
+func New(sched *clock.Scheduler, opts ...Option) *Bus {
+	if sched == nil {
+		panic("bus: nil scheduler")
+	}
+	b := &Bus{
+		sched:    sched,
+		bitrate:  DefaultBitrate,
+		queueCap: DefaultTxQueueCap,
+		start:    sched.Now(),
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// Bitrate returns the configured bit rate in bits per second.
+func (b *Bus) Bitrate() int { return b.bitrate }
+
+// Scheduler returns the clock the bus runs on.
+func (b *Bus) Scheduler() *clock.Scheduler { return b.sched }
+
+// SetCorruptor installs a fault-injection hook. Pass nil to remove it.
+func (b *Bus) SetCorruptor(c Corruptor) { b.corrupt = c }
+
+// Tap registers a passive listener that observes every successfully
+// delivered frame, like a wiretap or a device on the OBD port. Taps cannot
+// transmit and have no error state.
+func (b *Bus) Tap(r Receiver) {
+	if r == nil {
+		panic("bus: nil tap receiver")
+	}
+	b.taps = append(b.taps, r)
+}
+
+// Stats returns a snapshot of the bus counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Load returns the fraction of elapsed time the bus spent transmitting,
+// in [0,1].
+func (b *Bus) Load() float64 {
+	elapsed := b.sched.Now() - b.start
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(b.stats.BusyTime) / float64(elapsed)
+}
+
+// FrameTime returns the on-wire duration of a frame at the bus bitrate,
+// including interframe space.
+func (b *Bus) FrameTime(f can.Frame) time.Duration {
+	bits := can.WireBitsWithIFS(f)
+	return time.Duration(bits) * time.Second / time.Duration(b.bitrate)
+}
+
+// Connect attaches a named node to the bus and returns its port.
+func (b *Bus) Connect(name string) *Port {
+	p := &Port{
+		bus:   b,
+		name:  name,
+		state: ErrorActive,
+	}
+	b.ports = append(b.ports, p)
+	return p
+}
+
+// tryStart begins the highest-priority pending transmission if the bus is
+// idle. Called whenever a frame is queued or a transmission completes.
+// Raw bit sequences (SendRaw) contend in the same arbitration using the
+// identifier encoded in their leading bits.
+func (b *Bus) tryStart() {
+	if b.busy || b.delivering {
+		return
+	}
+	var winner *Port
+	var winnerID can.ID
+	winnerKind := 0 // 0 classic, 1 raw, 2 fd
+	for _, p := range b.ports {
+		if p.detached || p.state == BusOff {
+			continue
+		}
+		if len(p.txq) > 0 {
+			if id := p.txq[0].ID; winner == nil || id < winnerID {
+				winner, winnerID, winnerKind = p, id, 0
+			}
+		}
+		if len(p.rawq) > 0 {
+			if id := rawArbID(p.rawq[0].bits); winner == nil || id < winnerID {
+				winner, winnerID, winnerKind = p, id, 1
+			}
+		}
+		if len(p.fdq) > 0 {
+			if id := p.fdq[0].ID; winner == nil || id < winnerID {
+				winner, winnerID, winnerKind = p, id, 2
+			}
+		}
+	}
+	if winner == nil {
+		return
+	}
+	switch winnerKind {
+	case 1:
+		b.startRaw(winner)
+		return
+	case 2:
+		b.startFD(winner)
+		return
+	}
+	frame := winner.txq[0]
+	winner.txq = winner.txq[1:]
+	b.busy = true
+	bits := can.WireBitsWithIFS(frame)
+	dur := time.Duration(bits) * time.Second / time.Duration(b.bitrate)
+	b.sched.After(dur, func() { b.complete(winner, frame, dur, bits) })
+}
+
+// complete finishes a transmission: updates error counters, delivers to
+// receivers and taps, then arbitrates the next frame.
+func (b *Bus) complete(tx *Port, frame can.Frame, dur time.Duration, bits int) {
+	b.busy = false
+	b.stats.BusyTime += dur
+
+	if b.corrupt != nil && b.corrupt(frame) {
+		b.stats.FramesCorrupted++
+		tx.bumpTEC(8)
+		tx.stats.TxErrors++
+		for _, p := range b.ports {
+			if p != tx && !p.detached && p.state != BusOff {
+				p.bumpREC(1)
+			}
+		}
+		b.tryStart()
+		return
+	}
+
+	b.stats.FramesDelivered++
+	b.stats.BitsTransmitted += uint64(bits)
+	tx.decTEC()
+	tx.stats.TxFrames++
+
+	msg := Message{Frame: frame, Time: b.sched.Now(), Origin: tx.name}
+	b.delivering = true
+	for _, p := range b.ports {
+		if p == tx || p.detached || p.state == BusOff || p.recv == nil {
+			continue
+		}
+		p.stats.RxFrames++
+		p.decREC()
+		p.recv(msg)
+	}
+	for _, t := range b.taps {
+		t(msg)
+	}
+	b.delivering = false
+	b.tryStart()
+}

@@ -1,0 +1,121 @@
+package bus
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/can"
+)
+
+// CAN FD transport — the paper's §VII future-work item. FD frames share
+// the bus and its arbitration with classic frames (as on a real mixed
+// network where every node is FD-tolerant), but are delivered only to
+// receivers registered with SetFDReceiver. When the bus has a data bitrate
+// configured (WithFDDataBitrate), BRS frames transmit their data phase at
+// that faster rate.
+
+// DefaultFDDataBitrate is the common 2 Mbit/s FD data-phase rate.
+const DefaultFDDataBitrate = 2_000_000
+
+// WithFDDataBitrate sets the FD data-phase bitrate (0 disables bit-rate
+// switching; BRS frames then run entirely at the nominal rate).
+func WithFDDataBitrate(bps int) Option {
+	return func(b *Bus) { b.fdDataBitrate = bps }
+}
+
+// FDMessage is an FD frame as observed on the bus.
+type FDMessage struct {
+	// Frame is the delivered FD frame.
+	Frame can.FDFrame
+	// Time is the virtual end-of-frame instant.
+	Time time.Duration
+	// Origin names the transmitting port.
+	Origin string
+}
+
+// FDReceiver consumes delivered FD frames.
+type FDReceiver func(FDMessage)
+
+// SetFDReceiver installs the FD delivery callback on a port. Classic-only
+// nodes simply never register one (they tolerate FD traffic silently, like
+// FD-tolerant classic controllers).
+func (p *Port) SetFDReceiver(r FDReceiver) { p.fdRecv = r }
+
+// SendFD queues an FD frame for transmission. It contends in the same
+// arbitration as classic frames.
+func (p *Port) SendFD(f can.FDFrame) error {
+	if p.detached {
+		p.stats.Dropped++
+		return ErrDetached
+	}
+	if p.state == BusOff {
+		p.stats.Dropped++
+		return ErrBusOff
+	}
+	if err := f.Validate(); err != nil {
+		p.stats.Dropped++
+		return fmt.Errorf("sendFD on %s: %w", p.name, err)
+	}
+	if len(p.fdq) >= p.bus.queueCap {
+		p.stats.Dropped++
+		return fmt.Errorf("sendFD on %s: %w", p.name, ErrTxQueueFull)
+	}
+	p.fdq = append(p.fdq, f)
+	p.bus.tryStart()
+	return nil
+}
+
+// startFD begins an FD transmission for the winning port.
+func (b *Bus) startFD(winner *Port) {
+	frame := winner.fdq[0]
+	winner.fdq = winner.fdq[1:]
+	b.busy = true
+	dur := can.FDWireTime(frame, b.bitrate, b.fdDataBitrate)
+	b.sched.After(dur, func() { b.completeFD(winner, frame, dur) })
+}
+
+// completeFD delivers a finished FD transmission.
+func (b *Bus) completeFD(tx *Port, frame can.FDFrame, dur time.Duration) {
+	b.busy = false
+	b.stats.BusyTime += dur
+
+	if b.corrupt != nil && b.corrupt(can.Frame{ID: frame.ID}) {
+		b.stats.FramesCorrupted++
+		tx.bumpTEC(8)
+		tx.stats.TxErrors++
+		for _, p := range b.ports {
+			if p != tx && !p.detached && p.state != BusOff {
+				p.bumpREC(1)
+			}
+		}
+		b.tryStart()
+		return
+	}
+
+	b.stats.FramesDelivered++
+	tx.decTEC()
+	tx.stats.TxFrames++
+	msg := FDMessage{Frame: frame, Time: b.sched.Now(), Origin: tx.name}
+	b.delivering = true
+	for _, p := range b.ports {
+		if p == tx || p.detached || p.state == BusOff || p.fdRecv == nil {
+			continue
+		}
+		p.stats.RxFrames++
+		p.decREC()
+		p.fdRecv(msg)
+	}
+	for _, t := range b.fdTaps {
+		t(msg)
+	}
+	b.delivering = false
+	b.tryStart()
+}
+
+// TapFD registers a passive listener for FD traffic.
+func (b *Bus) TapFD(r FDReceiver) {
+	if r == nil {
+		panic("bus: nil FD tap receiver")
+	}
+	b.fdTaps = append(b.fdTaps, r)
+}

@@ -1,0 +1,150 @@
+package bus
+
+import (
+	"fmt"
+
+	"repro/internal/can"
+)
+
+// PortStats is a snapshot of per-node counters.
+type PortStats struct {
+	// TxFrames counts frames this node successfully transmitted.
+	TxFrames uint64
+	// RxFrames counts frames this node received.
+	RxFrames uint64
+	// TxErrors counts destroyed transmissions attributed to this node.
+	TxErrors uint64
+	// Dropped counts frames rejected at Send time (full queue, bus-off...).
+	Dropped uint64
+}
+
+// Port is a node's attachment to the bus. A port both transmits (Send) and
+// receives (SetReceiver). Ports are created by Bus.Connect.
+type Port struct {
+	bus      *Bus
+	name     string
+	recv     Receiver
+	fdRecv   FDReceiver
+	txq      []can.Frame
+	rawq     []rawTx
+	fdq      []can.FDFrame
+	detached bool
+
+	state NodeState
+	tec   int // transmit error counter
+	rec   int // receive error counter
+
+	stats PortStats
+}
+
+// Name returns the node name given at Connect time.
+func (p *Port) Name() string { return p.name }
+
+// State returns the node's fault-confinement state.
+func (p *Port) State() NodeState { return p.state }
+
+// ErrorCounters returns the transmit and receive error counters.
+func (p *Port) ErrorCounters() (tec, rec int) { return p.tec, p.rec }
+
+// Stats returns a snapshot of the node counters.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// SetReceiver installs the frame delivery callback. Passing nil makes the
+// node transmit-only.
+func (p *Port) SetReceiver(r Receiver) { p.recv = r }
+
+// QueueLen returns the number of frames waiting in the transmit queue.
+func (p *Port) QueueLen() int { return len(p.txq) }
+
+// Send queues a frame for transmission. The frame is validated first. It
+// contends for the bus under standard CAN arbitration: the lowest pending
+// identifier transmits next.
+func (p *Port) Send(f can.Frame) error {
+	if p.detached {
+		p.stats.Dropped++
+		return ErrDetached
+	}
+	if p.state == BusOff {
+		p.stats.Dropped++
+		return ErrBusOff
+	}
+	if err := f.Validate(); err != nil {
+		p.stats.Dropped++
+		return fmt.Errorf("send on %s: %w", p.name, err)
+	}
+	if len(p.txq) >= p.bus.queueCap {
+		p.stats.Dropped++
+		return fmt.Errorf("send on %s: %w", p.name, ErrTxQueueFull)
+	}
+	p.txq = append(p.txq, f)
+	p.bus.tryStart()
+	return nil
+}
+
+// Detach removes the node from the bus. Pending transmissions are dropped.
+func (p *Port) Detach() {
+	p.detached = true
+	p.txq = nil
+	p.rawq = nil
+	p.fdq = nil
+}
+
+// Reattach reconnects a detached node (e.g. after a simulated power cycle)
+// and clears its error state.
+func (p *Port) Reattach() {
+	p.detached = false
+	p.ResetErrors()
+}
+
+// ResetErrors clears the error counters and returns the node to
+// error-active, modelling the controller reset an ECU performs on power-up
+// (this is how a bus-off node recovers).
+func (p *Port) ResetErrors() {
+	p.tec, p.rec = 0, 0
+	p.state = ErrorActive
+	p.bus.tryStart()
+}
+
+func (p *Port) bumpTEC(n int) {
+	p.tec += n
+	p.updateState()
+}
+
+func (p *Port) bumpREC(n int) {
+	p.rec += n
+	p.updateState()
+}
+
+func (p *Port) decTEC() {
+	if p.tec > 0 {
+		p.tec--
+	}
+	p.updateState()
+}
+
+func (p *Port) decREC() {
+	if p.rec > 0 {
+		p.rec--
+	}
+	p.updateState()
+}
+
+func (p *Port) updateState() {
+	switch {
+	case p.tec >= busOffThreshold:
+		if p.state != BusOff {
+			p.state = BusOff
+			p.txq = nil // controller drops its mailboxes on bus-off
+			p.rawq = nil
+			p.fdq = nil
+		}
+	case p.tec >= errorPassiveThreshold || p.rec >= errorPassiveThreshold:
+		if p.state != BusOff {
+			p.state = ErrorPassive
+		}
+	default:
+		if p.state != BusOff {
+			p.state = ErrorActive
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package can
+
+// Bit-level view of a classic CAN frame.
+//
+// The simulated bus needs the exact on-wire length of every frame to model
+// transmission latency at the configured bitrate (the paper's vehicle runs
+// at 500 kb/s). That length depends on bit stuffing: after five consecutive
+// equal bits in the stuffed region a complement bit is inserted, so the wire
+// length varies with frame content. This file builds the full bit sequence
+// of a standard frame — SOF, arbitration, control, data, CRC — applies
+// stuffing, and appends the fixed-form trailer (CRC delimiter, ACK slot and
+// delimiter, EOF, interframe space).
+
+const (
+	// Fixed-form trailer bits that are never stuffed:
+	// CRC delimiter (1) + ACK slot (1) + ACK delimiter (1) + EOF (7).
+	trailerBits = 10
+	// InterframeSpace is the mandatory idle period between frames, in bits.
+	InterframeSpace = 3
+)
+
+// headerBits returns the unstuffed header bit sequence of a standard frame:
+// SOF(1) + ID(11) + RTR(1) + IDE(1) + r0(1) + DLC(4).
+func headerBits(f Frame) []byte {
+	bits := make([]byte, 0, 19)
+	bits = append(bits, 0) // SOF: dominant
+	for i := 10; i >= 0; i-- {
+		bits = append(bits, byte(uint16(f.ID)>>uint(i)&1))
+	}
+	if f.Remote {
+		bits = append(bits, 1) // RTR recessive for remote frames
+	} else {
+		bits = append(bits, 0)
+	}
+	bits = append(bits, 0, 0) // IDE dominant (standard frame), r0 reserved
+	for i := 3; i >= 0; i-- {
+		bits = append(bits, f.Len>>uint(i)&1)
+	}
+	return bits
+}
+
+// dataBits returns the payload bit sequence, MSB first per byte.
+func dataBits(f Frame) []byte {
+	if f.Remote {
+		return nil
+	}
+	n := int(f.Len)
+	if n > MaxDataLen {
+		n = MaxDataLen
+	}
+	bits := make([]byte, 0, n*8)
+	for _, b := range f.Data[:n] {
+		for i := 7; i >= 0; i-- {
+			bits = append(bits, b>>uint(i)&1)
+		}
+	}
+	return bits
+}
+
+// RawBits returns the unstuffed bit sequence covered by stuffing:
+// header + data + CRC-15.
+func RawBits(f Frame) []byte {
+	bits := append(headerBits(f), dataBits(f)...)
+	crc := CRC15(bits)
+	for i := 14; i >= 0; i-- {
+		bits = append(bits, byte(crc>>uint(i)&1))
+	}
+	return bits
+}
+
+// Stuff applies CAN bit stuffing to bits: after five consecutive identical
+// bits, a bit of opposite polarity is inserted. The stuff bit itself counts
+// toward the next run.
+func Stuff(bits []byte) []byte {
+	out := make([]byte, 0, len(bits)+len(bits)/5)
+	run := 0
+	var last byte = 2 // sentinel: no previous bit
+	for _, b := range bits {
+		if b == last {
+			run++
+		} else {
+			run = 1
+			last = b
+		}
+		out = append(out, b)
+		if run == 5 {
+			stuffed := last ^ 1
+			out = append(out, stuffed)
+			last = stuffed
+			run = 1
+		}
+	}
+	return out
+}
+
+// Unstuff removes stuffing from a bit sequence produced by Stuff. It returns
+// an error if a stuffing violation is found (six consecutive equal bits),
+// which on a real bus signals an error frame.
+func Unstuff(bits []byte) ([]byte, error) {
+	out := make([]byte, 0, len(bits))
+	run := 0
+	var last byte = 2
+	skip := false
+	for _, b := range bits {
+		if skip {
+			// This is a stuff bit; it must differ from the previous run.
+			if b == last {
+				return nil, ErrStuffViolation
+			}
+			last = b
+			run = 1
+			skip = false
+			continue
+		}
+		if b == last {
+			run++
+		} else {
+			run = 1
+			last = b
+		}
+		if run == 6 {
+			return nil, ErrStuffViolation
+		}
+		out = append(out, b)
+		if run == 5 {
+			skip = true
+		}
+	}
+	return out, nil
+}
+
+// WireBits returns the total number of bits the frame occupies on the wire,
+// including stuffing and the fixed-form trailer but excluding interframe
+// space. This drives the bus transmission-latency model.
+//
+// It is the hottest function in the simulator (twice per transmitted
+// frame), so it avoids the slice-building Stuff/RawBits path and walks the
+// frame's raw bits with an index function instead — zero allocations.
+func WireBits(f Frame) int {
+	// Build the raw sequence into a fixed stack buffer:
+	// header(19) + data(<=64) + crc(15) <= 98 bits.
+	var bits [98]byte
+	n := 0
+	bits[n] = 0 // SOF
+	n++
+	for i := 10; i >= 0; i-- {
+		bits[n] = byte(uint16(f.ID) >> uint(i) & 1)
+		n++
+	}
+	if f.Remote {
+		bits[n] = 1
+	} else {
+		bits[n] = 0
+	}
+	n++
+	bits[n] = 0 // IDE
+	n++
+	bits[n] = 0 // r0
+	n++
+	for i := 3; i >= 0; i-- {
+		bits[n] = f.Len >> uint(i) & 1
+		n++
+	}
+	if !f.Remote {
+		dlc := int(f.Len)
+		if dlc > MaxDataLen {
+			dlc = MaxDataLen
+		}
+		for _, by := range f.Data[:dlc] {
+			for i := 7; i >= 0; i-- {
+				bits[n] = by >> uint(i) & 1
+				n++
+			}
+		}
+	}
+	// CRC over header+data, then append its 15 bits.
+	var crc uint16
+	for _, b := range bits[:n] {
+		next := b ^ byte(crc>>14&1)
+		crc = (crc << 1) & 0x7FFF
+		if next == 1 {
+			crc ^= crc15Poly
+		}
+	}
+	for i := 14; i >= 0; i-- {
+		bits[n] = byte(crc >> uint(i) & 1)
+		n++
+	}
+	// Count stuff bits; a stuff bit counts toward the next run with
+	// inverted polarity.
+	stuffed := 0
+	run := 0
+	var last byte = 2
+	for _, b := range bits[:n] {
+		if b == last {
+			run++
+		} else {
+			run = 1
+			last = b
+		}
+		if run == 5 {
+			stuffed++
+			last ^= 1
+			run = 1
+		}
+	}
+	return n + stuffed + trailerBits
+}
+
+// WireBitsWithIFS is WireBits plus the mandatory 3-bit interframe space;
+// it is the effective bus occupancy of one frame.
+func WireBitsWithIFS(f Frame) int { return WireBits(f) + InterframeSpace }

@@ -1,0 +1,34 @@
+package can
+
+import "errors"
+
+// ErrStuffViolation reports six consecutive equal bits inside the stuffed
+// region of a frame — on a physical bus this triggers an error frame.
+var ErrStuffViolation = errors.New("can: bit stuffing violation")
+
+// ErrCRC reports a CRC-15 mismatch when decoding a bit sequence.
+var ErrCRC = errors.New("can: CRC mismatch")
+
+// crc15Poly is the CAN CRC-15 generator polynomial
+// x^15 + x^14 + x^10 + x^8 + x^7 + x^4 + x^3 + 1.
+const crc15Poly = 0x4599
+
+// CRC15 computes the CAN CRC-15 over a bit sequence (one bit per byte,
+// values 0 or 1), as specified in Bosch CAN 2.0 §3.1.1.
+func CRC15(bits []byte) uint16 {
+	var crc uint16
+	for _, b := range bits {
+		crcNext := b&1 ^ byte(crc>>14&1)
+		crc = (crc << 1) & 0x7FFF
+		if crcNext == 1 {
+			crc ^= crc15Poly
+		}
+	}
+	return crc & 0x7FFF
+}
+
+// FrameCRC returns the CRC-15 of the frame's header and data fields, i.e.
+// the checksum transmitted in the CRC field on the wire.
+func FrameCRC(f Frame) uint16 {
+	return CRC15(append(headerBits(f), dataBits(f)...))
+}

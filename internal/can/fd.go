@@ -1,0 +1,303 @@
+package can
+
+// CAN FD (flexible data-rate) support — the paper lists "Apply the
+// techniques to the Flexible Data-rate (FD) version of CAN" as future work
+// (§VII); this file provides the frame model and wire-timing math so the
+// fuzzer and bus can exercise FD targets.
+//
+// Modelled per ISO 11898-1:2015 at the granularity the simulator needs:
+//
+//   - payloads up to 64 bytes through the FD DLC code table;
+//   - the arbitration phase (SOF..BRS) runs at the nominal bitrate, the
+//     data phase (ESI..CRC delimiter) at the faster data bitrate when BRS
+//     is set;
+//   - CRC-17 for payloads up to 16 bytes, CRC-21 above;
+//   - dynamic stuffing up to the CRC field, fixed stuff bits inside it
+//     (one per four CRC bits, plus the leading one), and the stuff-count
+//     field.
+//
+// There are no remote FD frames.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// MaxFDDataLen is the largest CAN FD payload.
+const MaxFDDataLen = 64
+
+// ErrFDDataLen reports a payload length not representable by an FD DLC
+// code.
+var ErrFDDataLen = errors.New("can: FD payload length not representable")
+
+// fdLengths are the payload sizes representable by FD DLC codes 0..15.
+var fdLengths = [16]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 20, 24, 32, 48, 64}
+
+// FDLengthToDLC returns the DLC code for a payload length. Only the exact
+// representable sizes are accepted: a real controller pads, but a fuzzer
+// must know what it is sending.
+func FDLengthToDLC(n int) (uint8, error) {
+	for code, l := range fdLengths {
+		if l == n {
+			return uint8(code), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %d bytes", ErrFDDataLen, n)
+}
+
+// FDDLCToLength returns the payload length for a DLC code (0..15).
+func FDDLCToLength(code uint8) int {
+	return fdLengths[code&0x0F]
+}
+
+// RoundUpFDLength returns the smallest representable FD payload size >= n
+// (what a controller would pad to), capping at 64.
+func RoundUpFDLength(n int) int {
+	for _, l := range fdLengths {
+		if l >= n {
+			return l
+		}
+	}
+	return MaxFDDataLen
+}
+
+// FDFrame is a CAN FD data frame with a standard 11-bit identifier.
+type FDFrame struct {
+	// ID is the 11-bit arbitration identifier.
+	ID ID
+	// Len is the payload length in bytes; it must be one of the FD DLC
+	// sizes (0-8, 12, 16, 20, 24, 32, 48, 64).
+	Len uint8
+	// Data holds the payload; only the first Len bytes are meaningful.
+	Data [MaxFDDataLen]byte
+	// BRS requests the bit-rate switch: the data phase runs at the bus's
+	// (faster) data bitrate.
+	BRS bool
+	// ESI is the error-state indicator flag of the transmitter.
+	ESI bool
+}
+
+// NewFD builds an FD frame, validating the identifier and payload size.
+func NewFD(id ID, data []byte, brs bool) (FDFrame, error) {
+	var f FDFrame
+	if !id.Valid() {
+		return f, fmt.Errorf("%w: 0x%X", ErrIDRange, uint16(id))
+	}
+	if _, err := FDLengthToDLC(len(data)); err != nil {
+		return f, err
+	}
+	f.ID = id
+	f.Len = uint8(len(data))
+	f.BRS = brs
+	copy(f.Data[:], data)
+	return f, nil
+}
+
+// MustNewFD is NewFD panicking on error, for static frames.
+func MustNewFD(id ID, data []byte, brs bool) FDFrame {
+	f, err := NewFD(id, data, brs)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Validate checks the FD frame constraints.
+func (f FDFrame) Validate() error {
+	if !f.ID.Valid() {
+		return fmt.Errorf("%w: 0x%X", ErrIDRange, uint16(f.ID))
+	}
+	if _, err := FDLengthToDLC(int(f.Len)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Payload returns a copy of the meaningful payload bytes.
+func (f FDFrame) Payload() []byte {
+	p := make([]byte, f.Len)
+	copy(p, f.Data[:f.Len])
+	return p
+}
+
+// Equal reports whether two FD frames match in every meaningful field.
+func (f FDFrame) Equal(g FDFrame) bool {
+	if f.ID != g.ID || f.Len != g.Len || f.BRS != g.BRS || f.ESI != g.ESI {
+		return false
+	}
+	for i := 0; i < int(f.Len); i++ {
+		if f.Data[i] != g.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the frame like Frame.String with an FD marker.
+func (f FDFrame) String() string {
+	s := fmt.Sprintf("%s FD%d", f.ID, f.Len)
+	for _, b := range f.Data[:f.Len] {
+		s += fmt.Sprintf(" %02X", b)
+	}
+	return s
+}
+
+// CRC polynomials for FD (17- and 21-bit).
+const (
+	crc17Poly = 0x1685B
+	crc21Poly = 0x102899
+)
+
+// crcFD computes an n-bit CRC over a bit sequence with the given
+// polynomial.
+func crcFD(bits []byte, poly uint32, width int) uint32 {
+	var crc uint32
+	top := uint32(1) << (width - 1)
+	mask := top<<1 - 1
+	for _, b := range bits {
+		next := uint32(b&1) ^ (crc >> (width - 1) & 1)
+		crc = (crc << 1) & mask
+		if next == 1 {
+			crc ^= poly & mask
+		}
+	}
+	return crc & mask
+}
+
+// fdArbitrationBits counts the FD header bits transmitted at the nominal
+// bitrate: SOF(1) + ID(11) + RRS(1) + IDE(1) + FDF(1) + res(1) + BRS(1).
+const fdArbitrationBits = 17
+
+// fdPhaseBits returns the unstuffed bit counts of the two FD phases for a
+// frame: arbitration-rate bits and data-rate bits (ESI + DLC + data + stuff
+// count + CRC + CRC delimiter). When BRS is clear the "data phase" bits
+// still exist but run at the nominal rate.
+func fdPhaseBits(f FDFrame) (arb, data int) {
+	crcBits := 17
+	if f.Len > 16 {
+		crcBits = 21
+	}
+	// ESI(1) + DLC(4) + payload + stuff count(4 incl. parity) + fixed
+	// stuff bits (1 + crcBits/4) + CRC + CRC delimiter(1).
+	fixedStuff := 1 + crcBits/4
+	data = 1 + 4 + int(f.Len)*8 + 4 + fixedStuff + crcBits + 1
+	return fdArbitrationBits, data
+}
+
+// fdDynamicStuffEstimate counts dynamic stuff bits over the header and
+// payload region (FD dynamic stuffing stops at the stuff-count field).
+func fdDynamicStuffEstimate(f FDFrame) int {
+	// Build the stuffed region's bits: header flags + DLC + data.
+	bits := make([]byte, 0, 24+int(f.Len)*8)
+	bits = append(bits, 0) // SOF
+	for i := 10; i >= 0; i-- {
+		bits = append(bits, byte(uint16(f.ID)>>uint(i)&1))
+	}
+	bits = append(bits, 0, 0, 1, 0) // RRS, IDE, FDF=1, res
+	if f.BRS {
+		bits = append(bits, 1)
+	} else {
+		bits = append(bits, 0)
+	}
+	if f.ESI {
+		bits = append(bits, 1)
+	} else {
+		bits = append(bits, 0)
+	}
+	dlc, _ := FDLengthToDLC(int(f.Len))
+	for i := 3; i >= 0; i-- {
+		bits = append(bits, dlc>>uint(i)&1)
+	}
+	for _, by := range f.Data[:f.Len] {
+		for i := 7; i >= 0; i-- {
+			bits = append(bits, by>>uint(i)&1)
+		}
+	}
+	return len(Stuff(bits)) - len(bits)
+}
+
+// FDWireTime returns the on-wire duration of an FD frame given the nominal
+// (arbitration) and data-phase bitrates, including the ACK/EOF trailer and
+// interframe space (always at the nominal rate).
+func FDWireTime(f FDFrame, nominalBps, dataBps int) time.Duration {
+	if dataBps <= 0 || !f.BRS {
+		dataBps = nominalBps
+	}
+	arb, data := fdPhaseBits(f)
+	stuff := fdDynamicStuffEstimate(f)
+	// Dynamic stuff bits straddle both phases; attribute them to the data
+	// phase, which dominates (payload ≫ header).
+	trailer := 1 + 1 + 7 + InterframeSpace // ACK slot + delim + EOF + IFS
+	arbTime := time.Duration(arb+trailer) * time.Second / time.Duration(nominalBps)
+	dataTime := time.Duration(data+stuff) * time.Second / time.Duration(dataBps)
+	return arbTime + dataTime
+}
+
+// FDCRC returns the frame's CRC value and width (17 or 21 bits), computed
+// over the dynamically stuffed region as on the wire.
+func FDCRC(f FDFrame) (crc uint32, width int) {
+	width = 17
+	poly := uint32(crc17Poly)
+	if f.Len > 16 {
+		width = 21
+		poly = crc21Poly
+	}
+	bits := make([]byte, 0, 24+int(f.Len)*8)
+	for i := 10; i >= 0; i-- {
+		bits = append(bits, byte(uint16(f.ID)>>uint(i)&1))
+	}
+	dlc, _ := FDLengthToDLC(int(f.Len))
+	for i := 3; i >= 0; i-- {
+		bits = append(bits, dlc>>uint(i)&1)
+	}
+	for _, by := range f.Data[:f.Len] {
+		for i := 7; i >= 0; i-- {
+			bits = append(bits, by>>uint(i)&1)
+		}
+	}
+	return crcFD(bits, poly, width), width
+}
+
+// MarshalFD encodes an FD frame in a compact binary record:
+// 2-byte header (flags | id), 1-byte length, payload.
+func MarshalFD(f FDFrame) ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	hdr := uint16(f.ID)
+	if f.BRS {
+		hdr |= 0x4000
+	}
+	if f.ESI {
+		hdr |= 0x2000
+	}
+	out := make([]byte, 0, 3+f.Len)
+	out = append(out, byte(hdr>>8), byte(hdr), f.Len)
+	out = append(out, f.Data[:f.Len]...)
+	return out, nil
+}
+
+// UnmarshalFD decodes one FD frame, returning bytes consumed.
+func UnmarshalFD(buf []byte) (FDFrame, int, error) {
+	var f FDFrame
+	if len(buf) < 3 {
+		return f, 0, ErrTruncated
+	}
+	hdr := uint16(buf[0])<<8 | uint16(buf[1])
+	f.BRS = hdr&0x4000 != 0
+	f.ESI = hdr&0x2000 != 0
+	f.ID = ID(hdr & MaxID)
+	if hdr&^uint16(0x6000|MaxID) != 0 {
+		return f, 0, fmt.Errorf("can: reserved FD flag bits set: %#04x", hdr)
+	}
+	f.Len = buf[2]
+	if _, err := FDLengthToDLC(int(f.Len)); err != nil {
+		return f, 0, err
+	}
+	if len(buf) < 3+int(f.Len) {
+		return f, 0, ErrTruncated
+	}
+	copy(f.Data[:f.Len], buf[3:3+f.Len])
+	return f, 3 + int(f.Len), nil
+}

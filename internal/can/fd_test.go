@@ -1,0 +1,187 @@
+package can
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestFDDLCTable(t *testing.T) {
+	valid := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 20, 24, 32, 48, 64}
+	for code, want := range valid {
+		if got := FDDLCToLength(uint8(code)); got != want {
+			t.Fatalf("FDDLCToLength(%d) = %d, want %d", code, got, want)
+		}
+		back, err := FDLengthToDLC(want)
+		if err != nil || back != uint8(code) {
+			t.Fatalf("FDLengthToDLC(%d) = %d, %v", want, back, err)
+		}
+	}
+	for _, bad := range []int{9, 10, 11, 13, 33, 63, 65, -1} {
+		if _, err := FDLengthToDLC(bad); !errors.Is(err, ErrFDDataLen) {
+			t.Fatalf("FDLengthToDLC(%d) accepted", bad)
+		}
+	}
+}
+
+func TestRoundUpFDLength(t *testing.T) {
+	cases := map[int]int{0: 0, 5: 5, 9: 12, 13: 16, 25: 32, 33: 48, 49: 64, 70: 64}
+	for in, want := range cases {
+		if got := RoundUpFDLength(in); got != want {
+			t.Fatalf("RoundUpFDLength(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestNewFDValidation(t *testing.T) {
+	if _, err := NewFD(0x900, nil, false); !errors.Is(err, ErrIDRange) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewFD(0x100, make([]byte, 9), false); !errors.Is(err, ErrFDDataLen) {
+		t.Fatalf("err = %v", err)
+	}
+	f, err := NewFD(0x100, make([]byte, 64), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len != 64 || !f.BRS {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+func TestFDPayloadAndEqual(t *testing.T) {
+	f := MustNewFD(0x10, []byte{1, 2, 3, 4}, false)
+	p := f.Payload()
+	p[0] = 99
+	if f.Data[0] != 1 {
+		t.Fatal("Payload aliases storage")
+	}
+	g := f
+	if !f.Equal(g) {
+		t.Fatal("Equal broken")
+	}
+	g.BRS = true
+	if f.Equal(g) {
+		t.Fatal("Equal ignores BRS")
+	}
+}
+
+func TestFDString(t *testing.T) {
+	f := MustNewFD(0x43A, []byte{0xAB, 0xCD}, true)
+	if got := f.String(); got != "043A FD2 AB CD" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestFDCRCWidthSwitches(t *testing.T) {
+	small := MustNewFD(0x100, make([]byte, 16), false)
+	big := MustNewFD(0x100, make([]byte, 20), false)
+	_, w1 := FDCRC(small)
+	_, w2 := FDCRC(big)
+	if w1 != 17 || w2 != 21 {
+		t.Fatalf("CRC widths = %d, %d", w1, w2)
+	}
+}
+
+func TestFDCRCSensitiveToPayload(t *testing.T) {
+	a := MustNewFD(0x100, []byte{1, 2, 3, 4}, false)
+	b := MustNewFD(0x100, []byte{1, 2, 3, 5}, false)
+	ca, _ := FDCRC(a)
+	cb, _ := FDCRC(b)
+	if ca == cb {
+		t.Fatal("CRC collision on adjacent payloads")
+	}
+}
+
+func TestFDWireTimeBRSFasterForLargePayload(t *testing.T) {
+	data := make([]byte, 64)
+	slow := MustNewFD(0x100, data, false)
+	fast := MustNewFD(0x100, data, true)
+	tSlow := FDWireTime(slow, 500_000, 2_000_000)
+	tFast := FDWireTime(fast, 500_000, 2_000_000)
+	if tFast >= tSlow {
+		t.Fatalf("BRS frame not faster: %v vs %v", tFast, tSlow)
+	}
+	// The data phase dominates a 64-byte frame: the 4x bitrate should cut
+	// total time by at least 2.5x.
+	if float64(tSlow)/float64(tFast) < 2.5 {
+		t.Fatalf("speedup only %v/%v", tSlow, tFast)
+	}
+}
+
+func TestFDWireTimeMonotonicInPayload(t *testing.T) {
+	var last time.Duration
+	for _, n := range []int{0, 8, 16, 32, 64} {
+		f := MustNewFD(0x100, make([]byte, n), false)
+		d := FDWireTime(f, 500_000, 0)
+		if d <= last {
+			t.Fatalf("wire time not increasing at %d bytes: %v <= %v", n, d, last)
+		}
+		last = d
+	}
+}
+
+func TestFDBeatsClassicForBulkTransfer(t *testing.T) {
+	// Moving 64 bytes: one FD frame at 500k/2M vs eight classic frames.
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i * 37)
+	}
+	fd := MustNewFD(0x100, payload, true)
+	fdTime := FDWireTime(fd, 500_000, 2_000_000)
+	var classicTime time.Duration
+	for i := 0; i < 8; i++ {
+		f := MustNew(0x100, payload[i*8:(i+1)*8])
+		classicTime += time.Duration(WireBitsWithIFS(f)) * time.Second / 500_000
+	}
+	if fdTime >= classicTime {
+		t.Fatalf("FD bulk transfer not faster: %v vs %v", fdTime, classicTime)
+	}
+}
+
+func TestMarshalUnmarshalFDRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	sizes := []int{0, 1, 7, 8, 12, 16, 20, 24, 32, 48, 64}
+	for i := 0; i < 1000; i++ {
+		n := sizes[rng.Intn(len(sizes))]
+		data := make([]byte, n)
+		rng.Read(data)
+		f := MustNewFD(ID(rng.Intn(NumIDs)), data, rng.Intn(2) == 0)
+		f.ESI = rng.Intn(2) == 0
+		buf, err := MarshalFD(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, consumed, err := UnmarshalFD(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if consumed != len(buf) || !f.Equal(g) {
+			t.Fatalf("round trip mismatch: %v vs %v", f, g)
+		}
+	}
+}
+
+func TestUnmarshalFDErrors(t *testing.T) {
+	if _, _, err := UnmarshalFD([]byte{1}); !errors.Is(err, ErrTruncated) {
+		t.Fatal("short header accepted")
+	}
+	if _, _, err := UnmarshalFD([]byte{0x00, 0x10, 9}); !errors.Is(err, ErrFDDataLen) {
+		t.Fatal("bad FD length accepted")
+	}
+	if _, _, err := UnmarshalFD([]byte{0x00, 0x10, 8, 1, 2}); !errors.Is(err, ErrTruncated) {
+		t.Fatal("truncated payload accepted")
+	}
+	if _, _, err := UnmarshalFD([]byte{0x90, 0x10, 0}); err == nil {
+		t.Fatal("reserved flag bits accepted")
+	}
+}
+
+func BenchmarkFDWireTime(b *testing.B) {
+	f := MustNewFD(0x43A, make([]byte, 64), true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FDWireTime(f, 500_000, 2_000_000)
+	}
+}

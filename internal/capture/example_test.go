@@ -1,0 +1,34 @@
+package capture_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/capture"
+)
+
+// Example writes a short capture in the candump-style text format and
+// parses it back — the reconnaissance log format targeted fuzzing starts
+// from.
+func Example() {
+	tr := capture.NewTrace(0)
+	tr.Append(capture.Record{
+		Time:  1500 * time.Millisecond,
+		Frame: can.MustNew(0x215, []byte{0x20, 0x5F, 0x01, 0x00, 0x00, 0x01, 0x20}),
+	})
+	if err := capture.WriteLog(os.Stdout, tr, "body0"); err != nil {
+		panic(err)
+	}
+
+	back, err := capture.ParseLog(strings.NewReader("(1.500000) body0 215#205F010000012000\n"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("ids observed:", back.IDs())
+	// Output:
+	// (1.500000) body0 215#205F0100000120
+	// ids observed: [0215]
+}

@@ -1,0 +1,217 @@
+// Package clock provides a deterministic discrete-event virtual clock.
+//
+// Every component of the simulated vehicle stack (bus, ECUs, fuzzer) runs on
+// a Scheduler rather than on wall-clock time. This makes long fuzzing
+// campaigns — the paper's Table V runs last up to 4472 simulated seconds —
+// execute in milliseconds of real time while preserving the exact temporal
+// semantics (1 ms frame pacing, frame transmission latency at 500 kb/s,
+// periodic ECU broadcast schedules).
+//
+// Determinism: events scheduled for the same instant fire in the order they
+// were scheduled (a monotonically increasing sequence number breaks ties).
+// Given identical seeds, an entire experiment replays bit-for-bit.
+package clock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual instant.
+type Event func()
+
+// item is a scheduled event in the priority queue.
+type item struct {
+	at    time.Duration // virtual time since scheduler start
+	seq   uint64        // tie-break: FIFO among events at the same instant
+	fn    Event
+	index int  // heap index, maintained by the heap interface
+	dead  bool // cancelled
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*item
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	it := x.(*item)
+	it.index = len(*q)
+	*q = append(*q, it)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*q = old[:n-1]
+	return it
+}
+
+// Timer is a handle to a scheduled event that can be stopped.
+type Timer struct {
+	it      *item
+	stopped bool // set by Stop; periodic timers consult it before re-arming
+}
+
+// Stop cancels the timer. It reports whether the event had not yet fired.
+// Stopping an already-fired or already-stopped timer is a no-op, except
+// that for periodic timers it still prevents the next re-arm (so Stop may
+// safely be called from inside the timer's own callback).
+func (t *Timer) Stop() bool {
+	if t == nil || t.it == nil {
+		return false
+	}
+	t.stopped = true
+	if t.it.dead || t.it.index == -1 {
+		return false
+	}
+	t.it.dead = true
+	return true
+}
+
+// Scheduler is a discrete-event simulator clock. The zero value is not
+// usable; create one with New.
+//
+// Scheduler is not safe for concurrent use: the simulation is
+// single-threaded by design so that runs are reproducible.
+type Scheduler struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	running bool
+	stopped bool
+}
+
+// New returns a Scheduler positioned at virtual time zero.
+func New() *Scheduler {
+	s := &Scheduler{}
+	heap.Init(&s.queue)
+	return s
+}
+
+// Now returns the current virtual time (elapsed since scheduler start).
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// At schedules fn to run at the absolute virtual instant at. Scheduling in
+// the past (before Now) panics: it would mean a causality bug in the caller.
+func (s *Scheduler) At(at time.Duration, fn Event) *Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("clock: scheduling event at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("clock: nil event")
+	}
+	it := &item{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, it)
+	return &Timer{it: it}
+}
+
+// After schedules fn to run d after the current instant.
+func (s *Scheduler) After(d time.Duration, fn Event) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Every schedules fn to run every interval, starting interval from now, until
+// the returned Timer is stopped. The interval must be positive.
+func (s *Scheduler) Every(interval time.Duration, fn Event) *Timer {
+	if interval <= 0 {
+		panic("clock: Every interval must be positive")
+	}
+	// The periodic timer re-arms itself; the caller's Timer handle is
+	// updated in place so Stop always cancels the live underlying item.
+	t := &Timer{}
+	var tick Event
+	tick = func() {
+		fn()
+		if !t.stopped {
+			inner := s.After(interval, tick)
+			t.it = inner.it
+		}
+	}
+	first := s.After(interval, tick)
+	t.it = first.it
+	return t
+}
+
+// Pending returns the number of events waiting to fire (including dead ones
+// not yet drained).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Step runs the single next event, advancing Now to its instant. It reports
+// false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		it := heap.Pop(&s.queue).(*item)
+		if it.dead {
+			continue
+		}
+		s.now = it.at
+		it.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil runs events until the virtual clock reaches deadline. Events
+// scheduled exactly at deadline do fire. Now is left at deadline even if the
+// queue drains early, so subsequent scheduling is relative to the deadline.
+func (s *Scheduler) RunUntil(deadline time.Duration) {
+	s.stopped = false
+	s.running = true
+	defer func() { s.running = false }()
+	for !s.stopped && len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		next.fn()
+	}
+	if !s.stopped && s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor advances the clock by d, running all events due in that window.
+func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// Run drains the queue completely (or until Stop is called). Use with care:
+// with self-re-arming periodic events this never returns, so simulations
+// normally use RunUntil/RunFor.
+func (s *Scheduler) Run() {
+	s.stopped = false
+	s.running = true
+	defer func() { s.running = false }()
+	for !s.stopped && s.Step() {
+	}
+}
+
+// Stop halts RunUntil/RunFor/Run after the currently executing event
+// returns. Pending events remain queued.
+func (s *Scheduler) Stop() { s.stopped = true }

@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/can"
+	"repro/internal/clock"
+	"repro/internal/ecu"
+	"repro/internal/signal"
+)
+
+func rig(t *testing.T) (*clock.Scheduler, *Cluster, *bus.Port) {
+	t.Helper()
+	s := clock.New()
+	b := bus.New(s)
+	e := ecu.New("cluster", s, b.Connect("cluster"))
+	c := New(e)
+	peer := b.Connect("peer")
+	return s, c, peer
+}
+
+func sendEngineData(t *testing.T, peer *bus.Port, rpm, coolant float64) {
+	t.Helper()
+	db := signal.VehicleDB()
+	def, _ := db.ByName("EngineData")
+	f, err := def.Encode(map[string]float64{"EngineRPM": rpm, "CoolantTemp": coolant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.Send(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTachoFollowsEngineData(t *testing.T) {
+	s, c, peer := rig(t)
+	sendEngineData(t, peer, 3000, 90)
+	s.RunUntil(100 * time.Millisecond)
+	if got := c.DisplayedRPM(); got != 3000 {
+		t.Fatalf("DisplayedRPM = %v, want 3000", got)
+	}
+	if got := c.DisplayedCoolant(); got != 90 {
+		t.Fatalf("DisplayedCoolant = %v, want 90", got)
+	}
+}
+
+func TestGaugesMessageDrivesNeedles(t *testing.T) {
+	s, c, peer := rig(t)
+	db := signal.VehicleDB()
+	def, _ := db.ByName("ClusterGauges")
+	f, err := def.Encode(map[string]float64{"TachoRPM": 2500, "SpeedoKPH": 88})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer.Send(f)
+	s.RunUntil(100 * time.Millisecond)
+	if c.DisplayedRPM() != 2500 {
+		t.Fatalf("rpm = %v", c.DisplayedRPM())
+	}
+	if c.DisplayedSpeed() != 88 {
+		t.Fatalf("speed = %v", c.DisplayedSpeed())
+	}
+}
+
+func TestFuelGauge(t *testing.T) {
+	s, c, peer := rig(t)
+	db := signal.VehicleDB()
+	def, _ := db.ByName("Fuel")
+	f, _ := def.Encode(map[string]float64{"FuelLevel": 62})
+	peer.Send(f)
+	s.RunUntil(100 * time.Millisecond)
+	if c.DisplayedFuel() != 62 {
+		t.Fatalf("fuel = %v", c.DisplayedFuel())
+	}
+}
+
+func TestNegativeRPMViaSignedDecodeMismatch(t *testing.T) {
+	// Fig 8: a fuzzed frame with the sign bit set in the 16-bit tacho field
+	// displays as a negative RPM. Raw 0xF000 little-endian = bytes 00 F0.
+	s, c, peer := rig(t)
+	peer.Send(can.MustNew(signal.IDClusterGauges, []byte{0x00, 0xF0, 0, 0, 0, 0, 0, 0}))
+	s.RunUntil(100 * time.Millisecond)
+	if c.DisplayedRPM() >= 0 {
+		t.Fatalf("DisplayedRPM = %v, want negative", c.DisplayedRPM())
+	}
+	// Normal traffic can never trip the mismatch: 8000 rpm is raw 32000.
+	sendEngineData(t, peer, 8000, 90)
+	s.RunUntil(200 * time.Millisecond)
+	if c.DisplayedRPM() != 8000 {
+		t.Fatalf("DisplayedRPM = %v, want 8000", c.DisplayedRPM())
+	}
+}
+
+func TestImplausibleValueLightsMILAndChimes(t *testing.T) {
+	s, c, peer := rig(t)
+	// Coolant raw 0xFF decodes to 215 degC — outside the documented range.
+	peer.Send(can.MustNew(signal.IDEngineData, []byte{0x10, 0x27, 0x00, 0xFF, 0, 0, 0, 0}))
+	s.RunUntil(100 * time.Millisecond)
+	if !c.ECU().MILOn(MILImplausible) {
+		t.Fatal("implausible-data MIL not lit")
+	}
+	if c.ECU().Chimes() == 0 {
+		t.Fatal("no warning chime")
+	}
+}
+
+func TestEngineCommTimeoutMIL(t *testing.T) {
+	s, c, peer := rig(t)
+	sendEngineData(t, peer, 900, 80)
+	s.RunUntil(200 * time.Millisecond)
+	if c.ECU().MILOn(MILEngineComm) {
+		t.Fatal("comm MIL lit while traffic flowing")
+	}
+	// Stop traffic for > 500 ms.
+	s.RunUntil(time.Second)
+	if !c.ECU().MILOn(MILEngineComm) {
+		t.Fatal("comm MIL not lit after timeout")
+	}
+	// Traffic resumes: MIL clears.
+	sendEngineData(t, peer, 900, 80)
+	s.RunUntil(1100 * time.Millisecond)
+	if c.ECU().MILOn(MILEngineComm) {
+		t.Fatal("comm MIL stuck after traffic resumed")
+	}
+}
+
+func TestWellFormedDisplayControlHarmless(t *testing.T) {
+	s, c, peer := rig(t)
+	// Valid 4-byte request with checksum.
+	peer.Send(can.MustNew(IDDisplayControl, []byte{0x01, 0x40, 0x02, 0x01 ^ 0x40 ^ 0x02}))
+	s.RunUntil(time.Second)
+	if c.Crashed() {
+		t.Fatal("well-formed display request latched crash flag")
+	}
+}
+
+func TestMalformedDisplayControlLatchesCrash(t *testing.T) {
+	s, c, peer := rig(t)
+	// Short frame with page top bit set: the latent defect path.
+	peer.Send(can.MustNew(IDDisplayControl, []byte{0x80, 0x01}))
+	s.RunUntil(time.Second)
+	if !c.Crashed() {
+		t.Fatal("defect frame did not latch crash flag")
+	}
+	if c.CrashDisplays() == 0 {
+		t.Fatal("CRASH text not rendering at a regular rate")
+	}
+	if len(c.ECU().Faults()) == 0 {
+		t.Fatal("no fault logged")
+	}
+}
+
+func TestCrashSurvivesPowerCycleMILsDoNot(t *testing.T) {
+	// The paper's central Fig 9 observation.
+	s, c, peer := rig(t)
+	// Light a MIL and latch the crash.
+	peer.Send(can.MustNew(signal.IDEngineData, []byte{0x10, 0x27, 0x00, 0xFF, 0, 0, 0, 0}))
+	peer.Send(can.MustNew(IDDisplayControl, []byte{0xC0}))
+	s.RunUntil(time.Second)
+	if !c.ECU().MILOn(MILImplausible) || !c.Crashed() {
+		t.Fatal("precondition failed")
+	}
+	c.ECU().PowerCycle()
+	s.RunUntil(2 * time.Second)
+	if c.ECU().MILOn(MILImplausible) {
+		t.Fatal("MIL survived power cycle")
+	}
+	if !c.Crashed() {
+		t.Fatal("crash flag cleared by power cycle (should persist in EEPROM)")
+	}
+}
+
+func TestClearCrashFlagViaServiceEntry(t *testing.T) {
+	s, c, peer := rig(t)
+	peer.Send(can.MustNew(IDDisplayControl, []byte{0xFF, 0xEE}))
+	s.RunUntil(time.Second)
+	if !c.Crashed() {
+		t.Fatal("precondition failed")
+	}
+	entries := c.DIDEntries()
+	entry := entries[DIDCrashFlag]
+	if got := entry.Read(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("DID read = %v, want [1]", got)
+	}
+	if !entry.Secured {
+		t.Fatal("crash-flag DID must require security access")
+	}
+	if err := entry.Write([]byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Crashed() {
+		t.Fatal("service write did not clear crash flag")
+	}
+	if got := entry.Read(); got[0] != 0 {
+		t.Fatalf("DID read after clear = %v", got)
+	}
+}
+
+func TestDisplayResetsVolatileStateOnPowerCycle(t *testing.T) {
+	s, c, peer := rig(t)
+	sendEngineData(t, peer, 4000, 90)
+	s.RunUntil(100 * time.Millisecond)
+	if c.DisplayedRPM() != 4000 {
+		t.Fatal("precondition failed")
+	}
+	c.ECU().PowerCycle()
+	if c.DisplayedRPM() != 0 {
+		t.Fatalf("needle position survived power cycle: %v", c.DisplayedRPM())
+	}
+}
+
+func TestShortGaugeFrameDoesNotPanic(t *testing.T) {
+	s, c, peer := rig(t)
+	peer.Send(can.MustNew(signal.IDClusterGauges, []byte{0x55})) // 1-byte frame
+	s.RunUntil(100 * time.Millisecond)
+	_ = c.DisplayedRPM() // must simply not panic and treat missing as 0
+}
+
+func TestDisplayTextStates(t *testing.T) {
+	s, c, peer := rig(t)
+	if c.DisplayText() == "" || c.DisplayText() == "CRASH" {
+		t.Fatalf("normal display = %q", c.DisplayText())
+	}
+	peer.Send(can.MustNew(IDDisplayControl, []byte{0x80}))
+	s.RunUntil(time.Second)
+	if c.DisplayText() != "CRASH" {
+		t.Fatalf("display after defect = %q", c.DisplayText())
+	}
+	c.ECU().PowerOff()
+	if c.DisplayText() != "" {
+		t.Fatal("powered-off display should be dark")
+	}
+	c.ECU().PowerOn()
+	if c.DisplayText() != "CRASH" {
+		t.Fatal("crash text should survive the power cycle")
+	}
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/can"
+	"repro/internal/clock"
+	"repro/internal/oracle"
+)
+
+// Finding is one oracle firing with the surrounding campaign context — the
+// paper's "if a system failure occurs the conditions that caused it are
+// recorded".
+type Finding struct {
+	// Verdict is the oracle report.
+	Verdict oracle.Verdict
+	// FramesSent is the campaign frame count at firing time.
+	FramesSent uint64
+	// Elapsed is the campaign runtime at firing time.
+	Elapsed time.Duration
+	// Recent is the window of fuzz frames transmitted before the firing,
+	// oldest first.
+	Recent []can.Frame
+}
+
+// Option configures a Campaign.
+type Option func(*Campaign)
+
+// WithStopOnFinding halts transmission at the first finding.
+func WithStopOnFinding() Option {
+	return func(c *Campaign) { c.stopOnFinding = true }
+}
+
+// WithResetHook installs a system reset action run after each finding when
+// the campaign continues ("...and the system is reset").
+func WithResetHook(fn func()) Option {
+	return func(c *Campaign) { c.reset = fn }
+}
+
+// WithOnFinding installs a finding callback.
+func WithOnFinding(fn func(Finding)) Option {
+	return func(c *Campaign) { c.onFinding = fn }
+}
+
+// WithRecentWindow sets how many recently sent frames each finding records.
+func WithRecentWindow(n int) Option {
+	return func(c *Campaign) { c.window = n }
+}
+
+// WithMaxFrames bounds the number of frames transmitted.
+func WithMaxFrames(n uint64) Option {
+	return func(c *Campaign) { c.maxFrames = n }
+}
+
+// Campaign drives one fuzz test: a generator paced by the timing loop,
+// transmitting through a bus port, with oracles watching the system under
+// test. Create with NewCampaign, arm oracles with AddOracle, then either
+// Start and drive the scheduler yourself or use RunFor/RunUntilFinding.
+type Campaign struct {
+	sched *clock.Scheduler
+	port  *bus.Port
+	gen   *Generator
+	mon   *Monitor
+
+	oracles  []oracle.Oracle
+	findings []Finding
+
+	framesSent uint64
+	sendErrors uint64
+	started    time.Duration
+	running    bool
+	timer      *clock.Timer
+
+	stopOnFinding bool
+	reset         func()
+	onFinding     func(Finding)
+	window        int
+	maxFrames     uint64
+}
+
+// NewCampaign builds a campaign. The port is the fuzzer's bus attachment
+// (e.g. the OBD connector); the campaign takes over its receiver to feed
+// the monitor and oracles.
+func NewCampaign(sched *clock.Scheduler, port *bus.Port, cfg Config, opts ...Option) (*Campaign, error) {
+	gen, err := NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Campaign{
+		sched:  sched,
+		port:   port,
+		gen:    gen,
+		window: 16,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.mon = NewMonitor(c.window)
+	port.SetReceiver(c.observe)
+	return c, nil
+}
+
+// Generator returns the campaign's frame generator.
+func (c *Campaign) Generator() *Generator { return c.gen }
+
+// Monitor returns the campaign's traffic monitor.
+func (c *Campaign) Monitor() *Monitor { return c.mon }
+
+// FramesSent returns the number of fuzz frames transmitted so far.
+func (c *Campaign) FramesSent() uint64 { return c.framesSent }
+
+// SendErrors returns the number of rejected transmissions (queue full,
+// bus-off...).
+func (c *Campaign) SendErrors() uint64 { return c.sendErrors }
+
+// Findings returns a copy of the findings list.
+func (c *Campaign) Findings() []Finding {
+	out := make([]Finding, len(c.findings))
+	copy(out, c.findings)
+	return out
+}
+
+// Running reports whether the transmission loop is armed.
+func (c *Campaign) Running() bool { return c.running }
+
+// AddOracle arms an oracle. Oracles added while running start immediately.
+func (c *Campaign) AddOracle(o oracle.Oracle) {
+	c.oracles = append(c.oracles, o)
+	if c.running {
+		o.Start(c.sched, c.report)
+	}
+}
+
+// Start arms the timing loop and oracles. It is idempotent.
+func (c *Campaign) Start() {
+	if c.running {
+		return
+	}
+	c.running = true
+	c.started = c.sched.Now()
+	for _, o := range c.oracles {
+		o.Start(c.sched, c.report)
+	}
+	c.timer = c.sched.Every(c.gen.cfg.Interval, c.sendOne)
+}
+
+// Stop halts transmission and disarms oracles.
+func (c *Campaign) Stop() {
+	if !c.running {
+		return
+	}
+	c.running = false
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	for _, o := range c.oracles {
+		o.Stop()
+	}
+}
+
+// RunFor starts the campaign and drives the scheduler for the given
+// virtual duration, then stops.
+func (c *Campaign) RunFor(d time.Duration) {
+	c.Start()
+	c.sched.RunUntil(c.sched.Now() + d)
+	c.Stop()
+}
+
+// RunUntilFinding starts the campaign and drives the scheduler until the
+// first finding or the deadline. It reports the finding and whether one
+// occurred.
+func (c *Campaign) RunUntilFinding(maxDuration time.Duration) (Finding, bool) {
+	if !c.stopOnFinding {
+		c.stopOnFinding = true
+	}
+	before := len(c.findings)
+	c.Start()
+	deadline := c.sched.Now() + maxDuration
+	for c.sched.Now() < deadline && len(c.findings) == before {
+		if !c.sched.Step() {
+			break
+		}
+	}
+	c.Stop()
+	if len(c.findings) > before {
+		return c.findings[len(c.findings)-1], true
+	}
+	return Finding{}, false
+}
+
+// sendOne is the timing-loop body: generate, transmit, account.
+func (c *Campaign) sendOne() {
+	if c.maxFrames > 0 && c.framesSent >= c.maxFrames {
+		c.Stop()
+		return
+	}
+	f := c.gen.Next()
+	if err := c.port.Send(f); err != nil {
+		c.sendErrors++
+		return
+	}
+	c.framesSent++
+	c.mon.NoteSent(f)
+}
+
+// observe feeds bus traffic to the monitor and oracles.
+func (c *Campaign) observe(m bus.Message) {
+	c.mon.NoteObserved(m)
+	if !c.running {
+		return
+	}
+	for _, o := range c.oracles {
+		o.Observe(m)
+	}
+}
+
+// report handles an oracle verdict.
+func (c *Campaign) report(v oracle.Verdict) {
+	f := Finding{
+		Verdict:    v,
+		FramesSent: c.framesSent,
+		Elapsed:    c.sched.Now() - c.started,
+		Recent:     c.mon.Recent(),
+	}
+	c.findings = append(c.findings, f)
+	if c.onFinding != nil {
+		c.onFinding(f)
+	}
+	if c.stopOnFinding {
+		c.Stop()
+		return
+	}
+	if c.reset != nil {
+		c.reset()
+	}
+}

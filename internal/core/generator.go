@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/can"
+)
+
+// Generator produces fuzz frames according to a Config. It is
+// deterministic given the seed.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+
+	// Sweep state: an odometer over (payload bytes, id).
+	sweepID      can.ID
+	sweepPayload []int
+	sweepWrapped bool
+}
+
+// NewGenerator validates the configuration and builds a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.Mode == ModeSweep {
+		g.sweepID = cfg.IDMin
+		g.sweepPayload = make([]int, cfg.SweepLen)
+		for i := range g.sweepPayload {
+			g.sweepPayload[i] = cfg.ByteMin
+		}
+	}
+	return g, nil
+}
+
+// Config returns the defaulted configuration in effect.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Next returns the next fuzz frame.
+func (g *Generator) Next() can.Frame {
+	switch g.cfg.Mode {
+	case ModeMutate:
+		return g.nextMutated()
+	case ModeSweep:
+		return g.nextSweep()
+	default:
+		return g.nextRandom()
+	}
+}
+
+// nextRandom draws a frame uniformly from the configured ranges — the
+// paper's random bytes generator.
+func (g *Generator) nextRandom() can.Frame {
+	var f can.Frame
+	f.ID = g.randomID()
+	length := g.cfg.LenMin + g.rng.Intn(g.cfg.LenMax-g.cfg.LenMin+1)
+	f.Len = uint8(length)
+	span := g.cfg.ByteMax - g.cfg.ByteMin + 1
+	for i := 0; i < length; i++ {
+		f.Data[i] = byte(g.cfg.ByteMin + g.rng.Intn(span))
+	}
+	return f
+}
+
+func (g *Generator) randomID() can.ID {
+	if n := len(g.cfg.TargetIDs); n > 0 {
+		return g.cfg.TargetIDs[g.rng.Intn(n)]
+	}
+	return g.cfg.IDMin + can.ID(g.rng.Intn(int(g.cfg.IDMax-g.cfg.IDMin)+1))
+}
+
+// nextMutated picks a corpus frame and flips MutateBits random bits in the
+// payload (and identifier when MutateID is set).
+func (g *Generator) nextMutated() can.Frame {
+	f := g.cfg.Corpus[g.rng.Intn(len(g.cfg.Corpus))]
+	payloadBits := int(f.Len) * 8
+	idBits := 0
+	if g.cfg.MutateID {
+		idBits = 11
+	}
+	total := payloadBits + idBits
+	if total == 0 {
+		return f
+	}
+	for i := 0; i < g.cfg.MutateBits; i++ {
+		bit := g.rng.Intn(total)
+		if bit < payloadBits {
+			f.Data[bit/8] ^= 1 << (bit % 8)
+			continue
+		}
+		idBit := bit - payloadBits
+		f.ID ^= 1 << idBit
+		f.ID &= can.MaxID
+	}
+	return f
+}
+
+// nextSweep enumerates the space: the identifier advances fastest, then
+// the payload odometer. After the last combination the sweep wraps and
+// Wrapped reports true.
+func (g *Generator) nextSweep() can.Frame {
+	var f can.Frame
+	f.ID = g.sweepID
+	f.Len = uint8(g.cfg.SweepLen)
+	for i, v := range g.sweepPayload {
+		f.Data[i] = byte(v)
+	}
+	g.advanceSweep()
+	return f
+}
+
+func (g *Generator) advanceSweep() {
+	idSpan := g.cfg.IDMax - g.cfg.IDMin
+	if g.sweepID < g.cfg.IDMin+idSpan {
+		g.sweepID++
+		return
+	}
+	g.sweepID = g.cfg.IDMin
+	for i := 0; i < len(g.sweepPayload); i++ {
+		if g.sweepPayload[i] < g.cfg.ByteMax {
+			g.sweepPayload[i]++
+			return
+		}
+		g.sweepPayload[i] = g.cfg.ByteMin
+	}
+	g.sweepWrapped = true
+}
+
+// Wrapped reports whether a sweep has covered its whole space at least
+// once.
+func (g *Generator) Wrapped() bool { return g.sweepWrapped }

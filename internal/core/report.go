@@ -1,0 +1,225 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"repro/internal/can"
+)
+
+// Campaign reporting. The paper's §I essence list ends with "fuzz testing
+// is automated for efficiency" — automation needs machine-readable
+// results. Report is the JSON artefact a CI pipeline archives per
+// campaign: the effective configuration, throughput and coverage
+// statistics, the Fig 5 integrity check, and every finding with the
+// frames that preceded it.
+
+// Report is a serialisable campaign summary.
+type Report struct {
+	// Seed is the campaign seed.
+	Seed int64 `json:"seed"`
+	// Mode is the generation strategy name.
+	Mode string `json:"mode"`
+	// SpaceSize is the configured frame space (MaxUint64 when saturated).
+	SpaceSize uint64 `json:"spaceSize"`
+	// IntervalMicros is the transmission period in microseconds.
+	IntervalMicros int64 `json:"intervalMicros"`
+
+	// FramesSent and SendErrors are transmission counters.
+	FramesSent uint64 `json:"framesSent"`
+	SendErrors uint64 `json:"sendErrors"`
+	// DistinctIDs is the identifier-coverage numerator.
+	DistinctIDs int `json:"distinctIds"`
+	// OverallByteMean is the Fig 5 integrity statistic (~127.5 when healthy).
+	OverallByteMean float64 `json:"overallByteMean"`
+	// ByteMeanSpread is max-min of the per-position means.
+	ByteMeanSpread float64 `json:"byteMeanSpread"`
+
+	// Findings lists oracle firings in order.
+	Findings []ReportFinding `json:"findings"`
+}
+
+// ReportFinding is one finding in serialisable form.
+type ReportFinding struct {
+	// Oracle names the oracle that fired.
+	Oracle string `json:"oracle"`
+	// Detail describes the detection.
+	Detail string `json:"detail"`
+	// ElapsedMillis is the campaign runtime at firing, in milliseconds.
+	ElapsedMillis int64 `json:"elapsedMillis"`
+	// FramesSent is the frame count at firing.
+	FramesSent uint64 `json:"framesSent"`
+	// RecentFrames holds the preceding fuzz frames in "ID LEN DATA" form.
+	RecentFrames []string `json:"recentFrames"`
+}
+
+// BuildReport snapshots a campaign into a Report.
+func (c *Campaign) BuildReport() Report {
+	cfg := c.gen.Config()
+	r := Report{
+		Seed:            cfg.Seed,
+		Mode:            cfg.Mode.String(),
+		SpaceSize:       cfg.SpaceSize(),
+		IntervalMicros:  int64(cfg.Interval / time.Microsecond),
+		FramesSent:      c.framesSent,
+		SendErrors:      c.sendErrors,
+		DistinctIDs:     c.mon.DistinctIDsSent(),
+		OverallByteMean: c.mon.SentMeans().OverallMean(),
+		ByteMeanSpread:  c.mon.SentMeans().Spread(),
+	}
+	for _, f := range c.findings {
+		rf := ReportFinding{
+			Oracle:        f.Verdict.Oracle,
+			Detail:        f.Verdict.Detail,
+			ElapsedMillis: int64(f.Elapsed / time.Millisecond),
+			FramesSent:    f.FramesSent,
+		}
+		for _, fr := range f.Recent {
+			rf.RecentFrames = append(rf.RecentFrames, fr.String())
+		}
+		r.Findings = append(r.Findings, rf)
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ConfigJSON mirrors Config for file-based campaign configuration
+// (cmd/canfuzz -config). It exists so the JSON schema stays stable and
+// documented even if Config grows internal fields.
+type ConfigJSON struct {
+	// Seed seeds the campaign.
+	Seed int64 `json:"seed"`
+	// Mode is "random", "mutate" or "sweep" (empty = random).
+	Mode string `json:"mode,omitempty"`
+	// IDMin and IDMax bound the identifier range.
+	IDMin uint16 `json:"idMin,omitempty"`
+	IDMax uint16 `json:"idMax,omitempty"`
+	// TargetIDs lists hex-free decimal identifiers for targeted fuzzing.
+	TargetIDs []uint16 `json:"targetIds,omitempty"`
+	// LenMin and LenMax bound the payload length.
+	LenMin int `json:"lenMin,omitempty"`
+	LenMax int `json:"lenMax,omitempty"`
+	// ByteMin and ByteMax bound each payload byte.
+	ByteMin int `json:"byteMin,omitempty"`
+	ByteMax int `json:"byteMax,omitempty"`
+	// IntervalMicros is the transmission period in microseconds.
+	IntervalMicros int64 `json:"intervalMicros,omitempty"`
+	// MutateBits is the flip count for mutate mode.
+	MutateBits int `json:"mutateBits,omitempty"`
+	// MutateID includes the identifier in the mutable region.
+	MutateID bool `json:"mutateId,omitempty"`
+	// SweepLen fixes the sweep payload length.
+	SweepLen int `json:"sweepLen,omitempty"`
+	// Corpus holds mutate-mode seed frames as "ID#HEXDATA" strings
+	// (identifier in hex, like the candump format).
+	Corpus []string `json:"corpus,omitempty"`
+}
+
+// ParseConfigJSON reads a ConfigJSON document and converts it to a Config.
+func ParseConfigJSON(r io.Reader) (Config, error) {
+	var cj ConfigJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cj); err != nil {
+		return Config{}, err
+	}
+	return cj.ToConfig()
+}
+
+// ToConfig converts the JSON form to a Config, parsing corpus frames.
+func (cj ConfigJSON) ToConfig() (Config, error) {
+	cfg := Config{
+		Seed:       cj.Seed,
+		IDMin:      can.ID(cj.IDMin),
+		IDMax:      can.ID(cj.IDMax),
+		LenMin:     cj.LenMin,
+		LenMax:     cj.LenMax,
+		ByteMin:    cj.ByteMin,
+		ByteMax:    cj.ByteMax,
+		Interval:   time.Duration(cj.IntervalMicros) * time.Microsecond,
+		MutateBits: cj.MutateBits,
+		MutateID:   cj.MutateID,
+		SweepLen:   cj.SweepLen,
+	}
+	switch cj.Mode {
+	case "", "random":
+		cfg.Mode = ModeRandom
+	case "mutate":
+		cfg.Mode = ModeMutate
+	case "sweep":
+		cfg.Mode = ModeSweep
+	default:
+		return cfg, &json.UnsupportedValueError{Str: "mode " + cj.Mode}
+	}
+	for _, id := range cj.TargetIDs {
+		cfg.TargetIDs = append(cfg.TargetIDs, can.ID(id))
+	}
+	for _, s := range cj.Corpus {
+		f, err := parseCorpusFrame(s)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Corpus = append(cfg.Corpus, f)
+	}
+	// Validate eagerly so config errors surface at load time.
+	if _, err := NewGenerator(cfg); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// parseCorpusFrame parses "215#205F010000012000" (hex id '#' hex data).
+func parseCorpusFrame(s string) (can.Frame, error) {
+	var f can.Frame
+	hash := -1
+	for i := range s {
+		if s[i] == '#' {
+			hash = i
+			break
+		}
+	}
+	if hash < 1 {
+		return f, &json.UnsupportedValueError{Str: "corpus frame " + s}
+	}
+	var id uint16
+	for _, c := range s[:hash] {
+		v := hexDigit(byte(c))
+		if v < 0 {
+			return f, &json.UnsupportedValueError{Str: "corpus id " + s}
+		}
+		id = id<<4 | uint16(v)
+	}
+	hexData := s[hash+1:]
+	if len(hexData)%2 != 0 || len(hexData)/2 > can.MaxDataLen {
+		return f, &json.UnsupportedValueError{Str: "corpus data " + s}
+	}
+	data := make([]byte, len(hexData)/2)
+	for i := range data {
+		hi, lo := hexDigit(hexData[2*i]), hexDigit(hexData[2*i+1])
+		if hi < 0 || lo < 0 {
+			return f, &json.UnsupportedValueError{Str: "corpus data " + s}
+		}
+		data[i] = byte(hi<<4 | lo)
+	}
+	return can.New(can.ID(id), data)
+}
+
+func hexDigit(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	default:
+		return -1
+	}
+}

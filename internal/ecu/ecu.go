@@ -1,0 +1,330 @@
+// Package ecu provides the runtime skeleton shared by every simulated
+// Electronic Control Unit: frame dispatch, periodic transmission schedules,
+// power cycling with volatile (RAM) and non-volatile (NVRAM) storage,
+// malfunction indicator lamps (MILs), audible warnings, fault logging, and
+// UDS-style operating modes.
+//
+// The power-cycle semantics matter for reproducing Fig 9: MILs and RAM are
+// volatile (a power cycle clears them, as the paper observed on the real
+// instrument cluster), while NVRAM persists (which is why the cluster's
+// "crash" display would not clear).
+package ecu
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/can"
+	"repro/internal/clock"
+)
+
+// Mode is an ECU operating mode, as in UDS diagnostic sessions. The paper
+// (§II) stresses testers must cover all of them because "these different
+// states have been previously exploited".
+type Mode int
+
+// Operating modes.
+const (
+	// ModeNormal is the default application mode.
+	ModeNormal Mode = iota + 1
+	// ModeDiagnostic is an extended diagnostic session.
+	ModeDiagnostic
+	// ModeProgramming is the (un)locked software-update session.
+	ModeProgramming
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeNormal:
+		return "normal"
+	case ModeDiagnostic:
+		return "diagnostic"
+	case ModeProgramming:
+		return "programming"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Fault is one entry in an ECU's fault log.
+type Fault struct {
+	// Time is the virtual instant the fault was raised.
+	Time time.Duration
+	// Code is a short machine-readable fault code (e.g. "U0100").
+	Code string
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// Handler consumes a delivered frame.
+type Handler func(bus.Message)
+
+type periodicSpec struct {
+	interval time.Duration
+	fn       func()
+	timer    *clock.Timer
+}
+
+// ECU is the base runtime for a simulated control unit. Concrete ECUs
+// (cluster, BCM, engine...) embed or wrap it, register handlers and
+// periodic transmitters, and use Send to talk on the bus.
+type ECU struct {
+	name  string
+	sched *clock.Scheduler
+	port  *bus.Port
+
+	handlers map[can.ID][]Handler
+	catchAll []Handler
+
+	periodics []*periodicSpec
+	powered   bool
+	mode      Mode
+
+	nvram map[string][]byte
+	ram   map[string][]byte
+
+	mils      map[string]bool
+	chimes    uint64
+	faults    []Fault
+	onPowerOn []func()
+}
+
+// New creates an ECU bound to a bus port. The ECU starts powered on in
+// normal mode, receiving frames.
+func New(name string, sched *clock.Scheduler, port *bus.Port) *ECU {
+	if sched == nil || port == nil {
+		panic("ecu: nil scheduler or port")
+	}
+	e := &ECU{
+		name:     name,
+		sched:    sched,
+		port:     port,
+		handlers: make(map[can.ID][]Handler),
+		nvram:    make(map[string][]byte),
+		ram:      make(map[string][]byte),
+		mils:     make(map[string]bool),
+		powered:  true,
+		mode:     ModeNormal,
+	}
+	port.SetReceiver(e.dispatch)
+	return e
+}
+
+// Name returns the ECU name.
+func (e *ECU) Name() string { return e.name }
+
+// Scheduler returns the virtual clock the ECU runs on.
+func (e *ECU) Scheduler() *clock.Scheduler { return e.sched }
+
+// Port returns the ECU's bus attachment.
+func (e *ECU) Port() *bus.Port { return e.port }
+
+// Now returns the current virtual time.
+func (e *ECU) Now() time.Duration { return e.sched.Now() }
+
+// Powered reports whether the ECU is currently powered.
+func (e *ECU) Powered() bool { return e.powered }
+
+// Mode returns the current operating mode.
+func (e *ECU) Mode() Mode { return e.mode }
+
+// SetMode switches the operating mode (driven by UDS session control).
+func (e *ECU) SetMode(m Mode) { e.mode = m }
+
+// Handle registers a handler for one arbitration identifier. Multiple
+// handlers per identifier run in registration order.
+func (e *ECU) Handle(id can.ID, h Handler) {
+	if h == nil {
+		panic("ecu: nil handler")
+	}
+	e.handlers[id] = append(e.handlers[id], h)
+}
+
+// HandleAll registers a handler that sees every received frame after the
+// per-identifier handlers. This is the code path malformed fuzz traffic
+// reaches on ECUs that parse more than they should.
+func (e *ECU) HandleAll(h Handler) {
+	if h == nil {
+		panic("ecu: nil handler")
+	}
+	e.catchAll = append(e.catchAll, h)
+}
+
+// Periodic registers fn to run every interval while the ECU is powered.
+// Periodic schedules restart from phase zero after a power cycle.
+func (e *ECU) Periodic(interval time.Duration, fn func()) {
+	if fn == nil {
+		panic("ecu: nil periodic")
+	}
+	spec := &periodicSpec{interval: interval, fn: fn}
+	e.periodics = append(e.periodics, spec)
+	if e.powered {
+		spec.timer = e.sched.Every(interval, spec.fn)
+	}
+}
+
+// OnPowerOn registers a callback invoked each time the ECU powers up
+// (including the initial registration if currently powered: the callback is
+// NOT invoked immediately; callers run initial logic themselves).
+func (e *ECU) OnPowerOn(fn func()) {
+	if fn == nil {
+		panic("ecu: nil callback")
+	}
+	e.onPowerOn = append(e.onPowerOn, fn)
+}
+
+// Send transmits a frame. A powered-off ECU cannot transmit.
+func (e *ECU) Send(f can.Frame) error {
+	if !e.powered {
+		return fmt.Errorf("ecu %s: powered off", e.name)
+	}
+	if err := e.port.Send(f); err != nil {
+		return fmt.Errorf("ecu %s: %w", e.name, err)
+	}
+	return nil
+}
+
+// dispatch routes a received frame to handlers.
+func (e *ECU) dispatch(m bus.Message) {
+	if !e.powered {
+		return
+	}
+	for _, h := range e.handlers[m.Frame.ID] {
+		h(m)
+	}
+	for _, h := range e.catchAll {
+		h(m)
+	}
+}
+
+// PowerOff halts the ECU: periodic transmissions stop, the port detaches,
+// RAM clears, MILs extinguish, mode returns to normal. NVRAM persists.
+func (e *ECU) PowerOff() {
+	if !e.powered {
+		return
+	}
+	e.powered = false
+	for _, p := range e.periodics {
+		if p.timer != nil {
+			p.timer.Stop()
+			p.timer = nil
+		}
+	}
+	e.port.Detach()
+	e.ram = make(map[string][]byte)
+	e.mils = make(map[string]bool)
+	e.mode = ModeNormal
+}
+
+// PowerOn restores the ECU after PowerOff: the port reattaches (clearing
+// bus error state, as a controller reset does), periodic schedules restart,
+// and OnPowerOn callbacks run.
+func (e *ECU) PowerOn() {
+	if e.powered {
+		return
+	}
+	e.powered = true
+	e.port.Reattach()
+	for _, p := range e.periodics {
+		p.timer = e.sched.Every(p.interval, p.fn)
+	}
+	for _, fn := range e.onPowerOn {
+		fn()
+	}
+}
+
+// PowerCycle is PowerOff followed by PowerOn at the same virtual instant.
+func (e *ECU) PowerCycle() {
+	e.PowerOff()
+	e.PowerOn()
+}
+
+// --- Storage ---------------------------------------------------------------
+
+// NVWrite stores a value in non-volatile memory (persists across power
+// cycles). The value is copied.
+func (e *ECU) NVWrite(key string, value []byte) {
+	v := make([]byte, len(value))
+	copy(v, value)
+	e.nvram[key] = v
+}
+
+// NVRead returns a copy of a non-volatile value.
+func (e *ECU) NVRead(key string) ([]byte, bool) {
+	v, ok := e.nvram[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// NVDelete removes a non-volatile value (e.g. a service tool clearing it).
+func (e *ECU) NVDelete(key string) { delete(e.nvram, key) }
+
+// RAMWrite stores a volatile value (cleared by power cycles).
+func (e *ECU) RAMWrite(key string, value []byte) {
+	v := make([]byte, len(value))
+	copy(v, value)
+	e.ram[key] = v
+}
+
+// RAMRead returns a copy of a volatile value.
+func (e *ECU) RAMRead(key string) ([]byte, bool) {
+	v, ok := e.ram[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// --- Driver-visible indications ---------------------------------------------
+
+// SetMIL switches a malfunction indicator lamp. MILs are volatile: a power
+// cycle extinguishes them (as observed on the paper's instrument cluster).
+func (e *ECU) SetMIL(name string, on bool) {
+	if on {
+		e.mils[name] = true
+	} else {
+		delete(e.mils, name)
+	}
+}
+
+// MILOn reports whether a lamp is lit.
+func (e *ECU) MILOn(name string) bool { return e.mils[name] }
+
+// MILs returns the sorted names of all lit lamps.
+func (e *ECU) MILs() []string {
+	out := make([]string, 0, len(e.mils))
+	for name := range e.mils {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Chime records one audible warning.
+func (e *ECU) Chime() { e.chimes++ }
+
+// Chimes returns the number of audible warnings since creation (not reset
+// by power cycles; it models the tester's tally of warning sounds).
+func (e *ECU) Chimes() uint64 { return e.chimes }
+
+// LogFault appends to the fault log (the log itself is the tester's
+// external record, so it survives power cycles).
+func (e *ECU) LogFault(code, detail string) {
+	e.faults = append(e.faults, Fault{Time: e.sched.Now(), Code: code, Detail: detail})
+}
+
+// Faults returns a copy of the fault log.
+func (e *ECU) Faults() []Fault {
+	out := make([]Fault, len(e.faults))
+	copy(out, e.faults)
+	return out
+}

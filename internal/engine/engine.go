@@ -1,0 +1,143 @@
+// Package engine models the engine control ECU of the simulated target
+// vehicle: an idle-speed governor with deterministic combustion wobble,
+// coolant warm-up, and the periodic EngineData broadcast the instrument
+// cluster's tachometer follows.
+//
+// The paper observed "erratic engine idling RPM" while fuzzing the real
+// vehicle (§VI). The path that reproduces it here: the engine ECU trusts
+// load-request inputs from the bus (air-conditioning compressor load) and
+// bumps its idle target accordingly, so malformed frames on those
+// identifiers modulate the real RPM, which the cluster then displays.
+package engine
+
+import (
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/ecu"
+	"repro/internal/signal"
+)
+
+// Idle governor constants.
+const (
+	baseIdleRPM   = 850.0
+	acIdleBumpRPM = 150.0
+	maxRPM        = 8000.0
+	// wobbleAmpRPM is the amplitude of normal combustion variation at idle.
+	wobbleAmpRPM = 18.0
+	// coolantAmbient and coolantTarget bound the warm-up curve.
+	coolantAmbient = 20.0
+	coolantTarget  = 90.0
+)
+
+// Engine is the engine-control ECU.
+type Engine struct {
+	ecu *ecu.ECU
+	db  *signal.Database
+
+	rpm      float64
+	throttle float64
+	coolant  float64
+	acLoad   bool
+	alive    uint8
+	// lcg drives the deterministic idle wobble.
+	lcg uint64
+}
+
+// New builds the engine application on an existing ECU runtime and starts
+// its broadcast schedule.
+func New(e *ecu.ECU) *Engine {
+	eng := &Engine{
+		ecu:     e,
+		db:      signal.VehicleDB(),
+		rpm:     baseIdleRPM,
+		coolant: coolantAmbient,
+		lcg:     0x9E3779B97F4A7C15,
+	}
+	// React to climate load requests: a trusted input, fuzzable.
+	e.Handle(signal.IDClimate, eng.onClimate)
+	e.Periodic(10*time.Millisecond, eng.tick)
+	return eng
+}
+
+// RPM returns the current true engine speed.
+func (eng *Engine) RPM() float64 { return eng.rpm }
+
+// Coolant returns the current coolant temperature in degC.
+func (eng *Engine) Coolant() float64 { return eng.coolant }
+
+// ACLoad reports whether the idle governor sees an A/C compressor load.
+func (eng *Engine) ACLoad() bool { return eng.acLoad }
+
+// SetThrottle sets the accelerator position in percent (driver input).
+func (eng *Engine) SetThrottle(pct float64) {
+	if pct < 0 {
+		pct = 0
+	}
+	if pct > 100 {
+		pct = 100
+	}
+	eng.throttle = pct
+}
+
+// onClimate ingests the A/C compressor state. The handler trusts the frame
+// contents — fuzzed frames on this identifier flip the compressor load and
+// perturb idle, the "additional logic to ignore nonsensical CAN message
+// values" gap the paper calls out.
+func (eng *Engine) onClimate(m bus.Message) {
+	def, ok := eng.db.ByID(signal.IDClimate)
+	if !ok {
+		return
+	}
+	vals := def.Decode(m.Frame)
+	eng.acLoad = vals["ACCompressor"] >= 0.5
+}
+
+// nextNoise returns a deterministic value in [-1, 1).
+func (eng *Engine) nextNoise() float64 {
+	eng.lcg = eng.lcg*6364136223846793005 + 1442695040888963407
+	return float64(int64(eng.lcg>>11))/float64(1<<52) - 1
+}
+
+// tick advances the engine model 10 ms and broadcasts EngineData.
+func (eng *Engine) tick() {
+	target := baseIdleRPM
+	if eng.acLoad {
+		target += acIdleBumpRPM
+	}
+	target += eng.throttle / 100 * (maxRPM - baseIdleRPM)
+
+	// First-order approach to target plus combustion wobble.
+	eng.rpm += (target - eng.rpm) * 0.08
+	eng.rpm += eng.nextNoise() * wobbleAmpRPM
+	if eng.rpm < 0 {
+		eng.rpm = 0
+	}
+	if eng.rpm > maxRPM {
+		eng.rpm = maxRPM
+	}
+
+	// Coolant warms toward target, faster off idle.
+	rate := 0.002 + eng.rpm/maxRPM*0.01
+	eng.coolant += (coolantTarget - eng.coolant) * rate
+
+	eng.alive = (eng.alive + 1) & 0x0F
+	def, ok := eng.db.ByID(signal.IDEngineData)
+	if !ok {
+		return
+	}
+	f, err := def.Encode(map[string]float64{
+		"EngineRPM":    eng.rpm,
+		"ThrottlePos":  eng.throttle,
+		"CoolantTemp":  eng.coolant,
+		"EngineAlive":  float64(eng.alive),
+		"EngineStatus": 1, // running
+	})
+	if err != nil {
+		eng.ecu.LogFault("P0600", "engine data encode: "+err.Error())
+		return
+	}
+	// Ignore transmit errors: a saturated bus drops low-priority frames,
+	// which the cluster's timeout supervision then surfaces.
+	_ = eng.ecu.Send(f)
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/bcm"
+	"repro/internal/bus"
+	"repro/internal/capture"
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ecu"
+	"repro/internal/oracle"
+	"repro/internal/testbench"
+)
+
+// Table4 transmits rows random frames onto an otherwise idle bus and
+// returns the capture — the paper's "Sample random CAN packet output from
+// the fuzzer" with its millisecond-spaced timestamps and varied lengths.
+func Table4(seed int64, rows int) []capture.Record {
+	sched := clock.New()
+	b := bus.New(sched)
+	rec := capture.NewRecorder(b, rows)
+	port := b.Connect("fuzzer")
+	campaign, err := core.NewCampaign(sched, port, core.Config{Seed: seed},
+		core.WithMaxFrames(uint64(rows)))
+	if err != nil {
+		panic(err) // static configuration cannot fail
+	}
+	campaign.RunFor(time.Duration(rows+10) * time.Millisecond)
+	return rec.Trace().Records()
+}
+
+// Fig9Result is the component-damage experiment outcome.
+type Fig9Result struct {
+	// TimeToCrash is the fuzzing time until the crash latched.
+	TimeToCrash time.Duration
+	// FramesToCrash is the fuzz frame count at that point.
+	FramesToCrash uint64
+	// MILsDuringFuzz is the number of lamps lit when fuzzing stopped.
+	MILsDuringFuzz int
+	// ChimesDuringFuzz is the warning-sound count.
+	ChimesDuringFuzz uint64
+	// MILsAfterPowerCycle is the lamp count after cycling power (paper: 0).
+	MILsAfterPowerCycle int
+	// CrashAfterPowerCycle reports whether the crash display persisted
+	// (paper: true — "the crash message would not clear").
+	CrashAfterPowerCycle bool
+	// CrashAfterServiceFix reports the flag state after the secured UDS
+	// write a service tool would perform (extension: false).
+	CrashAfterServiceFix bool
+}
+
+// Figure9 reproduces the bench fuzz of the real instrument cluster: MILs
+// and chimes appear, the crash state latches, a power cycle clears the
+// MILs but not the crash. maxDur bounds the hunt.
+func Figure9(seed int64, maxDur time.Duration) (Fig9Result, bool) {
+	sched := clock.New()
+	b := bus.New(sched)
+	clusterECU := ecu.New("cluster", sched, b.Connect("cluster"))
+	c := cluster.New(clusterECU)
+
+	port := b.Connect("fuzzer")
+	campaign, err := core.NewCampaign(sched, port, core.Config{Seed: seed},
+		core.WithStopOnFinding())
+	if err != nil {
+		panic(err)
+	}
+	campaign.AddOracle(&oracle.Probe{
+		OracleName: "cluster-crash",
+		Interval:   10 * time.Millisecond,
+		Once:       true,
+		Check: func() string {
+			if c.Crashed() {
+				return "persistent CRASH display latched"
+			}
+			return ""
+		},
+	})
+	finding, ok := campaign.RunUntilFinding(maxDur)
+	if !ok {
+		return Fig9Result{}, false
+	}
+	res := Fig9Result{
+		TimeToCrash:      finding.Elapsed,
+		FramesToCrash:    finding.FramesSent,
+		MILsDuringFuzz:   len(clusterECU.MILs()),
+		ChimesDuringFuzz: clusterECU.Chimes(),
+	}
+	// "Cycling the power to the cluster removes any MILs that became
+	// illuminated. Unfortunately the crash message would not clear."
+	clusterECU.PowerCycle()
+	sched.RunFor(time.Second)
+	res.MILsAfterPowerCycle = len(clusterECU.MILs())
+	res.CrashAfterPowerCycle = c.Crashed()
+
+	// Extension: the secured service-tool write clears it.
+	entry := c.DIDEntries()[cluster.DIDCrashFlag]
+	if err := entry.Write([]byte{0}); err != nil {
+		return res, true
+	}
+	res.CrashAfterServiceFix = c.Crashed()
+	return res, true
+}
+
+// Table5Row is one row of Table V: repeated unlock runs under one parser
+// variant.
+type Table5Row struct {
+	// Message is the paper's row label (the BCM check description).
+	Message string
+	// Check is the parser variant.
+	Check bcm.CheckMode
+	// Stats holds the run durations and summary statistics.
+	Stats analysis.RunStats
+	// TimedOut counts runs that hit the per-run deadline (excluded from
+	// Stats).
+	TimedOut int
+}
+
+// Table5 runs the unlock experiment `runs` times per parser variant with
+// seeds baseSeed+i and returns one row per variant, reproducing Table V's
+// two rows (plus optionally the predicted two-byte variant via
+// AblationOracleStrictness). maxPerRun bounds each run.
+func Table5(baseSeed int64, runs int, maxPerRun time.Duration) []Table5Row {
+	variants := []bcm.CheckMode{bcm.CheckByteOnly, bcm.CheckByteAndLength}
+	rows := make([]Table5Row, 0, len(variants))
+	for _, check := range variants {
+		rows = append(rows, runUnlockVariant(check, baseSeed, runs, maxPerRun))
+	}
+	return rows
+}
+
+// runUnlockVariant executes one Table V row over the full blind space.
+func runUnlockVariant(check bcm.CheckMode, baseSeed int64, runs int, maxPerRun time.Duration) Table5Row {
+	return runUnlockVariantCfg(check, runs, maxPerRun, func(i int) core.Config {
+		return core.Config{Seed: baseSeed + int64(i)}
+	})
+}
+
+// runUnlockVariantCfg executes one unlock-experiment row with a per-run
+// fuzzer configuration.
+func runUnlockVariantCfg(check bcm.CheckMode, runs int, maxPerRun time.Duration, cfgFor func(i int) core.Config) Table5Row {
+	row := Table5Row{Message: check.String(), Check: check}
+	for i := 0; i < runs; i++ {
+		exp, err := testbench.NewUnlockExperiment(testbench.Config{Check: check}, cfgFor(i))
+		if err != nil {
+			panic(err)
+		}
+		elapsed, ok := exp.Run(maxPerRun)
+		if !ok {
+			row.TimedOut++
+			continue
+		}
+		row.Stats.Times = append(row.Stats.Times, elapsed)
+	}
+	return row
+}

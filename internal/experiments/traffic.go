@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/bus"
+	"repro/internal/capture"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/vehicle"
+)
+
+// Table2 captures sample frames from the idling simulated vehicle, like
+// the paper's Table II capture from the real car. warmup discards start-up
+// transients; rows bounds the sample.
+func Table2(seed int64, warmup time.Duration, rows int) []capture.Record {
+	sched := clock.New()
+	v := vehicle.New(sched, vehicle.Config{Seed: seed})
+	sched.RunUntil(warmup)
+
+	trace := capture.NewTrace(0)
+	// Sample a diverse window: one frame per distinct identifier until we
+	// have the requested rows, mirroring the paper's mixed-ID excerpt.
+	seen := map[uint16]bool{}
+	v.TapOBD(vehicle.OBDBody, func(m bus.Message) {
+		if trace.Len() >= rows || seen[uint16(m.Frame.ID)] {
+			return
+		}
+		seen[uint16(m.Frame.ID)] = true
+		trace.Append(capture.Record{Time: m.Time, Frame: m.Frame, Origin: m.Origin})
+	})
+	sched.RunUntil(warmup + 2*time.Second)
+	return trace.Records()
+}
+
+// ByteMeansResult is the measurement behind Figs 4 and 5: the per-position
+// mean byte values over a large frame sample.
+type ByteMeansResult struct {
+	// Frames is the number of frames accumulated.
+	Frames uint64
+	// Means holds the mean value per payload byte position.
+	Means [8]float64
+	// Overall is the mean over all sampled bytes.
+	Overall float64
+	// Spread is max(mean)-min(mean): large for structured vehicle traffic
+	// (Fig 4), near zero for fuzzer output (Fig 5).
+	Spread float64
+	// ChiSquare is the chi-square uniformity statistic over byte values
+	// (~255 for uniform fuzz output, orders of magnitude higher for real
+	// traffic).
+	ChiSquare float64
+	// Entropy is the Shannon entropy of the byte distribution in bits.
+	Entropy float64
+	// Uniform reports the P99 chi-square uniformity verdict — the
+	// quantitative version of the paper's "even spread of byte values".
+	Uniform bool
+}
+
+func byteMeansResult(bm *analysis.ByteMeans, h *analysis.ByteHistogram) ByteMeansResult {
+	return ByteMeansResult{
+		Frames:    bm.Frames(),
+		Means:     bm.Means(),
+		Overall:   bm.OverallMean(),
+		Spread:    bm.Spread(),
+		ChiSquare: h.ChiSquare(),
+		Entropy:   h.Entropy(),
+		Uniform:   h.UniformP99(),
+	}
+}
+
+// Figure4 captures the given number of frames from the idling vehicle's
+// body bus and returns the byte-position means — the paper's non-linear
+// distribution over 100,000 captured vehicle messages.
+func Figure4(seed int64, frames int) ByteMeansResult {
+	sched := clock.New()
+	v := vehicle.New(sched, vehicle.Config{Seed: seed})
+	var bm analysis.ByteMeans
+	var hist analysis.ByteHistogram
+	v.TapOBD(vehicle.OBDBody, func(m bus.Message) {
+		if bm.Frames() < uint64(frames) {
+			bm.Add(m.Frame)
+			hist.Add(m.Frame)
+		}
+	})
+	// The body bus carries ~250 frames/s; run until the sample is full.
+	for bm.Frames() < uint64(frames) {
+		sched.RunFor(10 * time.Second)
+	}
+	return byteMeansResult(&bm, &hist)
+}
+
+// Figure5 generates the given number of frames with the fuzzer and returns
+// the byte-position means — the paper's flat distribution with overall
+// mean 127 over 66,144 generated messages, "providing evidence that the
+// fuzzer is correctly generating an even spread of byte values".
+func Figure5(seed int64, frames int) ByteMeansResult {
+	gen, err := core.NewGenerator(core.Config{Seed: seed})
+	if err != nil {
+		panic(err) // static configuration cannot fail
+	}
+	var bm analysis.ByteMeans
+	var hist analysis.ByteHistogram
+	for i := 0; i < frames; i++ {
+		f := gen.Next()
+		bm.Add(f)
+		hist.Add(f)
+	}
+	return byteMeansResult(&bm, &hist)
+}
+
+// SignalsResult is the measurement behind Figs 6 and 7: decoded vehicle
+// signals sampled over time, with the summary statistics that distinguish
+// normal from fuzzed operation.
+type SignalsResult struct {
+	// Series holds the sampled signal traces.
+	Series []analysis.Series
+}
+
+// Get returns the named series.
+func (r SignalsResult) Get(name string) *analysis.Series {
+	for i := range r.Series {
+		if r.Series[i].Name == name {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// sampleVehicleSignals runs a vehicle for dur, sampling the cluster's
+// displayed values every step. If fuzz is non-nil it is started after
+// warmup (attached to the body bus via OBD).
+func sampleVehicleSignals(seed int64, warmup, dur, step time.Duration, fuzzCfg *core.Config) SignalsResult {
+	sched := clock.New()
+	v := vehicle.New(sched, vehicle.Config{Seed: seed})
+	sched.RunUntil(warmup)
+
+	if fuzzCfg != nil {
+		port := v.AttachOBD(vehicle.OBDBody, "fuzzer")
+		campaign, err := core.NewCampaign(sched, port, *fuzzCfg)
+		if err != nil {
+			panic(err)
+		}
+		campaign.Start()
+	}
+
+	series := []analysis.Series{
+		{Name: "DisplayedRPM"},
+		{Name: "DisplayedSpeed"},
+		{Name: "DisplayedFuel"},
+		{Name: "DisplayedCoolant"},
+		{Name: "EngineRPM"},
+	}
+	end := sched.Now() + dur
+	for sched.Now() < end {
+		sched.RunFor(step)
+		t := sched.Now()
+		series[0].Add(t, v.Cluster.DisplayedRPM())
+		series[1].Add(t, v.Cluster.DisplayedSpeed())
+		series[2].Add(t, v.Cluster.DisplayedFuel())
+		series[3].Add(t, v.Cluster.DisplayedCoolant())
+		series[4].Add(t, v.Engine.RPM())
+	}
+	return SignalsResult{Series: series}
+}
+
+// Figure6 samples the normal (un-fuzzed) vehicle signals: steady idle RPM,
+// zero speed, slowly moving fuel and coolant.
+func Figure6(seed int64, dur time.Duration) SignalsResult {
+	return sampleVehicleSignals(seed, 2*time.Second, dur, 100*time.Millisecond, nil)
+}
+
+// Figure7 samples the same signals while the fuzzer injects random frames
+// into the body bus — "captured over a shorter period than Figure 6" with
+// the signals varying erratically. Sampling runs at 2 ms, below the 10 ms
+// EngineData period, because a fuzzed needle value only survives until the
+// next legitimate frame overwrites it: a slow sampler can miss every
+// excursion, exactly as a slow chart recorder would on the real bench.
+func Figure7(seed int64, dur time.Duration) SignalsResult {
+	cfg := core.Config{Seed: seed}
+	return sampleVehicleSignals(seed, 2*time.Second, dur, 2*time.Millisecond, &cfg)
+}
+
+// Fig8Result is the outcome of the invalid-value experiment.
+type Fig8Result struct {
+	// NegativeRPM is the first physically impossible tachometer value the
+	// simulated cluster displayed.
+	NegativeRPM float64
+	// Elapsed is the fuzzing time until it appeared.
+	Elapsed time.Duration
+	// FramesSent is the fuzz frame count at that point.
+	FramesSent uint64
+}
+
+// Figure8 fuzzes the vehicle's body bus until the instrument cluster
+// displays a negative engine RPM, reproducing the paper's "simulated
+// vehicle displaying a negative engine RPM... the vehicle simulation
+// handles physically invalid values in the same way as physically
+// plausible ones".
+func Figure8(seed int64, maxDur time.Duration) (Fig8Result, bool) {
+	sched := clock.New()
+	v := vehicle.New(sched, vehicle.Config{Seed: seed})
+	sched.RunUntil(time.Second)
+
+	port := v.AttachOBD(vehicle.OBDBody, "fuzzer")
+	campaign, err := core.NewCampaign(sched, port, core.Config{Seed: seed})
+	if err != nil {
+		panic(err)
+	}
+	campaign.Start()
+	start := sched.Now()
+	deadline := start + maxDur
+	for sched.Now() < deadline {
+		sched.RunFor(10 * time.Millisecond)
+		if rpm := v.Cluster.DisplayedRPM(); rpm < 0 {
+			campaign.Stop()
+			return Fig8Result{
+				NegativeRPM: rpm,
+				Elapsed:     sched.Now() - start,
+				FramesSent:  campaign.FramesSent(),
+			}, true
+		}
+	}
+	campaign.Stop()
+	return Fig8Result{}, false
+}

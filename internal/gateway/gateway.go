@@ -1,0 +1,120 @@
+// Package gateway models a central gateway ECU bridging two CAN buses with
+// per-direction forwarding rules.
+//
+// The paper notes that "the use of a gateway ECU in newer vehicles
+// indicates that manufacturers are responding to the issue" (§VII) and
+// lists testing the effectiveness of "vehicle firewalls and gateways" as
+// future work. The ablation benchmark uses this package to show that an
+// allow-list gateway between the OBD-exposed bus and the body bus defeats
+// the blind unlock fuzz entirely.
+package gateway
+
+import (
+	"repro/internal/bus"
+	"repro/internal/can"
+)
+
+// Policy decides whether a frame may cross in a given direction.
+type Policy int
+
+const (
+	// ForwardAll passes every frame (the legacy, pre-security behaviour).
+	ForwardAll Policy = iota + 1
+	// AllowList passes only explicitly allowed identifiers.
+	AllowList
+	// BlockAll passes nothing in that direction.
+	BlockAll
+)
+
+// Direction identifies one of the two forwarding directions.
+type Direction int
+
+const (
+	// AToB forwards frames received on bus A onto bus B.
+	AToB Direction = iota + 1
+	// BToA forwards frames received on bus B onto bus A.
+	BToA
+)
+
+// Stats counts gateway activity per direction.
+type Stats struct {
+	// Forwarded counts frames passed through.
+	Forwarded uint64
+	// Blocked counts frames dropped by policy.
+	Blocked uint64
+}
+
+type side struct {
+	port    *bus.Port
+	policy  Policy
+	allowed map[can.ID]bool
+	stats   Stats
+}
+
+// Gateway bridges two buses. Frames received on one side are re-transmitted
+// on the other, subject to the direction's policy. The gateway never
+// re-forwards its own transmissions (the origin check prevents loops).
+type Gateway struct {
+	name string
+	a, b *side
+}
+
+// New creates a gateway between two buses. Both directions default to
+// ForwardAll.
+func New(name string, busA, busB *bus.Bus) *Gateway {
+	g := &Gateway{
+		name: name,
+		a:    &side{policy: ForwardAll, allowed: make(map[can.ID]bool)},
+		b:    &side{policy: ForwardAll, allowed: make(map[can.ID]bool)},
+	}
+	g.a.port = busA.Connect(name)
+	g.b.port = busB.Connect(name)
+	g.a.port.SetReceiver(func(m bus.Message) { g.forward(g.a, g.b, m) })
+	g.b.port.SetReceiver(func(m bus.Message) { g.forward(g.b, g.a, m) })
+	return g
+}
+
+// SetPolicy configures one direction's policy.
+func (g *Gateway) SetPolicy(dir Direction, p Policy) {
+	g.sideFor(dir).policy = p
+}
+
+// Allow adds identifiers to a direction's allow-list (used with AllowList).
+func (g *Gateway) Allow(dir Direction, ids ...can.ID) {
+	s := g.sideFor(dir)
+	for _, id := range ids {
+		s.allowed[id] = true
+	}
+}
+
+// Stats returns the counters for a direction.
+func (g *Gateway) Stats(dir Direction) Stats { return g.sideFor(dir).stats }
+
+// sideFor maps a direction to its receiving side.
+func (g *Gateway) sideFor(dir Direction) *side {
+	if dir == AToB {
+		return g.a
+	}
+	return g.b
+}
+
+func (g *Gateway) forward(from, to *side, m bus.Message) {
+	if m.Origin == g.name {
+		return // own transmission echoed by topology quirks; never loop
+	}
+	switch from.policy {
+	case BlockAll:
+		from.stats.Blocked++
+		return
+	case AllowList:
+		if !from.allowed[m.Frame.ID] {
+			from.stats.Blocked++
+			return
+		}
+	}
+	if err := to.port.Send(m.Frame); err != nil {
+		from.stats.Blocked++
+		return
+	}
+	from.stats.Forwarded++
+}

@@ -1,0 +1,251 @@
+package oracle
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/can"
+	"repro/internal/clock"
+	"repro/internal/signal"
+)
+
+func msg(f can.Frame, at time.Duration) bus.Message {
+	return bus.Message{Frame: f, Time: at, Origin: "test"}
+}
+
+func TestAckFiresOnMatch(t *testing.T) {
+	s := clock.New()
+	var got []Verdict
+	a := &Ack{Match: func(f can.Frame) bool { return f.ID == 0x321 }}
+	a.Start(s, func(v Verdict) { got = append(got, v) })
+	a.Observe(msg(can.MustNew(0x100, nil), 0))
+	a.Observe(msg(can.MustNew(0x321, nil), 0))
+	if len(got) != 1 {
+		t.Fatalf("verdicts = %d", len(got))
+	}
+	if got[0].Oracle != "ack" {
+		t.Fatalf("oracle = %q", got[0].Oracle)
+	}
+}
+
+func TestAckOnceSuppressesRepeats(t *testing.T) {
+	s := clock.New()
+	count := 0
+	a := &Ack{Once: true, Match: func(can.Frame) bool { return true }}
+	a.Start(s, func(Verdict) { count++ })
+	for i := 0; i < 5; i++ {
+		a.Observe(msg(can.MustNew(1, nil), 0))
+	}
+	if count != 1 {
+		t.Fatalf("fired %d times, want 1", count)
+	}
+}
+
+func TestAckRepeatsWithoutOnce(t *testing.T) {
+	s := clock.New()
+	count := 0
+	a := &Ack{Match: func(can.Frame) bool { return true }}
+	a.Start(s, func(Verdict) { count++ })
+	for i := 0; i < 5; i++ {
+		a.Observe(msg(can.MustNew(1, nil), 0))
+	}
+	if count != 5 {
+		t.Fatalf("fired %d times, want 5", count)
+	}
+}
+
+func TestAckCustomName(t *testing.T) {
+	a := &Ack{OracleName: "unlock-ack"}
+	if a.Name() != "unlock-ack" {
+		t.Fatal("custom name ignored")
+	}
+}
+
+func TestAckStopSilences(t *testing.T) {
+	s := clock.New()
+	count := 0
+	a := &Ack{Match: func(can.Frame) bool { return true }}
+	a.Start(s, func(Verdict) { count++ })
+	a.Stop()
+	a.Observe(msg(can.MustNew(1, nil), 0))
+	if count != 0 {
+		t.Fatal("stopped oracle fired")
+	}
+}
+
+func TestSignalRangeFiresOnImplausible(t *testing.T) {
+	s := clock.New()
+	db := signal.VehicleDB()
+	var got []Verdict
+	o := &SignalRange{DB: db}
+	o.Start(s, func(v Verdict) { got = append(got, v) })
+
+	def, _ := db.ByName("EngineData")
+	good, _ := def.Encode(map[string]float64{"EngineRPM": 900, "CoolantTemp": 80})
+	o.Observe(msg(good, 0))
+	if len(got) != 0 {
+		t.Fatalf("fired on plausible frame: %v", got)
+	}
+	// Coolant raw 0xFF -> 215 degC, beyond Max 150.
+	bad := can.MustNew(signal.IDEngineData, []byte{0, 0, 0, 0xFF, 0, 0, 0, 0})
+	o.Observe(msg(bad, 0))
+	if len(got) != 1 {
+		t.Fatalf("verdicts = %d", len(got))
+	}
+}
+
+func TestSignalRangeRestrictedSignals(t *testing.T) {
+	s := clock.New()
+	db := signal.VehicleDB()
+	count := 0
+	o := &SignalRange{DB: db, Signals: map[string]bool{"EngineRPM": true}}
+	o.Start(s, func(Verdict) { count++ })
+	// Implausible coolant but plausible RPM: restricted oracle stays quiet.
+	bad := can.MustNew(signal.IDEngineData, []byte{0, 0, 0, 0xFF, 0, 0, 0, 0})
+	o.Observe(msg(bad, 0))
+	if count != 0 {
+		t.Fatal("fired on unmonitored signal")
+	}
+}
+
+func TestSignalRangeIgnoresUnknownIDs(t *testing.T) {
+	s := clock.New()
+	o := &SignalRange{DB: signal.VehicleDB()}
+	count := 0
+	o.Start(s, func(Verdict) { count++ })
+	o.Observe(msg(can.MustNew(0x6FF, []byte{0xFF}), 0))
+	if count != 0 {
+		t.Fatal("fired on unknown identifier")
+	}
+}
+
+func TestHeartbeatArmsOnFirstObservation(t *testing.T) {
+	s := clock.New()
+	var got []Verdict
+	h := &Heartbeat{ID: 0x110, Window: 100 * time.Millisecond}
+	h.Start(s, func(v Verdict) { got = append(got, v) })
+	// Without any observed frame, no firing ever.
+	s.RunUntil(time.Second)
+	if len(got) != 0 {
+		t.Fatal("fired before first frame")
+	}
+	h.Observe(msg(can.MustNew(0x110, nil), s.Now()))
+	s.RunUntil(s.Now() + 50*time.Millisecond)
+	h.Observe(msg(can.MustNew(0x110, nil), s.Now()))
+	s.RunUntil(s.Now() + 50*time.Millisecond)
+	if len(got) != 0 {
+		t.Fatal("fired while heartbeats arriving")
+	}
+	s.RunUntil(s.Now() + 200*time.Millisecond)
+	if len(got) != 1 {
+		t.Fatalf("verdicts = %d after silence", len(got))
+	}
+}
+
+func TestHeartbeatIgnoresOtherIDs(t *testing.T) {
+	s := clock.New()
+	var got []Verdict
+	h := &Heartbeat{ID: 0x110, Window: 100 * time.Millisecond}
+	h.Start(s, func(v Verdict) { got = append(got, v) })
+	h.Observe(msg(can.MustNew(0x110, nil), 0))
+	for i := 0; i < 10; i++ {
+		s.RunUntil(s.Now() + 50*time.Millisecond)
+		h.Observe(msg(can.MustNew(0x999&0x7FF, nil), s.Now()))
+	}
+	if len(got) != 1 {
+		t.Fatalf("verdicts = %d; other IDs should not feed the supervised heartbeat", len(got))
+	}
+}
+
+func TestHeartbeatStopCancelsTimer(t *testing.T) {
+	s := clock.New()
+	count := 0
+	h := &Heartbeat{ID: 0x110, Window: 50 * time.Millisecond}
+	h.Start(s, func(Verdict) { count++ })
+	h.Observe(msg(can.MustNew(0x110, nil), 0))
+	h.Stop()
+	s.RunUntil(time.Second)
+	if count != 0 {
+		t.Fatal("stopped heartbeat fired")
+	}
+}
+
+func TestProbePolls(t *testing.T) {
+	s := clock.New()
+	var got []Verdict
+	state := ""
+	p := &Probe{Interval: 10 * time.Millisecond, Check: func() string { return state }}
+	p.Start(s, func(v Verdict) { got = append(got, v) })
+	s.RunUntil(100 * time.Millisecond)
+	if len(got) != 0 {
+		t.Fatal("fired with empty detail")
+	}
+	state = "broken"
+	s.RunUntil(150 * time.Millisecond)
+	if len(got) < 4 {
+		t.Fatalf("verdicts = %d, want repeated firings without Once", len(got))
+	}
+	p.Stop()
+	n := len(got)
+	s.RunUntil(time.Second)
+	if len(got) != n {
+		t.Fatal("stopped probe fired")
+	}
+}
+
+func TestProbeDefaultInterval(t *testing.T) {
+	s := clock.New()
+	count := 0
+	p := &Probe{Check: func() string { return "x" }, Once: true}
+	p.Start(s, func(Verdict) { count++ })
+	s.RunUntil(time.Second)
+	if count != 1 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestPhysicalOracle(t *testing.T) {
+	s := clock.New()
+	var got []Verdict
+	led := false // locked
+	p := Physical("door-led", 10*time.Millisecond, func() bool { return led }, false, "door unlocked")
+	p.Start(s, func(v Verdict) { got = append(got, v) })
+	s.RunUntil(100 * time.Millisecond)
+	if len(got) != 0 {
+		t.Fatal("fired while LED at baseline")
+	}
+	led = true
+	s.RunUntil(200 * time.Millisecond)
+	if len(got) != 1 {
+		t.Fatalf("verdicts = %d", len(got))
+	}
+	if got[0].Oracle != "door-led" || got[0].Detail != "door unlocked" {
+		t.Fatalf("verdict = %+v", got[0])
+	}
+}
+
+func TestDisplayOracle(t *testing.T) {
+	s := clock.New()
+	var got []Verdict
+	text := "ODO 042193 km"
+	d := Display("camera", 10*time.Millisecond, func() string { return text }, "ODO 042193 km")
+	d.Start(s, func(v Verdict) { got = append(got, v) })
+	s.RunUntil(100 * time.Millisecond)
+	if len(got) != 0 {
+		t.Fatal("fired on baseline text")
+	}
+	text = "" // display dark (power cycle): not a deviation
+	s.RunUntil(200 * time.Millisecond)
+	if len(got) != 0 {
+		t.Fatal("fired on dark display")
+	}
+	text = "CRASH"
+	s.RunUntil(300 * time.Millisecond)
+	if len(got) != 1 {
+		t.Fatalf("verdicts = %d", len(got))
+	}
+	if got[0].Detail != "display shows CRASH" {
+		t.Fatalf("detail = %q", got[0].Detail)
+	}
+}

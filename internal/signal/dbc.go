@@ -1,0 +1,210 @@
+package signal
+
+// A parser for the subset of the Vector DBC format the fuzzing workflow
+// needs. The paper's targeted-fuzzing recommendation assumes knowledge of
+// the message catalogue — in industry that knowledge lives in DBC files
+// consumed by the very Vector tooling the paper's bench used. Supporting
+// the textual format lets a user point the fuzzer at their own database
+// instead of the built-in VehicleDB.
+//
+// Supported lines:
+//
+//	BO_ <id> <name>: <dlc> <sender>
+//	 SG_ <name> : <start>|<size>@1+ (<scale>,<offset>) [<min>|<max>] "<unit>" <receivers>
+//
+// Only little-endian unsigned/signed (@1+ / @1-) signals are accepted —
+// the byte order this package implements. Other lines are ignored, like
+// every DBC consumer does.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/can"
+)
+
+// ParseDBC reads a DBC-format database from r.
+func ParseDBC(r io.Reader) (*Database, error) {
+	sc := bufio.NewScanner(r)
+	var defs []MessageDef
+	var cur *MessageDef
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "BO_ "):
+			if cur != nil {
+				defs = append(defs, *cur)
+			}
+			def, err := parseBO(line)
+			if err != nil {
+				return nil, fmt.Errorf("signal: dbc line %d: %w", lineNo, err)
+			}
+			cur = &def
+		case strings.HasPrefix(line, "SG_ "):
+			if cur == nil {
+				return nil, fmt.Errorf("signal: dbc line %d: SG_ outside a BO_ block", lineNo)
+			}
+			sig, err := parseSG(line)
+			if err != nil {
+				return nil, fmt.Errorf("signal: dbc line %d: %w", lineNo, err)
+			}
+			cur.Signals = append(cur.Signals, sig)
+		default:
+			// Version headers, comments, attribute lines: ignored.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("signal: dbc: %w", err)
+	}
+	if cur != nil {
+		defs = append(defs, *cur)
+	}
+	if len(defs) == 0 {
+		return nil, fmt.Errorf("signal: dbc: no BO_ messages found")
+	}
+	return NewDatabase(defs...)
+}
+
+// parseBO parses "BO_ 533 BodyCommand: 7 HeadUnit".
+func parseBO(line string) (MessageDef, error) {
+	var def MessageDef
+	rest := strings.TrimPrefix(line, "BO_ ")
+	fields := strings.Fields(rest)
+	if len(fields) < 3 {
+		return def, fmt.Errorf("malformed BO_: %q", line)
+	}
+	id64, err := strconv.ParseUint(fields[0], 10, 32)
+	if err != nil {
+		return def, fmt.Errorf("bad message id %q", fields[0])
+	}
+	if id64 > can.MaxID {
+		return def, fmt.Errorf("%w: %d (extended ids unsupported)", can.ErrIDRange, id64)
+	}
+	name := strings.TrimSuffix(fields[1], ":")
+	if name == "" {
+		return def, fmt.Errorf("empty message name")
+	}
+	dlc, err := strconv.ParseUint(fields[2], 10, 8)
+	if err != nil || dlc > can.MaxDataLen {
+		return def, fmt.Errorf("bad dlc %q", fields[2])
+	}
+	def.ID = can.ID(id64)
+	def.Name = name
+	def.Len = uint8(dlc)
+	return def, nil
+}
+
+// parseSG parses
+// `SG_ EngineRPM : 0|16@1+ (0.25,0) [0|8000] "rpm" Cluster`.
+func parseSG(line string) (Signal, error) {
+	var s Signal
+	rest := strings.TrimPrefix(line, "SG_ ")
+	colon := strings.Index(rest, ":")
+	if colon < 0 {
+		return s, fmt.Errorf("malformed SG_: %q", line)
+	}
+	// Multiplexer indicators (m0, M) between name and colon are not
+	// supported; take the first token as the name.
+	nameFields := strings.Fields(rest[:colon])
+	if len(nameFields) == 0 {
+		return s, fmt.Errorf("empty signal name")
+	}
+	if len(nameFields) > 1 {
+		return s, fmt.Errorf("multiplexed signal %q unsupported", nameFields[0])
+	}
+	s.Name = nameFields[0]
+
+	fields := strings.Fields(rest[colon+1:])
+	if len(fields) < 3 {
+		return s, fmt.Errorf("malformed SG_ body: %q", line)
+	}
+	// fields[0] = start|size@order±
+	geom := fields[0]
+	at := strings.Index(geom, "@")
+	pipe := strings.Index(geom, "|")
+	if pipe < 0 || at < pipe {
+		return s, fmt.Errorf("bad geometry %q", geom)
+	}
+	start, err := strconv.Atoi(geom[:pipe])
+	if err != nil {
+		return s, fmt.Errorf("bad start bit in %q", geom)
+	}
+	size, err := strconv.Atoi(geom[pipe+1 : at])
+	if err != nil {
+		return s, fmt.Errorf("bad size in %q", geom)
+	}
+	tail := geom[at+1:]
+	if len(tail) != 2 || tail[0] != '1' {
+		return s, fmt.Errorf("only little-endian (@1) signals supported, got %q", geom)
+	}
+	switch tail[1] {
+	case '+':
+	case '-':
+		s.Signed = true
+	default:
+		return s, fmt.Errorf("bad sign marker in %q", geom)
+	}
+	s.StartBit = start
+	s.Bits = size
+
+	// fields[1] = (scale,offset)
+	so := strings.Trim(fields[1], "()")
+	parts := strings.SplitN(so, ",", 2)
+	if len(parts) != 2 {
+		return s, fmt.Errorf("bad scale/offset %q", fields[1])
+	}
+	if s.Scale, err = strconv.ParseFloat(parts[0], 64); err != nil {
+		return s, fmt.Errorf("bad scale %q", parts[0])
+	}
+	if s.Offset, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return s, fmt.Errorf("bad offset %q", parts[1])
+	}
+	if s.Scale == 0 {
+		s.Scale = 1 // DBC files use 0 as shorthand for "raw"; normalise
+	}
+
+	// fields[2] = [min|max]
+	mm := strings.Trim(fields[2], "[]")
+	parts = strings.SplitN(mm, "|", 2)
+	if len(parts) != 2 {
+		return s, fmt.Errorf("bad range %q", fields[2])
+	}
+	if s.Min, err = strconv.ParseFloat(parts[0], 64); err != nil {
+		return s, fmt.Errorf("bad min %q", parts[0])
+	}
+	if s.Max, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return s, fmt.Errorf("bad max %q", parts[1])
+	}
+
+	// fields[3] = "unit" (optional; may contain no spaces in our subset)
+	if len(fields) > 3 {
+		s.Unit = strings.Trim(fields[3], `"`)
+	}
+	return s, nil
+}
+
+// WriteDBC serialises a database in the same subset, so captured/derived
+// databases round-trip.
+func WriteDBC(w io.Writer, db *Database) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, `VERSION ""`)
+	fmt.Fprintln(bw)
+	for _, m := range db.Messages() {
+		fmt.Fprintf(bw, "BO_ %d %s: %d Simulated\n", uint16(m.ID), m.Name, m.Len)
+		for _, s := range m.Signals {
+			sign := "+"
+			if s.Signed {
+				sign = "-"
+			}
+			fmt.Fprintf(bw, " SG_ %s : %d|%d@1%s (%g,%g) [%g|%g] \"%s\" Vector__XXX\n",
+				s.Name, s.StartBit, s.Bits, sign, s.Scale, s.Offset, s.Min, s.Max, s.Unit)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,161 @@
+package signal
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleDBC = `VERSION ""
+
+NS_ :
+BS_:
+BU_: Engine Cluster HeadUnit
+
+BO_ 272 EngineData: 8 Engine
+ SG_ EngineRPM : 0|16@1+ (0.25,0) [0|8000] "rpm" Cluster
+ SG_ CoolantTemp : 24|8@1+ (1,-40) [-40|150] "degC" Cluster
+
+BO_ 533 BodyCommand: 7 HeadUnit
+ SG_ Command : 0|8@1+ (1,0) [0|255] "" BCM
+ SG_ Accel : 16|8@1- (0.5,0) [-64|63.5] "m/s2" BCM
+`
+
+func TestParseDBC(t *testing.T) {
+	db, err := ParseDBC(strings.NewReader(sampleDBC))
+	if err != nil {
+		t.Fatalf("ParseDBC: %v", err)
+	}
+	eng, ok := db.ByName("EngineData")
+	if !ok {
+		t.Fatal("EngineData missing")
+	}
+	if eng.ID != 272 || eng.Len != 8 || len(eng.Signals) != 2 {
+		t.Fatalf("EngineData = %+v", eng)
+	}
+	rpm, _ := eng.Signal("EngineRPM")
+	if rpm.StartBit != 0 || rpm.Bits != 16 || rpm.Scale != 0.25 || rpm.Signed {
+		t.Fatalf("EngineRPM = %+v", rpm)
+	}
+	cool, _ := eng.Signal("CoolantTemp")
+	if cool.Offset != -40 || cool.Min != -40 || cool.Max != 150 || cool.Unit != "degC" {
+		t.Fatalf("CoolantTemp = %+v", cool)
+	}
+	cmd, ok := db.ByID(533)
+	if !ok || cmd.Name != "BodyCommand" {
+		t.Fatalf("BodyCommand missing: %+v", cmd)
+	}
+	accel, _ := cmd.Signal("Accel")
+	if !accel.Signed || accel.Scale != 0.5 {
+		t.Fatalf("Accel = %+v", accel)
+	}
+}
+
+func TestParsedDBCEncodesDecodes(t *testing.T) {
+	db, err := ParseDBC(strings.NewReader(sampleDBC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, _ := db.ByName("EngineData")
+	f, err := def.Encode(map[string]float64{"EngineRPM": 856.25, "CoolantTemp": 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := def.Decode(f)
+	if vals["EngineRPM"] != 856.25 || vals["CoolantTemp"] != 90 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestParseDBCErrors(t *testing.T) {
+	cases := map[string]string{
+		"SG outside BO":     " SG_ X : 0|8@1+ (1,0) [0|1] \"\" Y\n",
+		"bad id":            "BO_ zz Name: 8 S\n",
+		"extended id":       "BO_ 4096 Name: 8 S\n",
+		"bad dlc":           "BO_ 16 Name: 9 S\n",
+		"short BO":          "BO_ 16\n",
+		"big-endian signal": "BO_ 16 N: 8 S\n SG_ X : 0|8@0+ (1,0) [0|1] \"\" Y\n",
+		"bad geometry":      "BO_ 16 N: 8 S\n SG_ X : eight@1+ (1,0) [0|1] \"\" Y\n",
+		"bad scale":         "BO_ 16 N: 8 S\n SG_ X : 0|8@1+ (a,0) [0|1] \"\" Y\n",
+		"bad range":         "BO_ 16 N: 8 S\n SG_ X : 0|8@1+ (1,0) [01] \"\" Y\n",
+		"multiplexed":       "BO_ 16 N: 8 S\n SG_ X m0 : 0|8@1+ (1,0) [0|1] \"\" Y\n",
+		"no messages":       "VERSION \"\"\n",
+		"out of range sig":  "BO_ 16 N: 2 S\n SG_ X : 20|8@1+ (1,0) [0|1] \"\" Y\n",
+		"duplicate ids":     "BO_ 16 A: 8 S\nBO_ 16 B: 8 S\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseDBC(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted %q", name, input)
+		}
+	}
+}
+
+func TestParseDBCZeroScaleNormalised(t *testing.T) {
+	in := "BO_ 16 N: 8 S\n SG_ X : 0|8@1+ (0,0) [0|255] \"\" Y\n"
+	db, err := ParseDBC(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, _ := db.ByName("N")
+	sig, _ := def.Signal("X")
+	if sig.Scale != 1 {
+		t.Fatalf("scale = %v, want normalised 1", sig.Scale)
+	}
+}
+
+func TestWriteDBCRoundTrip(t *testing.T) {
+	// The built-in vehicle database must round-trip through the textual
+	// format (modulo templates, which DBC cannot express).
+	var sb strings.Builder
+	if err := WriteDBC(&sb, VehicleDB()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDBC(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, sb.String())
+	}
+	orig := VehicleDB()
+	if len(back.Messages()) != len(orig.Messages()) {
+		t.Fatalf("message count %d != %d", len(back.Messages()), len(orig.Messages()))
+	}
+	for _, m := range orig.Messages() {
+		got, ok := back.ByID(m.ID)
+		if !ok {
+			t.Fatalf("message %s lost", m.Name)
+		}
+		if got.Name != m.Name || got.Len != m.Len || len(got.Signals) != len(m.Signals) {
+			t.Fatalf("message %s changed: %+v vs %+v", m.Name, got, m)
+		}
+		for i, s := range m.Signals {
+			g := got.Signals[i]
+			if g.Name != s.Name || g.StartBit != s.StartBit || g.Bits != s.Bits ||
+				g.Scale != s.Scale || g.Offset != s.Offset || g.Signed != s.Signed {
+				t.Fatalf("signal %s.%s changed: %+v vs %+v", m.Name, s.Name, g, s)
+			}
+		}
+	}
+}
+
+func FuzzParseDBC(f *testing.F) {
+	f.Add(sampleDBC)
+	f.Add("BO_ 16 N: 8 S\n SG_ X : 0|8@1+ (1,0) [0|255] \"\" Y\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		db, err := ParseDBC(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted databases must be internally consistent and round-trip.
+		for _, m := range db.Messages() {
+			if err := m.Validate(); err != nil {
+				t.Fatalf("accepted invalid message: %v", err)
+			}
+		}
+		var sb strings.Builder
+		if err := WriteDBC(&sb, db); err != nil {
+			t.Fatalf("WriteDBC: %v", err)
+		}
+		if _, err := ParseDBC(strings.NewReader(sb.String())); err != nil {
+			t.Fatalf("own output unparseable: %v", err)
+		}
+	})
+}

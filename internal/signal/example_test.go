@@ -1,0 +1,43 @@
+package signal_test
+
+import (
+	"fmt"
+
+	"repro/internal/signal"
+)
+
+// Example encodes and decodes an engine-data frame through the vehicle
+// signal database, the same decode path the instrument cluster uses.
+func Example() {
+	db := signal.VehicleDB()
+	def, _ := db.ByName("EngineData")
+
+	frame, err := def.Encode(map[string]float64{
+		"EngineRPM":   856.25,
+		"CoolantTemp": 90,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("frame:", frame)
+
+	vals := def.Decode(frame)
+	fmt.Printf("rpm: %.2f\n", vals["EngineRPM"])
+	fmt.Printf("coolant: %.0f degC\n", vals["CoolantTemp"])
+	// Output:
+	// frame: 0110 8 61 0D 00 82 00 00 00 00
+	// rpm: 856.25
+	// coolant: 90 degC
+}
+
+// ExampleSignal_Decode shows that decoding applies no plausibility checks:
+// garbage bytes decode to garbage physical values, which is how the
+// paper's simulator came to display a negative RPM (Fig 8).
+func ExampleSignal_Decode() {
+	s := signal.Signal{Name: "Temp", StartBit: 0, Bits: 8, Scale: 1, Offset: -40, Min: -40, Max: 150}
+	data := []byte{0xFF} // fuzzed byte
+	v := s.Decode(data)
+	fmt.Printf("decoded: %.0f degC, plausible: %v\n", v, s.Plausible(v))
+	// Output:
+	// decoded: 215 degC, plausible: false
+}

@@ -1,0 +1,144 @@
+package signal
+
+import (
+	"time"
+
+	"repro/internal/can"
+)
+
+// Message identifiers of the simulated target vehicle. The IDs mirror the
+// ones visible in the paper: Table II captures 0x43A, 0x296, 0x4B0, 0x4F2
+// and 0x215 on the real car, and Fig 13 shows the body command message is
+// CAN id 533 (0x215) with a 7-byte payload whose first byte is 16 (lock) or
+// 32 (unlock) decimal.
+const (
+	IDEngineData    can.ID = 0x110
+	IDVehicleMotion can.ID = 0x1A0
+	IDBodyCommand   can.ID = 0x215
+	IDTransmission  can.ID = 0x296
+	IDBodyStatus    can.ID = 0x2A5
+	IDFuel          can.ID = 0x3D0
+	IDClusterGauges can.ID = 0x43A
+	IDWheelSpeeds   can.ID = 0x4B0
+	IDClimate       can.ID = 0x4F2
+	IDUnlockAck     can.ID = 0x533
+	IDDiagRequest   can.ID = 0x7DF
+	IDDiagResponse  can.ID = 0x7E8
+)
+
+// Body command codes carried in byte 0 of IDBodyCommand, matching the
+// decimal values shown in the paper's lock/unlock PC app (Fig 13).
+const (
+	CmdLock   = 0x10 // 16 decimal
+	CmdUnlock = 0x20 // 32 decimal
+)
+
+// UnlockAckCode is the payload byte the augmented testbench BCM broadcasts
+// in IDUnlockAck when the doors unlock (§VI: "the testbench was augmented
+// to transmit an unlock acknowledgement CAN message").
+const UnlockAckCode = 0xAC
+
+// VehicleDB returns the signal database of the simulated target vehicle.
+// Each call returns a fresh database; definitions are immutable by
+// convention.
+func VehicleDB() *Database {
+	return MustNewDatabase(
+		MessageDef{
+			ID: IDEngineData, Name: "EngineData", Len: 8,
+			Cycle: 10 * time.Millisecond,
+			Signals: []Signal{
+				{Name: "EngineRPM", StartBit: 0, Bits: 16, Scale: 0.25, Min: 0, Max: 8000, Unit: "rpm"},
+				{Name: "ThrottlePos", StartBit: 16, Bits: 8, Scale: 0.4, Min: 0, Max: 100, Unit: "%"},
+				{Name: "CoolantTemp", StartBit: 24, Bits: 8, Scale: 1, Offset: -40, Min: -40, Max: 150, Unit: "degC"},
+				{Name: "EngineAlive", StartBit: 32, Bits: 4, Scale: 1, Max: 15},
+				{Name: "EngineStatus", StartBit: 36, Bits: 4, Scale: 1, Max: 15},
+			},
+		},
+		MessageDef{
+			ID: IDVehicleMotion, Name: "VehicleMotion", Len: 8,
+			Cycle: 20 * time.Millisecond,
+			Signals: []Signal{
+				{Name: "RoadSpeed", StartBit: 0, Bits: 16, Scale: 0.01, Min: 0, Max: 320, Unit: "km/h"},
+				{Name: "LongAccel", StartBit: 16, Bits: 8, Scale: 0.1, Offset: -12.8, Signed: false, Min: -12.8, Max: 12.7, Unit: "m/s2"},
+				{Name: "BrakePressure", StartBit: 24, Bits: 8, Scale: 1, Max: 255, Unit: "bar"},
+				{Name: "MotionAlive", StartBit: 32, Bits: 8, Scale: 1, Max: 255},
+			},
+		},
+		MessageDef{
+			ID: IDBodyCommand, Name: "BodyCommand", Len: 7,
+			// Event-driven; template reproduces the constant bytes of the
+			// paper's PC app (source 0x5F, flag 0x01, terminator 0x20).
+			Template: []byte{0x00, 0x5F, 0x01, 0x00, 0x00, 0x01, 0x20},
+			Signals: []Signal{
+				{Name: "Command", StartBit: 0, Bits: 8, Scale: 1, Max: 255},
+				{Name: "Sequence", StartBit: 24, Bits: 8, Scale: 1, Max: 255},
+			},
+		},
+		MessageDef{
+			ID: IDTransmission, Name: "Transmission", Len: 8,
+			Cycle: 50 * time.Millisecond,
+			Signals: []Signal{
+				{Name: "GearEngaged", StartBit: 61, Bits: 3, Scale: 1, Max: 7},
+				{Name: "ConverterLock", StartBit: 60, Bits: 1, Scale: 1, Max: 1},
+				{Name: "TransTemp", StartBit: 0, Bits: 8, Scale: 1, Offset: -40, Min: -40, Max: 180, Unit: "degC"},
+			},
+		},
+		MessageDef{
+			ID: IDBodyStatus, Name: "BodyStatus", Len: 8,
+			Cycle: 100 * time.Millisecond,
+			Signals: []Signal{
+				{Name: "DoorsLocked", StartBit: 0, Bits: 1, Scale: 1, Max: 1},
+				{Name: "DriverDoorAjar", StartBit: 1, Bits: 1, Scale: 1, Max: 1},
+				{Name: "InteriorLight", StartBit: 2, Bits: 1, Scale: 1, Max: 1},
+				{Name: "HazardsOn", StartBit: 3, Bits: 1, Scale: 1, Max: 1},
+				{Name: "BodyAlive", StartBit: 8, Bits: 8, Scale: 1, Max: 255},
+			},
+		},
+		MessageDef{
+			ID: IDFuel, Name: "Fuel", Len: 4,
+			Cycle: 500 * time.Millisecond,
+			Signals: []Signal{
+				{Name: "FuelLevel", StartBit: 0, Bits: 8, Scale: 0.5, Min: 0, Max: 100, Unit: "%"},
+				{Name: "FuelFlow", StartBit: 8, Bits: 16, Scale: 0.01, Min: 0, Max: 600, Unit: "l/h"},
+			},
+		},
+		MessageDef{
+			ID: IDClusterGauges, Name: "ClusterGauges", Len: 8,
+			Cycle: 100 * time.Millisecond,
+			// Trailing 0xFF pad bytes as seen in the Table II capture
+			// (1C 21 17 71 17 71 FF FF).
+			Template: []byte{0, 0, 0, 0, 0, 0, 0xFF, 0xFF},
+			Signals: []Signal{
+				{Name: "TachoRPM", StartBit: 0, Bits: 16, Scale: 0.25, Min: 0, Max: 8000, Unit: "rpm"},
+				{Name: "SpeedoKPH", StartBit: 16, Bits: 16, Scale: 0.01, Min: 0, Max: 320, Unit: "km/h"},
+				{Name: "SpeedoMirror", StartBit: 32, Bits: 16, Scale: 0.01, Min: 0, Max: 320, Unit: "km/h"},
+			},
+		},
+		MessageDef{
+			ID: IDWheelSpeeds, Name: "WheelSpeeds", Len: 8,
+			Cycle: 20 * time.Millisecond,
+			Signals: []Signal{
+				{Name: "WheelFL", StartBit: 0, Bits: 16, Scale: 0.01, Min: 0, Max: 320, Unit: "km/h"},
+				{Name: "WheelFR", StartBit: 16, Bits: 16, Scale: 0.01, Min: 0, Max: 320, Unit: "km/h"},
+				{Name: "WheelRL", StartBit: 32, Bits: 16, Scale: 0.01, Min: 0, Max: 320, Unit: "km/h"},
+				{Name: "WheelRR", StartBit: 48, Bits: 16, Scale: 0.01, Min: 0, Max: 320, Unit: "km/h"},
+			},
+		},
+		MessageDef{
+			ID: IDClimate, Name: "Climate", Len: 8,
+			Cycle: 200 * time.Millisecond,
+			Signals: []Signal{
+				{Name: "CabinTemp", StartBit: 8, Bits: 8, Scale: 0.5, Min: 0, Max: 60, Unit: "degC"},
+				{Name: "BlowerPWM", StartBit: 16, Bits: 8, Scale: 1, Max: 255},
+				{Name: "ACCompressor", StartBit: 0, Bits: 1, Scale: 1, Max: 1},
+			},
+		},
+		MessageDef{
+			ID: IDUnlockAck, Name: "UnlockAck", Len: 2,
+			Signals: []Signal{
+				{Name: "AckCode", StartBit: 0, Bits: 8, Scale: 1, Max: 255},
+				{Name: "AckSeq", StartBit: 8, Bits: 8, Scale: 1, Max: 255},
+			},
+		},
+	)
+}

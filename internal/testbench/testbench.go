@@ -1,0 +1,132 @@
+// Package testbench assembles the paper's bench-top experiment (Figs
+// 10-13): a three-node CAN bus — head unit, body control module with the
+// lock "LED", and a monitor node — reproducing the remote vehicle unlock
+// feature, plus the attachment point for the fuzzer acting as "a malicious
+// unit connected to the vehicle network".
+//
+// The bench exists because fuzzing the real vehicle risked damage (§VI):
+// "In order to prevent the possibility of damage to the target vehicle's
+// components, further testing of the fuzzer was performed against a
+// bench-top hardware configuration." Table V's quantitative results come
+// from this bench.
+package testbench
+
+import (
+	"time"
+
+	"repro/internal/bcm"
+	"repro/internal/bus"
+	"repro/internal/can"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/ecu"
+	"repro/internal/infotain"
+	"repro/internal/oracle"
+	"repro/internal/signal"
+)
+
+// AppToken is the bench's app/head-unit pairing secret.
+const AppToken = "bench-app"
+
+// Config tunes the bench.
+type Config struct {
+	// Check selects the BCM command-parser strictness — the Table V
+	// variable.
+	Check bcm.CheckMode
+	// AckUnlock enables the unlock-acknowledgement broadcast (the paper's
+	// augmentation "to aid with the detection of the unlock state").
+	AckUnlock bool
+}
+
+// Bench is the assembled three-node testbed.
+type Bench struct {
+	sched *clock.Scheduler
+
+	// Bus is the bench CAN bus.
+	Bus *bus.Bus
+	// HeadUnit plays the infotainment node (driven by the PC app).
+	HeadUnit *infotain.HeadUnit
+	// BCM owns the lock state; its LED is BCM.Unlocked().
+	BCM *bcm.BCM
+	// Monitor is the third SBC: a passive observer counting traffic.
+	Monitor *ecu.ECU
+
+	monitorFrames uint64
+}
+
+// New assembles a bench on the given scheduler.
+func New(sched *clock.Scheduler, cfg Config) *Bench {
+	b := &Bench{sched: sched, Bus: bus.New(sched)}
+	b.HeadUnit = infotain.New(ecu.New("headunit", sched, b.Bus.Connect("headunit")), AppToken)
+	b.BCM = bcm.New(ecu.New("bcm", sched, b.Bus.Connect("bcm")), bcm.Config{
+		Check:     cfg.Check,
+		AckUnlock: cfg.AckUnlock,
+	})
+	b.Monitor = ecu.New("monitor", sched, b.Bus.Connect("monitor"))
+	b.Monitor.HandleAll(func(bus.Message) { b.monitorFrames++ })
+	return b
+}
+
+// Scheduler returns the bench clock.
+func (b *Bench) Scheduler() *clock.Scheduler { return b.sched }
+
+// MonitorFrames returns the number of frames the monitor node observed.
+func (b *Bench) MonitorFrames() uint64 { return b.monitorFrames }
+
+// AttachFuzzer connects a malicious node to the bench bus.
+func (b *Bench) AttachFuzzer(name string) *bus.Port {
+	return b.Bus.Connect(name)
+}
+
+// UnlockOracle returns the network oracle for the augmented unlock
+// acknowledgement (requires Config.AckUnlock).
+func (b *Bench) UnlockOracle() *oracle.Ack {
+	return &oracle.Ack{
+		OracleName: "unlock-ack",
+		Once:       true,
+		Match: func(f can.Frame) bool {
+			return f.ID == signal.IDUnlockAck && f.Len >= 1 && f.Data[0] == signal.UnlockAckCode
+		},
+	}
+}
+
+// LEDOracle returns the physical oracle watching the lock LED directly —
+// the "sensor on the door lock" alternative the paper mentions for a real
+// vehicle.
+func (b *Bench) LEDOracle(interval time.Duration) *oracle.Probe {
+	return oracle.Physical("lock-led", interval, b.BCM.Unlocked, false, "lock LED lit (doors unlocked)")
+}
+
+// UnlockExperiment is one Table V measurement: it wires a fuzz campaign to
+// the bench, runs until the unlock is detected (or maxDuration elapses),
+// and reports the virtual time the fuzzer needed.
+type UnlockExperiment struct {
+	// Bench is the assembled testbed.
+	Bench *Bench
+	// Campaign is the armed fuzzer.
+	Campaign *core.Campaign
+}
+
+// NewUnlockExperiment builds a bench plus fuzzer for one run. The fuzzer
+// uses the full Table III random space at the given seed.
+func NewUnlockExperiment(cfg Config, fuzzCfg core.Config) (*UnlockExperiment, error) {
+	sched := clock.New()
+	bench := New(sched, Config{Check: cfg.Check, AckUnlock: true})
+	port := bench.AttachFuzzer("fuzzer")
+	campaign, err := core.NewCampaign(sched, port, fuzzCfg, core.WithStopOnFinding())
+	if err != nil {
+		return nil, err
+	}
+	campaign.AddOracle(bench.UnlockOracle())
+	return &UnlockExperiment{Bench: bench, Campaign: campaign}, nil
+}
+
+// Run executes the experiment and returns the time to unlock. ok is false
+// if the deadline elapsed first.
+func (e *UnlockExperiment) Run(maxDuration time.Duration) (timeToUnlock time.Duration, ok bool) {
+	finding, ok := e.Campaign.RunUntilFinding(maxDuration)
+	if !ok {
+		return 0, false
+	}
+	return finding.Elapsed, true
+}
