@@ -17,8 +17,58 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/clock"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
+	"repro/internal/testbench"
 )
+
+// runCampaignOnce drives one second of virtual bench fuzzing, optionally
+// with the telemetry plane attached. It is the telemetry-overhead yardstick:
+// BenchmarkCampaign exercises the nil-receiver no-op hooks, and
+// BenchmarkCampaignTelemetry the live counters and tracer.
+func runCampaignOnce(b *testing.B, tel *telemetry.Telemetry) uint64 {
+	sched := clock.New()
+	bench := testbench.New(sched, testbench.Config{AckUnlock: true})
+	bench.Instrument(tel)
+	var opts []core.Option
+	if tel != nil {
+		opts = append(opts, core.WithTelemetry(tel))
+	}
+	campaign, err := core.NewCampaign(sched, bench.AttachFuzzer("fuzzer"), core.Config{
+		Seed: 7, Interval: time.Millisecond,
+	}, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	campaign.AddOracle(bench.UnlockOracle())
+	campaign.Start()
+	sched.RunUntil(time.Second)
+	campaign.Stop()
+	return campaign.FramesSent()
+}
+
+// BenchmarkCampaign is the uninstrumented baseline: every telemetry hook
+// compiled in but nil. Compare with BenchmarkCampaignTelemetry to bound
+// the cost of the no-op path (budget: <5%).
+func BenchmarkCampaign(b *testing.B) {
+	var frames uint64
+	for i := 0; i < b.N; i++ {
+		frames = runCampaignOnce(b, nil)
+	}
+	b.ReportMetric(float64(frames), "frames")
+}
+
+// BenchmarkCampaignTelemetry runs the same campaign with metrics and the
+// event tracer live.
+func BenchmarkCampaignTelemetry(b *testing.B) {
+	var frames uint64
+	for i := 0; i < b.N; i++ {
+		frames = runCampaignOnce(b, telemetry.New(0))
+	}
+	b.ReportMetric(float64(frames), "frames")
+}
 
 // table5Runs returns the per-variant run count for Table V style benches.
 func table5Runs() int {

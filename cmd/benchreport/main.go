@@ -13,15 +13,20 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
+
+// logger is the shared structured stderr logger of the tool.
+var logger = telemetry.NewCLILogger(os.Stderr, "benchreport", slog.LevelInfo)
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		logger.Error("run failed", "err", err)
 		os.Exit(1)
 	}
 }

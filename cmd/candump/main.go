@@ -12,18 +12,23 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"time"
 
 	"repro/internal/bus"
 	"repro/internal/capture"
 	"repro/internal/clock"
+	"repro/internal/telemetry"
 	"repro/internal/vehicle"
 )
 
+// logger is the shared structured stderr logger of the tool.
+var logger = telemetry.NewCLILogger(os.Stderr, "candump", slog.LevelInfo)
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "candump:", err)
+		logger.Error("run failed", "err", err)
 		os.Exit(1)
 	}
 }

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -28,15 +29,19 @@ import (
 	"repro/internal/ecu"
 	"repro/internal/oracle"
 	"repro/internal/signal"
+	"repro/internal/telemetry"
 	"repro/internal/testbench"
 	"repro/internal/vehicle"
 
 	busPkg "repro/internal/bus"
 )
 
+// logger is the shared structured stderr logger of the tool.
+var logger = telemetry.NewCLILogger(os.Stderr, "canfuzz", slog.LevelInfo)
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "canfuzz:", err)
+		logger.Error("run failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -61,6 +66,9 @@ func run(args []string) error {
 	corpusFile := fs.String("corpus", "", "capture log seeding mutate/bits modes (candump format)")
 	mutateBits := fs.Int("mutate-bits", 1, "bits flipped per frame in mutate/bits modes")
 	sweepLen := fs.Int("sweep-len", 1, "fixed payload length for sweep mode")
+	metricsAddr := fs.String("metrics", "", "serve /metrics, /healthz and /trace.json on this address (e.g. localhost:9900)")
+	traceFile := fs.String("trace", "", "write the campaign as Chrome trace_event JSON to this file (open in Perfetto)")
+	metricsHold := fs.Duration("metrics-hold", 0, "keep the metrics endpoint up this long (wall time) after the campaign ends")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -123,6 +131,13 @@ func run(args []string) error {
 		}
 	}
 
+	// The telemetry plane is created only when observability is requested;
+	// otherwise every hook stays nil and the hot path is unchanged.
+	var tel *telemetry.Telemetry
+	if *metricsAddr != "" || *traceFile != "" {
+		tel = telemetry.New(0)
+	}
+
 	switch *mode {
 	case "random":
 	case "mutate":
@@ -134,7 +149,8 @@ func run(args []string) error {
 	case "sweep":
 		cfg.Mode = core.ModeSweep
 	case "bits":
-		return runBitsMode(*seed, *dur, *interval, *mutateBits, corpus)
+		return runBitsMode(*seed, *dur, *interval, *mutateBits, corpus,
+			tel, *metricsAddr, *traceFile, *metricsHold)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -142,6 +158,9 @@ func run(args []string) error {
 	var opts []core.Option
 	if *stop {
 		opts = append(opts, core.WithStopOnFinding())
+	}
+	if tel != nil {
+		opts = append(opts, core.WithTelemetry(tel))
 	}
 
 	sched := clock.New()
@@ -161,6 +180,7 @@ func run(args []string) error {
 			return fmt.Errorf("unknown bcm-check %q", *check)
 		}
 		bench := testbench.New(sched, testbench.Config{Check: mode, AckUnlock: true})
+		bench.Instrument(tel)
 		campaign, err = core.NewCampaign(sched, bench.AttachFuzzer("fuzzer"), cfg, opts...)
 		if err != nil {
 			return err
@@ -169,8 +189,10 @@ func run(args []string) error {
 		campaign.AddOracle(bench.LEDOracle(10 * time.Millisecond))
 
 	case "cluster":
-		b := busPkg.New(sched)
+		b := busPkg.New(sched, busPkg.WithName("bench"))
+		b.Instrument(tel)
 		clusterECU := ecu.New("cluster", sched, b.Connect("cluster"))
+		clusterECU.Instrument(tel)
 		c := cluster.New(clusterECU)
 		campaign, err = core.NewCampaign(sched, b.Connect("fuzzer"), cfg, opts...)
 		if err != nil {
@@ -192,6 +214,7 @@ func run(args []string) error {
 			which = vehicle.OBDPowertrain
 		}
 		v := vehicle.New(sched, vehicle.Config{Seed: *seed, BCMAckUnlock: true})
+		v.Instrument(tel)
 		sched.RunUntil(time.Second) // let the car reach steady idle
 		campaign, err = core.NewCampaign(sched, v.AttachOBD(which, "fuzzer"), cfg, opts...)
 		if err != nil {
@@ -205,12 +228,22 @@ func run(args []string) error {
 		return fmt.Errorf("unknown target %q", *target)
 	}
 
-	fmt.Printf("fuzzing %s: space %d frames, interval %v, seed %d\n",
-		*target, cfg.SpaceSize(), campaign.Generator().Config().Interval, *seed)
+	logger.Info("fuzzing", "target", *target, "space", cfg.SpaceSize(),
+		"interval", campaign.Generator().Config().Interval, "seed", *seed)
+
+	stopServing, err := serveTelemetry(tel, *metricsAddr)
+	if err != nil {
+		return err
+	}
+	defer stopServing()
 
 	campaign.Start()
 	sched.RunUntil(sched.Now() + *dur)
 	campaign.Stop()
+
+	if err := finishTelemetry(tel, *traceFile, *metricsHold); err != nil {
+		return err
+	}
 
 	if *jsonOut {
 		return campaign.BuildReport().WriteJSON(os.Stdout)
@@ -238,10 +271,13 @@ func run(args []string) error {
 // runBitsMode runs the data-link-layer fuzzer against a bench-mounted
 // victim ECU and reports the protocol-level damage: error-frame counts and
 // the victim's fault-confinement state.
-func runBitsMode(seed int64, dur, interval time.Duration, flipBits int, corpus []can.Frame) error {
+func runBitsMode(seed int64, dur, interval time.Duration, flipBits int, corpus []can.Frame,
+	tel *telemetry.Telemetry, metricsAddr, traceFile string, metricsHold time.Duration) error {
 	sched := clock.New()
-	b := busPkg.New(sched)
+	b := busPkg.New(sched, busPkg.WithName("bench"))
+	b.Instrument(tel)
 	victimECU := ecu.New("victim", sched, b.Connect("victim"))
+	victimECU.Instrument(tel)
 	victimECU.HandleAll(func(busPkg.Message) {})
 
 	port := b.Connect("bitfuzzer")
@@ -251,11 +287,22 @@ func runBitsMode(seed int64, dur, interval time.Duration, flipBits int, corpus [
 		FlipBits: flipBits,
 		Interval: interval,
 	})
+
+	stopServing, err := serveTelemetry(tel, metricsAddr)
+	if err != nil {
+		return err
+	}
+	defer stopServing()
+
 	bf.Start()
 	// Malicious hardware that ignores fault confinement resets itself.
 	sched.Every(25*time.Millisecond, port.ResetErrors)
 	sched.RunUntil(sched.Now() + dur)
 	bf.Stop()
+
+	if err := finishTelemetry(tel, traceFile, metricsHold); err != nil {
+		return err
+	}
 
 	st := bf.Stats()
 	fmt.Printf("bit-level fuzzing for %v: %d injected, %d error frames, %d still-valid, %d rejected\n",
@@ -263,5 +310,48 @@ func runBitsMode(seed int64, dur, interval time.Duration, flipBits int, corpus [
 	tec, rec := victimECU.Port().ErrorCounters()
 	fmt.Printf("victim node: state %v (TEC %d, REC %d); bus corrupted-frame count %d\n",
 		victimECU.Port().State(), tec, rec, b.Stats().FramesCorrupted)
+	return nil
+}
+
+// serveTelemetry starts the live introspection endpoint when an address is
+// given. The returned function shuts the server down; it is always safe to
+// call.
+func serveTelemetry(tel *telemetry.Telemetry, addr string) (func(), error) {
+	if tel == nil || addr == "" {
+		return func() {}, nil
+	}
+	srv, bound, err := telemetry.Serve(addr, tel)
+	if err != nil {
+		return nil, fmt.Errorf("metrics endpoint: %w", err)
+	}
+	logger.Info("metrics endpoint up", "addr", bound,
+		"routes", "/metrics /metrics.json /trace.json /healthz")
+	return func() { srv.Close() }, nil
+}
+
+// finishTelemetry writes the Chrome trace file if requested and holds the
+// metrics endpoint open for scraping after the virtual run ends.
+func finishTelemetry(tel *telemetry.Telemetry, traceFile string, hold time.Duration) error {
+	if tel == nil {
+		return nil
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		if err := tel.Trc().WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		logger.Info("trace written", "file", traceFile, "events", tel.Trc().Len())
+	}
+	if hold > 0 {
+		logger.Info("holding metrics endpoint", "for", hold)
+		time.Sleep(hold)
+	}
 	return nil
 }

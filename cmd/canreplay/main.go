@@ -14,20 +14,25 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"time"
 
 	"repro/internal/capture"
 	"repro/internal/clock"
+	"repro/internal/telemetry"
 	"repro/internal/testbench"
 	"repro/internal/vehicle"
 
 	busPkg "repro/internal/bus"
 )
 
+// logger is the shared structured stderr logger of the tool.
+var logger = telemetry.NewCLILogger(os.Stderr, "canreplay", slog.LevelInfo)
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "canreplay:", err)
+		logger.Error("run failed", "err", err)
 		os.Exit(1)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -20,12 +21,16 @@ import (
 
 	"repro/internal/can"
 	"repro/internal/clock"
+	"repro/internal/telemetry"
 	"repro/internal/testbench"
 )
 
+// logger is the shared structured stderr logger of the tool.
+var logger = telemetry.NewCLILogger(os.Stderr, "cansend", slog.LevelInfo)
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "cansend:", err)
+		logger.Error("run failed", "err", err)
 		os.Exit(1)
 	}
 }

@@ -10,18 +10,23 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"repro/internal/bus"
 	"repro/internal/capture"
 	"repro/internal/clock"
+	"repro/internal/telemetry"
 	"repro/internal/vehicle"
 )
 
+// logger is the shared structured stderr logger of the tool.
+var logger = telemetry.NewCLILogger(os.Stderr, "cansim", slog.LevelInfo)
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "cansim:", err)
+		logger.Error("run failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -33,6 +38,8 @@ func run(args []string) error {
 	busName := fs.String("bus", "body", "bus to observe: body or powertrain")
 	mode := fs.String("mode", "signals", "output: traffic (frame log) or signals (gauge samples)")
 	throttle := fs.Float64("throttle", 0, "drive with this accelerator position (0-100%)")
+	metricsAddr := fs.String("metrics", "", "serve /metrics, /healthz and /trace.json on this address")
+	metricsHold := fs.Duration("metrics-hold", 0, "keep the metrics endpoint up this long (wall time) after the simulation ends")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,6 +55,17 @@ func run(args []string) error {
 
 	sched := clock.New()
 	v := vehicle.New(sched, vehicle.Config{Seed: *seed})
+	if *metricsAddr != "" {
+		tel := telemetry.New(0)
+		v.Instrument(tel)
+		srv, bound, err := telemetry.Serve(*metricsAddr, tel)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer srv.Close()
+		logger.Info("metrics endpoint up", "addr", bound,
+			"routes", "/metrics /metrics.json /trace.json /healthz")
+	}
 	if *throttle > 0 {
 		v.Drive(*throttle)
 	}
@@ -73,7 +91,15 @@ func run(args []string) error {
 	}
 
 	st := v.Body.Stats()
-	fmt.Fprintf(os.Stderr, "body bus: %d frames, load %.1f%%; powertrain load %.1f%%\n",
-		st.FramesDelivered, v.Body.Load()*100, v.Powertrain.Load()*100)
+	logger.Info("simulation finished",
+		"bodyFrames", st.FramesDelivered,
+		"bodyLoad", fmt.Sprintf("%.1f%%", v.Body.Load()*100),
+		"powertrainLoad", fmt.Sprintf("%.1f%%", v.Powertrain.Load()*100))
+	if *metricsAddr != "" && *metricsHold > 0 {
+		// Virtual time outruns wall time by orders of magnitude, so without
+		// a hold the endpoint would vanish before anyone could scrape it.
+		logger.Info("holding metrics endpoint", "for", *metricsHold)
+		time.Sleep(*metricsHold)
+	}
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/can"
 	"repro/internal/clock"
+	"repro/internal/telemetry"
 )
 
 // Errors returned by Port.Send.
@@ -103,6 +104,28 @@ func WithTxQueueCap(n int) Option {
 	}
 }
 
+// WithName labels the bus in telemetry exports ("body", "powertrain"...).
+func WithName(name string) Option {
+	return func(b *Bus) {
+		if name != "" {
+			b.name = name
+		}
+	}
+}
+
+// WithLoadWindow sets the sliding virtual-time window over which WindowLoad
+// computes recent bus utilisation (default DefaultLoadWindow).
+func WithLoadWindow(d time.Duration) Option {
+	return func(b *Bus) {
+		if d > 0 {
+			b.win.bucket = d / loadWindowBuckets
+			if b.win.bucket <= 0 {
+				b.win.bucket = 1
+			}
+		}
+	}
+}
+
 // Corruptor decides whether a frame transmission is corrupted on the wire
 // (fault injection). Returning true destroys the frame: receivers never see
 // it and the transmitter's error counter increases.
@@ -125,6 +148,7 @@ type Bus struct {
 	sched    *clock.Scheduler
 	bitrate  int
 	queueCap int
+	name     string
 
 	ports         []*Port
 	taps          []Receiver
@@ -136,6 +160,15 @@ type Bus struct {
 
 	stats Stats
 	start time.Duration
+	win   loadWindow
+
+	// Telemetry hooks; all nil (no-op) until Instrument is called.
+	tel        *telemetry.Telemetry
+	mDelivered *telemetry.Counter
+	mCorrupted *telemetry.Counter
+	mBits      *telemetry.Counter
+	gLoad      *telemetry.Gauge
+	hWireTime  *telemetry.Histogram
 }
 
 // New creates a bus on the given scheduler.
@@ -147,12 +180,38 @@ func New(sched *clock.Scheduler, opts ...Option) *Bus {
 		sched:    sched,
 		bitrate:  DefaultBitrate,
 		queueCap: DefaultTxQueueCap,
+		name:     "can",
 		start:    sched.Now(),
+		win:      loadWindow{bucket: DefaultLoadWindow / loadWindowBuckets},
 	}
 	for _, o := range opts {
 		o(b)
 	}
 	return b
+}
+
+// Name returns the telemetry label of the bus.
+func (b *Bus) Name() string { return b.name }
+
+// Instrument attaches the bus (and its current and future ports) to the
+// telemetry plane: bus counters, the sliding-window load gauge, the wire
+// time histogram, and the arbitration/error trace events. Passing nil is a
+// no-op; the bus stays uninstrumented.
+func (b *Bus) Instrument(t *telemetry.Telemetry) {
+	if t == nil {
+		return
+	}
+	b.tel = t
+	reg := t.Registry
+	lbl := telemetry.Label{Key: "bus", Value: b.name}
+	b.mDelivered = reg.Counter("can_frames_delivered_total", "Successfully transmitted frames.", lbl)
+	b.mCorrupted = reg.Counter("can_frames_corrupted_total", "Transmissions destroyed by corruption or protocol violation.", lbl)
+	b.mBits = reg.Counter("can_bits_transmitted_total", "Wire bits of successful frames, including interframe space.", lbl)
+	b.gLoad = reg.Gauge("can_bus_load_ratio", "Fraction of the sliding virtual-time window the bus spent transmitting.", lbl)
+	b.hWireTime = reg.Histogram("can_tx_wire_seconds", "Stuffed wire time per successful transmission.", nil, lbl)
+	for _, p := range b.ports {
+		p.instrument()
+	}
 }
 
 // Bitrate returns the configured bit rate in bits per second.
@@ -202,6 +261,9 @@ func (b *Bus) Connect(name string) *Port {
 		state: ErrorActive,
 	}
 	b.ports = append(b.ports, p)
+	if b.tel != nil {
+		p.instrument()
+	}
 	return p
 }
 
@@ -216,28 +278,41 @@ func (b *Bus) tryStart() {
 	var winner *Port
 	var winnerID can.ID
 	winnerKind := 0 // 0 classic, 1 raw, 2 fd
+	contenders := 0
 	for _, p := range b.ports {
 		if p.detached || p.state == BusOff {
 			continue
 		}
+		pending := false
 		if len(p.txq) > 0 {
+			pending = true
 			if id := p.txq[0].ID; winner == nil || id < winnerID {
 				winner, winnerID, winnerKind = p, id, 0
 			}
 		}
 		if len(p.rawq) > 0 {
+			pending = true
 			if id := rawArbID(p.rawq[0].bits); winner == nil || id < winnerID {
 				winner, winnerID, winnerKind = p, id, 1
 			}
 		}
 		if len(p.fdq) > 0 {
+			pending = true
 			if id := p.fdq[0].ID; winner == nil || id < winnerID {
 				winner, winnerID, winnerKind = p, id, 2
 			}
 		}
+		if pending {
+			contenders++
+		}
 	}
 	if winner == nil {
 		return
+	}
+	// The uncontended case (one pending sender) has no losers to charge;
+	// skip the loser rescan unless a tracer wants the arb-won event too.
+	if contenders > 1 || b.tel != nil {
+		b.noteArbitration(winner, winnerID)
 	}
 	switch winnerKind {
 	case 1:
@@ -259,12 +334,10 @@ func (b *Bus) tryStart() {
 // receivers and taps, then arbitrates the next frame.
 func (b *Bus) complete(tx *Port, frame can.Frame, dur time.Duration, bits int) {
 	b.busy = false
-	b.stats.BusyTime += dur
+	b.noteBusy(dur)
 
 	if b.corrupt != nil && b.corrupt(frame) {
-		b.stats.FramesCorrupted++
-		tx.bumpTEC(8)
-		tx.stats.TxErrors++
+		b.noteErrorFrame(tx, frame.ID, dur)
 		for _, p := range b.ports {
 			if p != tx && !p.detached && p.state != BusOff {
 				p.bumpREC(1)
@@ -274,10 +347,7 @@ func (b *Bus) complete(tx *Port, frame can.Frame, dur time.Duration, bits int) {
 		return
 	}
 
-	b.stats.FramesDelivered++
-	b.stats.BitsTransmitted += uint64(bits)
-	tx.decTEC()
-	tx.stats.TxFrames++
+	b.noteDelivered(tx, frame.ID, dur, bits)
 
 	msg := Message{Frame: frame, Time: b.sched.Now(), Origin: tx.name}
 	b.delivering = true
@@ -285,8 +355,7 @@ func (b *Bus) complete(tx *Port, frame can.Frame, dur time.Duration, bits int) {
 		if p == tx || p.detached || p.state == BusOff || p.recv == nil {
 			continue
 		}
-		p.stats.RxFrames++
-		p.decREC()
+		p.noteRx()
 		p.recv(msg)
 	}
 	for _, t := range b.taps {
@@ -294,4 +363,82 @@ func (b *Bus) complete(tx *Port, frame can.Frame, dur time.Duration, bits int) {
 	}
 	b.delivering = false
 	b.tryStart()
+}
+
+// --- Telemetry accounting ---------------------------------------------------
+//
+// The note* helpers centralise the counter and trace updates shared by the
+// classic, raw and FD completion paths. Every telemetry handle is nil when
+// the bus is uninstrumented, so the added cost is a few predictable
+// branches.
+
+// noteArbitration charges an arbitration loss to every port that contended
+// and lost against the winner, and emits the won/lost trace events.
+func (b *Bus) noteArbitration(winner *Port, winnerID can.ID) {
+	for _, p := range b.ports {
+		if p == winner || p.detached || p.state == BusOff {
+			continue
+		}
+		if len(p.txq) == 0 && len(p.rawq) == 0 && len(p.fdq) == 0 {
+			continue
+		}
+		p.stats.ArbLosses++
+		p.mArbLoss.Inc()
+		if b.tel != nil {
+			b.tel.Emit(telemetry.Event{
+				At: b.sched.Now(), Kind: telemetry.EvArbLost,
+				Actor: p.name, Name: "arb-lost", ID: uint32(winnerID),
+			})
+		}
+	}
+	if b.tel != nil {
+		b.tel.Emit(telemetry.Event{
+			At: b.sched.Now(), Kind: telemetry.EvArbWon,
+			Actor: winner.name, Name: "arb-won", ID: uint32(winnerID),
+		})
+	}
+}
+
+// noteBusy accrues bus occupancy into the lifetime and sliding-window
+// accounts and refreshes the load gauge.
+func (b *Bus) noteBusy(dur time.Duration) {
+	b.stats.BusyTime += dur
+	now := b.sched.Now()
+	b.win.add(now, dur)
+	if b.tel != nil {
+		b.gLoad.Set(b.win.load(now))
+		b.tel.Advance(now)
+	}
+}
+
+// noteErrorFrame accounts a destroyed transmission on the transmitter.
+func (b *Bus) noteErrorFrame(tx *Port, id can.ID, dur time.Duration) {
+	b.stats.FramesCorrupted++
+	tx.bumpTEC(8)
+	tx.stats.TxErrors++
+	b.mCorrupted.Inc()
+	if b.tel != nil {
+		b.tel.Emit(telemetry.Event{
+			At: b.sched.Now() - dur, Dur: dur, Kind: telemetry.EvErrorFrame,
+			Actor: tx.name, Name: "error-frame", ID: uint32(id),
+		})
+	}
+}
+
+// noteDelivered accounts a successful transmission on bus and transmitter.
+func (b *Bus) noteDelivered(tx *Port, id can.ID, dur time.Duration, bits int) {
+	b.stats.FramesDelivered++
+	b.stats.BitsTransmitted += uint64(bits)
+	tx.decTEC()
+	tx.stats.TxFrames++
+	b.mDelivered.Inc()
+	b.mBits.Add(uint64(bits))
+	tx.mTx.Inc()
+	if b.tel != nil {
+		b.hWireTime.ObserveDuration(dur)
+		b.tel.Emit(telemetry.Event{
+			At: b.sched.Now() - dur, Dur: dur, Kind: telemetry.EvTx,
+			Actor: tx.name, Name: "tx", ID: uint32(id), N: uint64(bits),
+		})
+	}
 }

@@ -45,19 +45,19 @@ func (p *Port) SetFDReceiver(r FDReceiver) { p.fdRecv = r }
 // arbitration as classic frames.
 func (p *Port) SendFD(f can.FDFrame) error {
 	if p.detached {
-		p.stats.Dropped++
+		p.noteDrop()
 		return ErrDetached
 	}
 	if p.state == BusOff {
-		p.stats.Dropped++
+		p.noteDrop()
 		return ErrBusOff
 	}
 	if err := f.Validate(); err != nil {
-		p.stats.Dropped++
+		p.noteDrop()
 		return fmt.Errorf("sendFD on %s: %w", p.name, err)
 	}
 	if len(p.fdq) >= p.bus.queueCap {
-		p.stats.Dropped++
+		p.noteDrop()
 		return fmt.Errorf("sendFD on %s: %w", p.name, ErrTxQueueFull)
 	}
 	p.fdq = append(p.fdq, f)
@@ -77,12 +77,10 @@ func (b *Bus) startFD(winner *Port) {
 // completeFD delivers a finished FD transmission.
 func (b *Bus) completeFD(tx *Port, frame can.FDFrame, dur time.Duration) {
 	b.busy = false
-	b.stats.BusyTime += dur
+	b.noteBusy(dur)
 
 	if b.corrupt != nil && b.corrupt(can.Frame{ID: frame.ID}) {
-		b.stats.FramesCorrupted++
-		tx.bumpTEC(8)
-		tx.stats.TxErrors++
+		b.noteErrorFrame(tx, frame.ID, dur)
 		for _, p := range b.ports {
 			if p != tx && !p.detached && p.state != BusOff {
 				p.bumpREC(1)
@@ -92,17 +90,14 @@ func (b *Bus) completeFD(tx *Port, frame can.FDFrame, dur time.Duration) {
 		return
 	}
 
-	b.stats.FramesDelivered++
-	tx.decTEC()
-	tx.stats.TxFrames++
+	b.noteDelivered(tx, frame.ID, dur, 0)
 	msg := FDMessage{Frame: frame, Time: b.sched.Now(), Origin: tx.name}
 	b.delivering = true
 	for _, p := range b.ports {
 		if p == tx || p.detached || p.state == BusOff || p.fdRecv == nil {
 			continue
 		}
-		p.stats.RxFrames++
-		p.decREC()
+		p.noteRx()
 		p.fdRecv(msg)
 	}
 	for _, t := range b.fdTaps {

@@ -1,0 +1,82 @@
+package bus
+
+import "time"
+
+// Sliding-window bus-load accounting. Bus.Load() reports utilisation since
+// construction, which flattens bursts over a long campaign; WindowLoad
+// reports utilisation over the recent virtual-time window, which is what a
+// live dashboard wants (and what the paper's §V pacing discussion is
+// about: at 1 ms pacing the fuzzer alone holds the bus near 25%).
+
+// DefaultLoadWindow is the span WindowLoad averages over.
+const DefaultLoadWindow = time.Second
+
+// loadWindowBuckets is the rotation granularity of the window.
+const loadWindowBuckets = 10
+
+// loadWindow accumulates busy time into rotating virtual-time buckets.
+type loadWindow struct {
+	bucket time.Duration // span of one bucket
+	busy   [loadWindowBuckets]time.Duration
+	cur    int           // index of the bucket being filled
+	curEnd time.Duration // exclusive end instant of cur
+}
+
+// rotate advances the ring so cur covers the bucket containing now,
+// clearing buckets that fell out of the window. The common no-rotation
+// case is a single comparison — this runs on every frame completion.
+func (w *loadWindow) rotate(now time.Duration) {
+	if now < w.curEnd {
+		return
+	}
+	steps := int64((now-w.curEnd)/w.bucket) + 1
+	if steps >= loadWindowBuckets {
+		// The whole window aged out: clear everything and realign.
+		for i := range w.busy {
+			w.busy[i] = 0
+		}
+		w.cur = 0
+		w.curEnd = (now/w.bucket + 1) * w.bucket
+		return
+	}
+	for i := int64(0); i < steps; i++ {
+		w.cur = (w.cur + 1) % loadWindowBuckets
+		w.busy[w.cur] = 0
+	}
+	w.curEnd += time.Duration(steps) * w.bucket
+}
+
+// add credits dur of busy time at completion instant now.
+func (w *loadWindow) add(now, dur time.Duration) {
+	w.rotate(now)
+	w.busy[w.cur] += dur
+}
+
+// load returns busy/window over the retained buckets, clamped to [0,1].
+// Early in a run (elapsed < window) it divides by elapsed time instead, so
+// a bus that has been saturated from t=0 reads 1.0, not a fraction.
+func (w *loadWindow) load(now time.Duration) float64 {
+	w.rotate(now)
+	var busy time.Duration
+	for _, b := range w.busy {
+		busy += b
+	}
+	window := time.Duration(loadWindowBuckets) * w.bucket
+	if now < window {
+		window = now
+	}
+	if window <= 0 {
+		return 0
+	}
+	l := float64(busy) / float64(window)
+	if l > 1 {
+		l = 1
+	}
+	return l
+}
+
+// WindowLoad returns the bus utilisation over the recent sliding
+// virtual-time window (see WithLoadWindow), in [0,1].
+func (b *Bus) WindowLoad() float64 {
+	return b.win.load(b.sched.Now())
+}

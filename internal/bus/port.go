@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/can"
+	"repro/internal/telemetry"
 )
 
 // PortStats is a snapshot of per-node counters.
@@ -16,6 +17,9 @@ type PortStats struct {
 	TxErrors uint64
 	// Dropped counts frames rejected at Send time (full queue, bus-off...).
 	Dropped uint64
+	// ArbLosses counts arbitration rounds this node contended in and lost
+	// to a higher-priority (lower) identifier.
+	ArbLosses uint64
 }
 
 // Port is a node's attachment to the bus. A port both transmits (Send) and
@@ -35,6 +39,37 @@ type Port struct {
 	rec   int // receive error counter
 
 	stats PortStats
+
+	// Telemetry handles; nil (no-op) until the bus is instrumented.
+	mTx      *telemetry.Counter
+	mRx      *telemetry.Counter
+	mArbLoss *telemetry.Counter
+	mDropped *telemetry.Counter
+}
+
+// instrument registers the per-port counter series. Called by
+// Bus.Instrument for existing ports and by Connect afterwards.
+func (p *Port) instrument() {
+	reg := p.bus.tel.Reg()
+	busLbl := telemetry.Label{Key: "bus", Value: p.bus.name}
+	portLbl := telemetry.Label{Key: "port", Value: p.name}
+	p.mTx = reg.Counter("can_port_tx_frames_total", "Frames this port successfully transmitted.", busLbl, portLbl)
+	p.mRx = reg.Counter("can_port_rx_frames_total", "Frames this port received.", busLbl, portLbl)
+	p.mArbLoss = reg.Counter("can_port_arb_losses_total", "Arbitration rounds this port lost.", busLbl, portLbl)
+	p.mDropped = reg.Counter("can_port_dropped_total", "Frames rejected at Send time (full queue, bus-off, detached).", busLbl, portLbl)
+}
+
+// noteRx accounts one received frame.
+func (p *Port) noteRx() {
+	p.stats.RxFrames++
+	p.mRx.Inc()
+	p.decREC()
+}
+
+// noteDrop accounts one rejected Send.
+func (p *Port) noteDrop() {
+	p.stats.Dropped++
+	p.mDropped.Inc()
 }
 
 // Name returns the node name given at Connect time.
@@ -61,19 +96,19 @@ func (p *Port) QueueLen() int { return len(p.txq) }
 // identifier transmits next.
 func (p *Port) Send(f can.Frame) error {
 	if p.detached {
-		p.stats.Dropped++
+		p.noteDrop()
 		return ErrDetached
 	}
 	if p.state == BusOff {
-		p.stats.Dropped++
+		p.noteDrop()
 		return ErrBusOff
 	}
 	if err := f.Validate(); err != nil {
-		p.stats.Dropped++
+		p.noteDrop()
 		return fmt.Errorf("send on %s: %w", p.name, err)
 	}
 	if len(p.txq) >= p.bus.queueCap {
-		p.stats.Dropped++
+		p.noteDrop()
 		return fmt.Errorf("send on %s: %w", p.name, ErrTxQueueFull)
 	}
 	p.txq = append(p.txq, f)
@@ -100,8 +135,12 @@ func (p *Port) Reattach() {
 // error-active, modelling the controller reset an ECU performs on power-up
 // (this is how a bus-off node recovers).
 func (p *Port) ResetErrors() {
+	prev := p.state
 	p.tec, p.rec = 0, 0
 	p.state = ErrorActive
+	if p.state != prev {
+		p.noteStateChange()
+	}
 	p.bus.tryStart()
 }
 
@@ -130,6 +169,7 @@ func (p *Port) decREC() {
 }
 
 func (p *Port) updateState() {
+	prev := p.state
 	switch {
 	case p.tec >= busOffThreshold:
 		if p.state != BusOff {
@@ -147,4 +187,26 @@ func (p *Port) updateState() {
 			p.state = ErrorActive
 		}
 	}
+	if p.state != prev {
+		p.noteStateChange()
+	}
+}
+
+// noteStateChange records a fault-confinement transition. Transitions are
+// rare, so the lazy per-state counter registration is off the hot path.
+func (p *Port) noteStateChange() {
+	tel := p.bus.tel
+	if tel == nil {
+		return
+	}
+	st := p.state.String()
+	tel.Reg().Counter("can_state_transitions_total",
+		"Fault-confinement state transitions, by resulting state.",
+		telemetry.Label{Key: "bus", Value: p.bus.name},
+		telemetry.Label{Key: "port", Value: p.name},
+		telemetry.Label{Key: "state", Value: st}).Inc()
+	tel.Emit(telemetry.Event{
+		At: p.bus.sched.Now(), Kind: telemetry.EvStateChange,
+		Actor: p.name, Name: st, N: uint64(p.tec),
+	})
 }

@@ -35,15 +35,15 @@ const (
 // not). The callback, if non-nil, reports the eventual outcome.
 func (p *Port) SendRaw(bits []byte, done func(RawResult)) error {
 	if p.detached {
-		p.stats.Dropped++
+		p.noteDrop()
 		return ErrDetached
 	}
 	if p.state == BusOff {
-		p.stats.Dropped++
+		p.noteDrop()
 		return ErrBusOff
 	}
 	if len(p.rawq) >= p.bus.queueCap {
-		p.stats.Dropped++
+		p.noteDrop()
 		return ErrTxQueueFull
 	}
 	seq := make([]byte, len(bits))
@@ -87,15 +87,13 @@ func (b *Bus) startRaw(winner *Port) {
 // an error frame.
 func (b *Bus) completeRaw(tx *Port, raw rawTx, dur time.Duration) {
 	b.busy = false
-	b.stats.BusyTime += dur
+	b.noteBusy(dur)
 
 	frame, err := can.DecodeBits(raw.bits)
 	if err != nil || frame.Validate() != nil {
 		// Protocol violation: error frame. Same fault-confinement rules as
 		// a corrupted transmission.
-		b.stats.FramesCorrupted++
-		tx.bumpTEC(8)
-		tx.stats.TxErrors++
+		b.noteErrorFrame(tx, rawArbID(raw.bits), dur)
 		for _, p := range b.ports {
 			if p != tx && !p.detached && p.state != BusOff {
 				p.bumpREC(1)
@@ -108,18 +106,14 @@ func (b *Bus) completeRaw(tx *Port, raw rawTx, dur time.Duration) {
 		return
 	}
 
-	b.stats.FramesDelivered++
-	b.stats.BitsTransmitted += uint64(len(raw.bits) + can.InterframeSpace)
-	tx.decTEC()
-	tx.stats.TxFrames++
+	b.noteDelivered(tx, frame.ID, dur, len(raw.bits)+can.InterframeSpace)
 	msg := Message{Frame: frame, Time: b.sched.Now(), Origin: tx.name}
 	b.delivering = true
 	for _, p := range b.ports {
 		if p == tx || p.detached || p.state == BusOff || p.recv == nil {
 			continue
 		}
-		p.stats.RxFrames++
-		p.decREC()
+		p.noteRx()
 		p.recv(msg)
 	}
 	for _, t := range b.taps {

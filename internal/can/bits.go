@@ -133,9 +133,10 @@ func Unstuff(bits []byte) ([]byte, error) {
 // including stuffing and the fixed-form trailer but excluding interframe
 // space. This drives the bus transmission-latency model.
 //
-// It is the hottest function in the simulator (twice per transmitted
-// frame), so it avoids the slice-building Stuff/RawBits path and walks the
-// frame's raw bits with an index function instead — zero allocations.
+// It is the hottest function in the simulator (once per transmitted
+// frame), so it avoids the slice-building Stuff/RawBits path: the raw bits
+// go into a fixed stack buffer and the CRC runs byte-at-a-time off a
+// table — zero allocations, no data-dependent branch per input bit.
 func WireBits(f Frame) int {
 	// Build the raw sequence into a fixed stack buffer:
 	// header(19) + data(<=64) + crc(15) <= 98 bits.
@@ -173,14 +174,19 @@ func WireBits(f Frame) int {
 			}
 		}
 	}
-	// CRC over header+data, then append its 15 bits.
+	// CRC over header+data, eight bits per table step (the bit-serial
+	// update costs one data-dependent branch per bit), then append the 15
+	// CRC bits.
 	var crc uint16
-	for _, b := range bits[:n] {
-		next := b ^ byte(crc>>14&1)
-		crc = (crc << 1) & 0x7FFF
-		if next == 1 {
-			crc ^= crc15Poly
-		}
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		v := bits[i]<<7 | bits[i+1]<<6 | bits[i+2]<<5 | bits[i+3]<<4 |
+			bits[i+4]<<3 | bits[i+5]<<2 | bits[i+6]<<1 | bits[i+7]
+		crc = ((crc << 8) ^ crc15Table[byte(crc>>7)^v]) & 0x7FFF
+	}
+	for ; i < n; i++ {
+		next := uint16(bits[i]) ^ (crc >> 14 & 1)
+		crc = ((crc << 1) & 0x7FFF) ^ next*crc15Poly
 	}
 	for i := 14; i >= 0; i-- {
 		bits[n] = byte(crc >> uint(i) & 1)
@@ -206,6 +212,21 @@ func WireBits(f Frame) int {
 	}
 	return n + stuffed + trailerBits
 }
+
+// crc15Table drives the byte-at-a-time CRC-15 update in WireBits:
+// crc15Table[u] is the register state after clocking the 8 bits of u
+// through a zeroed CRC-15 register, MSB first.
+var crc15Table = func() (t [256]uint16) {
+	for u := range t {
+		crc := uint16(u) << 7
+		for b := 0; b < 8; b++ {
+			next := crc >> 14 & 1
+			crc = ((crc << 1) & 0x7FFF) ^ next*crc15Poly
+		}
+		t[u] = crc
+	}
+	return t
+}()
 
 // WireBitsWithIFS is WireBits plus the mandatory 3-bit interframe space;
 // it is the effective bus occupancy of one frame.

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"time"
 
 	"repro/internal/bus"
 	"repro/internal/can"
 	"repro/internal/clock"
 	"repro/internal/oracle"
+	"repro/internal/telemetry"
 )
 
 // Finding is one oracle firing with the surrounding campaign context — the
@@ -53,6 +55,44 @@ func WithMaxFrames(n uint64) Option {
 	return func(c *Campaign) { c.maxFrames = n }
 }
 
+// WithTelemetry attaches the campaign to a telemetry plane: frame and
+// error counters, coverage and integrity gauges, and trace events for
+// generator progress, oracle firings and system resets. Oracles added via
+// AddOracle are wrapped with oracle.Instrumented. A nil argument leaves
+// the campaign uninstrumented (the default, with zero overhead).
+func WithTelemetry(t *telemetry.Telemetry) Option {
+	return func(c *Campaign) { c.tel = t }
+}
+
+// genBatchEvery is the generator checkpoint period: one EvGenBatch trace
+// event and a gauge refresh per this many transmitted frames.
+const genBatchEvery = 256
+
+// Send-error causes, as reported by SendErrorsByCause and the campaign
+// report. The paper's automation loop needs to distinguish "the fuzzer
+// outpaced the bus" (queue-full) from "the fuzzer knocked itself off the
+// bus" (bus-off) — they demand opposite remediations.
+const (
+	CauseQueueFull = "queue-full"
+	CauseBusOff    = "bus-off"
+	CauseDetached  = "detached"
+	CauseOther     = "other"
+)
+
+// classifySendError maps a Port.Send error to its cause label.
+func classifySendError(err error) string {
+	switch {
+	case errors.Is(err, bus.ErrTxQueueFull):
+		return CauseQueueFull
+	case errors.Is(err, bus.ErrBusOff):
+		return CauseBusOff
+	case errors.Is(err, bus.ErrDetached):
+		return CauseDetached
+	default:
+		return CauseOther
+	}
+}
+
 // Campaign drives one fuzz test: a generator paced by the timing loop,
 // transmitting through a bus port, with oracles watching the system under
 // test. Create with NewCampaign, arm oracles with AddOracle, then either
@@ -66,17 +106,27 @@ type Campaign struct {
 	oracles  []oracle.Oracle
 	findings []Finding
 
-	framesSent uint64
-	sendErrors uint64
-	started    time.Duration
-	running    bool
-	timer      *clock.Timer
+	framesSent  uint64
+	sendErrors  uint64
+	errsByCause map[string]uint64
+	started     time.Duration
+	running     bool
+	timer       *clock.Timer
 
 	stopOnFinding bool
 	reset         func()
 	onFinding     func(Finding)
 	window        int
 	maxFrames     uint64
+
+	// Telemetry handles; nil (no-op) unless WithTelemetry was given.
+	tel       *telemetry.Telemetry
+	mSent     *telemetry.Counter
+	mErrCause map[string]*telemetry.Counter
+	mFindings *telemetry.Counter
+	mResets   *telemetry.Counter
+	gDistinct *telemetry.Gauge
+	gByteMean *telemetry.Gauge
 }
 
 // NewCampaign builds a campaign. The port is the fuzzer's bus attachment
@@ -88,15 +138,29 @@ func NewCampaign(sched *clock.Scheduler, port *bus.Port, cfg Config, opts ...Opt
 		return nil, err
 	}
 	c := &Campaign{
-		sched:  sched,
-		port:   port,
-		gen:    gen,
-		window: 16,
+		sched:       sched,
+		port:        port,
+		gen:         gen,
+		window:      16,
+		errsByCause: make(map[string]uint64),
 	}
 	for _, o := range opts {
 		o(c)
 	}
 	c.mon = NewMonitor(c.window)
+	if c.tel != nil {
+		reg := c.tel.Registry
+		c.mSent = reg.Counter("campaign_frames_sent_total", "Fuzz frames transmitted by the campaign.")
+		c.mFindings = reg.Counter("campaign_findings_total", "Oracle firings recorded by the campaign.")
+		c.mResets = reg.Counter("campaign_resets_total", "System resets performed after findings.")
+		c.gDistinct = reg.Gauge("campaign_distinct_ids", "Distinct identifiers fuzzed (coverage numerator).")
+		c.gByteMean = reg.Gauge("campaign_sent_byte_mean", "Mean payload byte value of sent frames (Fig 5 integrity; ~127.5 when healthy).")
+		c.mErrCause = make(map[string]*telemetry.Counter, 4)
+		for _, cause := range []string{CauseQueueFull, CauseBusOff, CauseDetached, CauseOther} {
+			c.mErrCause[cause] = reg.Counter("campaign_send_errors_total",
+				"Rejected transmissions, by cause.", telemetry.Label{Key: "cause", Value: cause})
+		}
+	}
 	port.SetReceiver(c.observe)
 	return c, nil
 }
@@ -114,6 +178,16 @@ func (c *Campaign) FramesSent() uint64 { return c.framesSent }
 // bus-off...).
 func (c *Campaign) SendErrors() uint64 { return c.sendErrors }
 
+// SendErrorsByCause returns a copy of the rejected-transmission counts
+// keyed by cause (CauseQueueFull, CauseBusOff, CauseDetached, CauseOther).
+func (c *Campaign) SendErrorsByCause() map[string]uint64 {
+	out := make(map[string]uint64, len(c.errsByCause))
+	for k, v := range c.errsByCause {
+		out[k] = v
+	}
+	return out
+}
+
 // Findings returns a copy of the findings list.
 func (c *Campaign) Findings() []Finding {
 	out := make([]Finding, len(c.findings))
@@ -125,7 +199,12 @@ func (c *Campaign) Findings() []Finding {
 func (c *Campaign) Running() bool { return c.running }
 
 // AddOracle arms an oracle. Oracles added while running start immediately.
+// On an instrumented campaign the oracle is wrapped with
+// oracle.Instrumented so its observation and verdict counts are exported.
 func (c *Campaign) AddOracle(o oracle.Oracle) {
+	if c.tel != nil {
+		o = oracle.Instrumented(o, c.tel)
+	}
 	c.oracles = append(c.oracles, o)
 	if c.running {
 		o.Start(c.sched, c.report)
@@ -151,6 +230,17 @@ func (c *Campaign) Stop() {
 		return
 	}
 	c.running = false
+	if c.tel != nil {
+		// Final checkpoint so a post-run scrape or trace sees the end state
+		// even when the campaign halts inside a batch.
+		c.tel.Advance(c.sched.Now())
+		c.gDistinct.Set(float64(c.mon.DistinctIDsSent()))
+		c.gByteMean.Set(c.mon.SentMeans().OverallMean())
+		c.tel.Emit(telemetry.Event{
+			At: c.sched.Now(), Kind: telemetry.EvGenBatch,
+			Actor: "campaign", Name: "gen-batch", N: c.framesSent,
+		})
+	}
 	if c.timer != nil {
 		c.timer.Stop()
 		c.timer = nil
@@ -199,10 +289,26 @@ func (c *Campaign) sendOne() {
 	f := c.gen.Next()
 	if err := c.port.Send(f); err != nil {
 		c.sendErrors++
+		cause := classifySendError(err)
+		c.errsByCause[cause]++
+		if c.tel != nil {
+			c.mErrCause[cause].Inc()
+		}
 		return
 	}
 	c.framesSent++
 	c.mon.NoteSent(f)
+	c.mSent.Inc()
+	if c.tel != nil && c.framesSent%genBatchEvery == 0 {
+		now := c.sched.Now()
+		c.tel.Advance(now)
+		c.gDistinct.Set(float64(c.mon.DistinctIDsSent()))
+		c.gByteMean.Set(c.mon.SentMeans().OverallMean())
+		c.tel.Emit(telemetry.Event{
+			At: now, Kind: telemetry.EvGenBatch,
+			Actor: "campaign", Name: "gen-batch", N: c.framesSent,
+		})
+	}
 }
 
 // observe feeds bus traffic to the monitor and oracles.
@@ -225,6 +331,14 @@ func (c *Campaign) report(v oracle.Verdict) {
 		Recent:     c.mon.Recent(),
 	}
 	c.findings = append(c.findings, f)
+	c.mFindings.Inc()
+	if c.tel != nil {
+		c.tel.Advance(c.sched.Now())
+		c.tel.Emit(telemetry.Event{
+			At: c.sched.Now(), Kind: telemetry.EvOracle,
+			Actor: "campaign", Name: v.Oracle, Detail: v.Detail, N: c.framesSent,
+		})
+	}
 	if c.onFinding != nil {
 		c.onFinding(f)
 	}
@@ -234,5 +348,12 @@ func (c *Campaign) report(v oracle.Verdict) {
 	}
 	if c.reset != nil {
 		c.reset()
+		c.mResets.Inc()
+		if c.tel != nil {
+			c.tel.Emit(telemetry.Event{
+				At: c.sched.Now(), Kind: telemetry.EvReset,
+				Actor: "campaign", Name: "reset",
+			})
+		}
 	}
 }

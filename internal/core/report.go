@@ -29,6 +29,9 @@ type Report struct {
 	// FramesSent and SendErrors are transmission counters.
 	FramesSent uint64 `json:"framesSent"`
 	SendErrors uint64 `json:"sendErrors"`
+	// SendErrorsByCause breaks SendErrors down by rejection cause
+	// (queue-full, bus-off, detached, other). Empty when no sends failed.
+	SendErrorsByCause map[string]uint64 `json:"sendErrorsByCause,omitempty"`
 	// DistinctIDs is the identifier-coverage numerator.
 	DistinctIDs int `json:"distinctIds"`
 	// OverallByteMean is the Fig 5 integrity statistic (~127.5 when healthy).
@@ -67,6 +70,9 @@ func (c *Campaign) BuildReport() Report {
 		DistinctIDs:     c.mon.DistinctIDsSent(),
 		OverallByteMean: c.mon.SentMeans().OverallMean(),
 		ByteMeanSpread:  c.mon.SentMeans().Spread(),
+	}
+	if len(c.errsByCause) > 0 {
+		r.SendErrorsByCause = c.SendErrorsByCause()
 	}
 	for _, f := range c.findings {
 		rf := ReportFinding{

@@ -18,6 +18,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/can"
 	"repro/internal/clock"
+	"repro/internal/telemetry"
 )
 
 // Mode is an ECU operating mode, as in UDS diagnostic sessions. The paper
@@ -90,6 +91,12 @@ type ECU struct {
 	chimes    uint64
 	faults    []Fault
 	onPowerOn []func()
+
+	// Telemetry handles; nil (no-op) until Instrument is called.
+	tel         *telemetry.Telemetry
+	mDispatched *telemetry.Counter
+	mFaults     *telemetry.Counter
+	mPowerCycle *telemetry.Counter
 }
 
 // New creates an ECU bound to a bus port. The ECU starts powered on in
@@ -115,6 +122,21 @@ func New(name string, sched *clock.Scheduler, port *bus.Port) *ECU {
 
 // Name returns the ECU name.
 func (e *ECU) Name() string { return e.name }
+
+// Instrument attaches the ECU to the telemetry plane: a handler-dispatch
+// counter and trace event per received frame, plus fault and power-cycle
+// accounting. Passing nil is a no-op; the default ECU is uninstrumented
+// and pays nothing.
+func (e *ECU) Instrument(t *telemetry.Telemetry) {
+	if t == nil {
+		return
+	}
+	e.tel = t
+	lbl := telemetry.Label{Key: "ecu", Value: e.name}
+	e.mDispatched = t.Registry.Counter("ecu_frames_dispatched_total", "Frames routed to this ECU's handlers.", lbl)
+	e.mFaults = t.Registry.Counter("ecu_faults_total", "Fault-log entries raised by this ECU.", lbl)
+	e.mPowerCycle = t.Registry.Counter("ecu_power_cycles_total", "Power-off/power-on transitions of this ECU.", lbl)
+}
 
 // Scheduler returns the virtual clock the ECU runs on.
 func (e *ECU) Scheduler() *clock.Scheduler { return e.sched }
@@ -192,6 +214,13 @@ func (e *ECU) dispatch(m bus.Message) {
 	if !e.powered {
 		return
 	}
+	e.mDispatched.Inc()
+	if e.tel != nil {
+		e.tel.Emit(telemetry.Event{
+			At: e.sched.Now(), Kind: telemetry.EvDispatch,
+			Actor: e.name, Name: "dispatch", ID: uint32(m.Frame.ID),
+		})
+	}
 	for _, h := range e.handlers[m.Frame.ID] {
 		h(m)
 	}
@@ -207,6 +236,13 @@ func (e *ECU) PowerOff() {
 		return
 	}
 	e.powered = false
+	e.mPowerCycle.Inc()
+	if e.tel != nil {
+		e.tel.Emit(telemetry.Event{
+			At: e.sched.Now(), Kind: telemetry.EvCustom,
+			Actor: e.name, Name: "power-off",
+		})
+	}
 	for _, p := range e.periodics {
 		if p.timer != nil {
 			p.timer.Stop()
@@ -320,6 +356,13 @@ func (e *ECU) Chimes() uint64 { return e.chimes }
 // external record, so it survives power cycles).
 func (e *ECU) LogFault(code, detail string) {
 	e.faults = append(e.faults, Fault{Time: e.sched.Now(), Code: code, Detail: detail})
+	e.mFaults.Inc()
+	if e.tel != nil {
+		e.tel.Emit(telemetry.Event{
+			At: e.sched.Now(), Kind: telemetry.EvCustom,
+			Actor: e.name, Name: "fault", Detail: code,
+		})
+	}
 }
 
 // Faults returns a copy of the fault log.

@@ -60,6 +60,9 @@ func New(e *ecu.ECU) *Engine {
 	return eng
 }
 
+// ECU returns the underlying ECU runtime.
+func (eng *Engine) ECU() *ecu.ECU { return eng.ecu }
+
 // RPM returns the current true engine speed.
 func (eng *Engine) RPM() float64 { return eng.rpm }
 

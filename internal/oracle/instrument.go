@@ -1,0 +1,46 @@
+package oracle
+
+import (
+	"repro/internal/bus"
+	"repro/internal/clock"
+	"repro/internal/telemetry"
+)
+
+// instrumented decorates an Oracle with telemetry: every Observe call and
+// every verdict is counted under the oracle's name. The wrapped oracle's
+// behaviour is unchanged.
+type instrumented struct {
+	Oracle
+	mObserved *telemetry.Counter
+	mVerdicts *telemetry.Counter
+}
+
+// Instrumented wraps o so its observation and verdict counts are exported
+// through the registry as oracle_observations_total{oracle=...} and
+// oracle_verdicts_total{oracle=...}. With a nil Telemetry the oracle is
+// returned unwrapped.
+func Instrumented(o Oracle, t *telemetry.Telemetry) Oracle {
+	if t == nil || o == nil {
+		return o
+	}
+	lbl := telemetry.Label{Key: "oracle", Value: o.Name()}
+	return &instrumented{
+		Oracle:    o,
+		mObserved: t.Registry.Counter("oracle_observations_total", "Frames fed to this oracle.", lbl),
+		mVerdicts: t.Registry.Counter("oracle_verdicts_total", "Verdicts this oracle reported.", lbl),
+	}
+}
+
+// Start implements Oracle, interposing the verdict counter on the reporter.
+func (i *instrumented) Start(sched *clock.Scheduler, report Reporter) {
+	i.Oracle.Start(sched, func(v Verdict) {
+		i.mVerdicts.Inc()
+		report(v)
+	})
+}
+
+// Observe implements Oracle.
+func (i *instrumented) Observe(m bus.Message) {
+	i.mObserved.Inc()
+	i.Oracle.Observe(m)
+}

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns the live introspection endpoint:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  JSON metrics snapshot
+//	/trace.json    Chrome trace_event document (load in Perfetto)
+//	/healthz       liveness + virtual-time progress
+//
+// All routes read atomically published state, so scraping while the
+// simulation loop runs is race-free; a scrape observes the counters as of
+// the last completed event.
+func Handler(t *Telemetry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = t.Reg().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.Reg().WriteJSON(w)
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.Trc().WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"virtualTimeMicros\":%d,\"traceEvents\":%d}\n",
+			int64(t.Reg().Now()/time.Microsecond), t.Trc().Len())
+	})
+	return mux
+}
+
+// Serve starts the introspection endpoint on addr (e.g. "localhost:9900";
+// a ":0" port picks a free one). It returns the server and its bound
+// address; the caller shuts it down with server.Close.
+func Serve(addr string, t *Telemetry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(t)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, string(body)
+}
+
+func TestHandlerRoutes(t *testing.T) {
+	tel := New(8)
+	tel.Reg().Counter("frames_total", "frames").Add(12)
+	tel.Advance(3 * time.Second)
+	tel.Emit(Event{At: time.Second, Kind: EvOracle, Actor: "campaign", Name: "finding"})
+	h := Handler(tel)
+
+	res, body := get(t, h, "/metrics")
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(body, "frames_total 12\n") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+
+	_, body = get(t, h, "/metrics.json")
+	if !strings.Contains(body, `"virtualTimeMicros": 3000000`) {
+		t.Fatalf("/metrics.json body:\n%s", body)
+	}
+
+	_, body = get(t, h, "/trace.json")
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/trace.json not JSON: %v", err)
+	}
+
+	_, body = get(t, h, "/healthz")
+	if body != "{\"status\":\"ok\",\"virtualTimeMicros\":3000000,\"traceEvents\":1}\n" {
+		t.Fatalf("/healthz body: %q", body)
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	tel := New(0)
+	srv, addr, err := Serve("127.0.0.1:0", tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+}

@@ -1,0 +1,28 @@
+package telemetry
+
+import (
+	"io"
+	"log/slog"
+)
+
+// Shared structured logging for the cmd/ tools. Every CLI used to print
+// ad-hoc diagnostics to stderr in its own format; NewCLILogger gives them
+// one handler so output is uniform, greppable, and (by dropping the wall
+// timestamp) deterministic — the virtual clock is the only time that
+// matters in a discrete-event run.
+
+// NewCLILogger returns a logger writing "level msg key=value ..." lines to
+// w, tagged with the tool name. The wall-clock time attribute is removed:
+// runs are deterministic in virtual time and log output should be too.
+func NewCLILogger(w io.Writer, tool string, level slog.Level) *slog.Logger {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{
+		Level: level,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				return slog.Attr{}
+			}
+			return a
+		},
+	})
+	return slog.New(h).With("tool", tool)
+}

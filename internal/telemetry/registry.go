@@ -1,0 +1,463 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry collects named metrics. Samples carry the discrete-event virtual
+// time (see Advance), not wall time: a scrape of a campaign that ran 4472
+// simulated seconds in 40 ms of real time reports 4472 s.
+//
+// Hot-path operations (Counter.Inc, Gauge.Set, Histogram.Observe) are
+// lock-free atomic updates with zero allocations, so the simulation loop can
+// sample freely. Registration and export take a mutex and may allocate.
+//
+// A nil *Registry is valid: registration returns nil metrics and every
+// metric method is a no-op on a nil receiver, so uninstrumented components
+// pay only a nil check.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	index   map[string]metric
+
+	// now is the latest virtual time reported via Advance, in nanoseconds.
+	now atomic.Int64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]metric)}
+}
+
+// Advance records the current virtual time. Components call it from the
+// simulation goroutine; exports read it atomically, so a live HTTP scrape
+// never races the event loop.
+func (r *Registry) Advance(now time.Duration) {
+	if r == nil {
+		return
+	}
+	if cur := r.now.Load(); int64(now) > cur {
+		r.now.Store(int64(now))
+	}
+}
+
+// Now returns the latest virtual time the registry has seen.
+func (r *Registry) Now() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Duration(r.now.Load())
+}
+
+// Label is one metric dimension, rendered as name{key="value"}.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// desc is the shared identity of a metric series.
+type desc struct {
+	name   string
+	help   string
+	labels []Label
+}
+
+// key returns the unique series identifier (name plus sorted labels).
+func (d *desc) key() string {
+	if len(d.labels) == 0 {
+		return d.name
+	}
+	var sb strings.Builder
+	sb.WriteString(d.name)
+	for _, l := range d.labels {
+		sb.WriteByte('{')
+		sb.WriteString(l.Key)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+		sb.WriteByte('}')
+	}
+	return sb.String()
+}
+
+// labelString renders {k="v",...} or "" for an unlabelled series.
+func (d *desc) labelString() string {
+	if len(d.labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range d.labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// metric is the common interface of registered series.
+type metric interface {
+	describe() *desc
+	typ() string
+	// writeProm appends the sample line(s) for this series.
+	writeProm(w io.Writer) error
+	// jsonValue returns the export value for the JSON snapshot.
+	jsonValue() any
+}
+
+// register interns a series: registering the same name+labels twice returns
+// the existing metric, so independent components can share counters.
+func register[M metric](r *Registry, m M) M {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := m.describe().key()
+	if existing, ok := r.index[k]; ok {
+		if got, ok := existing.(M); ok {
+			return got
+		}
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as a different type", k))
+	}
+	r.index[k] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// sortLabels normalises label order so registration is order-insensitive.
+func sortLabels(labels []Label) []Label {
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// --- Counter ---------------------------------------------------------------
+
+// Counter is a monotonically increasing uint64. All methods are safe on a
+// nil receiver (no-op) and safe for concurrent use.
+type Counter struct {
+	d desc
+	v atomic.Uint64
+}
+
+// Counter registers (or fetches) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return register(r, &Counter{d: desc{name: name, help: help, labels: sortLabels(labels)}})
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) describe() *desc { return &c.d }
+func (c *Counter) typ() string     { return "counter" }
+func (c *Counter) jsonValue() any  { return c.Value() }
+
+func (c *Counter) writeProm(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "%s%s %d\n", c.d.name, c.d.labelString(), c.Value())
+	return err
+}
+
+// --- Gauge -----------------------------------------------------------------
+
+// Gauge is an instantaneous float64. Safe on a nil receiver and for
+// concurrent use.
+type Gauge struct {
+	d    desc
+	bits atomic.Uint64
+}
+
+// Gauge registers (or fetches) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return register(r, &Gauge{d: desc{name: name, help: help, labels: sortLabels(labels)}})
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) describe() *desc { return &g.d }
+func (g *Gauge) typ() string     { return "gauge" }
+func (g *Gauge) jsonValue() any  { return g.Value() }
+
+func (g *Gauge) writeProm(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "%s%s %s\n", g.d.name, g.d.labelString(), formatFloat(g.Value()))
+	return err
+}
+
+// --- Histogram -------------------------------------------------------------
+
+// Histogram accumulates observations into a fixed set of cumulative
+// buckets (Prometheus classic histogram semantics). Bounds are upper
+// limits in ascending order; an implicit +Inf bucket is always present.
+// Observe is a lock-free binary search plus two atomic adds.
+type Histogram struct {
+	d       desc
+	bounds  []float64
+	buckets []atomic.Uint64 // one per bound, non-cumulative; +Inf is buckets[len(bounds)]
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum, CAS-updated
+}
+
+// DurationBuckets is a default bucket layout for virtual-time latencies
+// (seconds): 100 µs up to ~1 s in roughly 3x steps. CAN frame wire times at
+// 500 kb/s fall in the 100 µs–1 ms decade.
+var DurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.05, 0.1, 0.5, 1,
+}
+
+// Histogram registers (or fetches) a histogram series with the given
+// bucket upper bounds (nil uses DurationBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(bounds) == 0 {
+		bounds = DurationBuckets
+	}
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	h := &Histogram{
+		d:       desc{name: name, help: help, labels: sortLabels(labels)},
+		bounds:  bs,
+		buckets: make([]atomic.Uint64, len(bs)+1),
+	}
+	return register(r, h)
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a virtual duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+func (h *Histogram) describe() *desc { return &h.d }
+func (h *Histogram) typ() string     { return "histogram" }
+
+func (h *Histogram) jsonValue() any {
+	type bucket struct {
+		LE    float64 `json:"le"`
+		Count uint64  `json:"count"`
+	}
+	var (
+		out []bucket
+		cum uint64
+	)
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		out = append(out, bucket{LE: b, Count: cum})
+	}
+	return map[string]any{
+		"count":   h.Count(),
+		"sum":     h.Sum(),
+		"buckets": out,
+	}
+}
+
+func (h *Histogram) writeProm(w io.Writer) error {
+	base := h.d.name
+	// Re-render labels with le appended per bucket.
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		if err := h.writeBucket(w, formatFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	if err := h.writeBucket(w, "+Inf", cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, h.d.labelString(), formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", base, h.d.labelString(), h.Count())
+	return err
+}
+
+func (h *Histogram) writeBucket(w io.Writer, le string, cum uint64) error {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for _, l := range h.d.labels {
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteString(`",`)
+	}
+	sb.WriteString(`le="`)
+	sb.WriteString(le)
+	sb.WriteString(`"}`)
+	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.d.name, sb.String(), cum)
+	return err
+}
+
+// formatFloat renders a float compactly and deterministically.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// --- Export ----------------------------------------------------------------
+
+// snapshot returns the registered metrics sorted by name then label key,
+// giving deterministic export order regardless of registration order.
+func (r *Registry) snapshot() []metric {
+	r.mu.Lock()
+	out := make([]metric, len(r.metrics))
+	copy(out, r.metrics)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		di, dj := out[i].describe(), out[j].describe()
+		if di.name != dj.name {
+			return di.name < dj.name
+		}
+		return di.key() < dj.key()
+	})
+	return out
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4). Series sharing a name emit one HELP/TYPE header.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	prevName := ""
+	for _, m := range r.snapshot() {
+		d := m.describe()
+		if d.name != prevName {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", d.name, d.help, d.name, m.typ()); err != nil {
+				return err
+			}
+			prevName = d.name
+		}
+		if err := m.writeProm(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonMetric is one series in the JSON snapshot.
+type jsonMetric struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  any               `json:"value"`
+}
+
+// WriteJSON writes a machine-readable snapshot: the virtual timestamp and
+// every series, sorted.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	doc := struct {
+		VirtualTimeMicros int64        `json:"virtualTimeMicros"`
+		Metrics           []jsonMetric `json:"metrics"`
+	}{VirtualTimeMicros: int64(r.Now() / time.Microsecond)}
+	for _, m := range r.snapshot() {
+		d := m.describe()
+		jm := jsonMetric{Name: d.name, Type: m.typ(), Value: m.jsonValue()}
+		if len(d.labels) > 0 {
+			jm.Labels = make(map[string]string, len(d.labels))
+			for _, l := range d.labels {
+				jm.Labels[l.Key] = l.Value
+			}
+		}
+		doc.Metrics = append(doc.Metrics, jm)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

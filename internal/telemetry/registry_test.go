@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read zero")
+	}
+	var g *Gauge
+	g.Set(3.5)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read zero")
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram must read zero")
+	}
+}
+
+func TestNilRegistryReturnsNilMetrics(t *testing.T) {
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("y", "") != nil ||
+		r.Histogram("z", "", DurationBuckets) != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	r.Advance(time.Second)
+	if r.Now() != 0 {
+		t.Fatal("nil registry Now must be zero")
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("frames_total", "frames", Label{"bus", "can"})
+	b := r.Counter("frames_total", "frames", Label{"bus", "can"})
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	c := r.Counter("frames_total", "frames", Label{"bus", "other"})
+	if a == c {
+		t.Fatal("different labels must return a different counter")
+	}
+	a.Add(2)
+	if b.Value() != 2 {
+		t.Fatalf("shared counter = %d, want 2", b.Value())
+	}
+}
+
+func TestCounterGaugeHistogramValues(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	g := r.Gauge("g", "")
+	g.Set(-2.5)
+	if g.Value() != -2.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	h := r.Histogram("h_seconds", "", []float64{0.01, 0.1, 1})
+	h.Observe(0.25)
+	h.Observe(0.5)
+	h.Observe(50) // above the top bound: +Inf bucket only
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got != 50.75 {
+		t.Fatalf("sum = %v", got)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "second metric", Label{"bus", "can"}).Add(3)
+	r.Counter("a_total", "first metric").Inc()
+	r.Gauge("load_ratio", "bus load").Set(0.25)
+	h := r.Histogram("tx_seconds", "wire time", []float64{0.001, 0.01})
+	h.Observe(0.0009765625) // 2^-10: exact in binary, stable sum output
+	h.Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP a_total first metric\n# TYPE a_total counter\na_total 1\n",
+		"b_total{bus=\"can\"} 3\n",
+		"# TYPE load_ratio gauge\nload_ratio 0.25\n",
+		"tx_seconds_bucket{le=\"0.001\"} 1\n",
+		"tx_seconds_bucket{le=\"+Inf\"} 2\n",
+		"tx_seconds_sum 0.5009765625\n",
+		"tx_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Output is sorted: a_total before b_total before load_ratio.
+	if strings.Index(out, "a_total") > strings.Index(out, "b_total") {
+		t.Fatal("metrics must be name-sorted")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("frames_total", "", Label{"bus", "can"}).Add(4)
+	r.Advance(1500 * time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		VirtualTimeMicros int64 `json:"virtualTimeMicros"`
+		Metrics           []struct {
+			Name   string            `json:"name"`
+			Type   string            `json:"type"`
+			Labels map[string]string `json:"labels,omitempty"`
+			Value  any               `json:"value"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.VirtualTimeMicros != 1500000 {
+		t.Fatalf("virtualTimeMicros = %d", doc.VirtualTimeMicros)
+	}
+	if len(doc.Metrics) != 1 || doc.Metrics[0].Name != "frames_total" ||
+		doc.Metrics[0].Labels["bus"] != "can" {
+		t.Fatalf("metrics = %+v", doc.Metrics)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird_total", "", Label{"k", "a\"b\\c\nd"}).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `weird_total{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("bad escaping:\n%s", buf.String())
+	}
+}
+
+func TestConcurrentScrapeWhileWriting(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("spin_total", "")
+	h := r.Histogram("spin_seconds", "", DurationBuckets)
+	g := r.Gauge("spin", "")
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				c.Inc()
+				g.Set(float64(c.Value()))
+				h.Observe(0.001)
+				r.Advance(time.Duration(c.Value()))
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		1:      "1",
+		0.25:   "0.25",
+		1e9:    "1000000000",
+		0.0001: "0.0001",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Package telemetry is the unified observability plane of the simulated
+// stack: a metrics registry (counters, gauges, bounded histograms), a
+// bounded event tracer, and HTTP surfacing — all timestamped on the
+// discrete-event virtual clock rather than wall time.
+//
+// The paper's automation requirement (§I "fuzz testing is automated for
+// efficiency", §VI recorded failure conditions) needs more than a final
+// JSON report: a CI pipeline has to watch a running campaign, correlate an
+// oracle firing with the arbitration and error-frame events that preceded
+// it, and compare throughput across revisions. Every instrumentation hook
+// is nil-safe — a component holding a nil *Telemetry (the default) pays
+// one predictable branch per sample and allocates nothing — so the fuzzing
+// hot path is unchanged unless observability is requested.
+//
+// Exports:
+//   - Registry: Prometheus text exposition and a JSON snapshot.
+//   - Tracer: Chrome trace_event JSON; open a campaign in Perfetto and see
+//     per-port arbitration, wire-time spans, ECU dispatch and oracle
+//     firings on the virtual timeline.
+//   - Handler/Serve: /metrics, /metrics.json, /healthz, /trace.json.
+package telemetry
+
+import (
+	"time"
+)
+
+// Telemetry bundles a registry and a tracer. A nil *Telemetry disables
+// both: Reg() and Trc() return nil, whose methods are no-ops.
+type Telemetry struct {
+	// Registry holds the metric series.
+	Registry *Registry
+	// Tracer holds the event ring buffer.
+	Tracer *Tracer
+}
+
+// New creates a Telemetry with a fresh registry and a tracer of the given
+// capacity (DefaultTraceCapacity when <= 0).
+func New(traceCapacity int) *Telemetry {
+	return &Telemetry{
+		Registry: NewRegistry(),
+		Tracer:   NewTracer(traceCapacity),
+	}
+}
+
+// Reg returns the registry (nil when t is nil).
+func (t *Telemetry) Reg() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.Registry
+}
+
+// Trc returns the tracer (nil when t is nil).
+func (t *Telemetry) Trc() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.Tracer
+}
+
+// Advance records the current virtual time on the registry so exports and
+// /healthz can report how far the simulation has progressed.
+func (t *Telemetry) Advance(now time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Registry.Advance(now)
+}
+
+// Emit forwards one trace event.
+func (t *Telemetry) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.Tracer.Emit(e)
+}

@@ -1,0 +1,265 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventKind classifies trace events. Kinds map to Chrome trace_event
+// categories so Perfetto can filter one plane of the simulation at a time.
+type EventKind uint8
+
+// Trace event kinds emitted by the instrumented stack.
+const (
+	// EvArbWon marks a port winning bus arbitration.
+	EvArbWon EventKind = iota + 1
+	// EvArbLost marks a port losing an arbitration round.
+	EvArbLost
+	// EvTx is a completed frame transmission; Dur is the stuffed wire time.
+	EvTx
+	// EvErrorFrame marks a destroyed transmission (corruption or protocol
+	// violation signalled by error flags).
+	EvErrorFrame
+	// EvStateChange marks an error-active/error-passive/bus-off transition.
+	EvStateChange
+	// EvDispatch marks an ECU handling a received frame.
+	EvDispatch
+	// EvGenBatch marks a generator progress checkpoint (every batch of
+	// fuzz frames).
+	EvGenBatch
+	// EvOracle marks an oracle firing.
+	EvOracle
+	// EvReset marks a campaign system reset.
+	EvReset
+	// EvCustom is free-form instrumentation.
+	EvCustom
+)
+
+// category returns the trace_event "cat" string.
+func (k EventKind) category() string {
+	switch k {
+	case EvArbWon, EvArbLost:
+		return "arbitration"
+	case EvTx:
+		return "tx"
+	case EvErrorFrame, EvStateChange:
+		return "error"
+	case EvDispatch:
+		return "ecu"
+	case EvGenBatch:
+		return "generator"
+	case EvOracle:
+		return "oracle"
+	case EvReset:
+		return "campaign"
+	default:
+		return "custom"
+	}
+}
+
+// Event is one trace sample on the virtual timeline. The fixed-shape args
+// (ID, N, Detail) keep Emit allocation-free.
+type Event struct {
+	// At is the virtual start instant.
+	At time.Duration
+	// Dur is the span length; zero means an instant event.
+	Dur time.Duration
+	// Kind classifies the event.
+	Kind EventKind
+	// Actor is the emitting entity (port, ECU, campaign); it becomes the
+	// trace track (tid).
+	Actor string
+	// Name is the display name.
+	Name string
+	// Detail is an optional free-form argument.
+	Detail string
+	// ID is the CAN identifier involved, when meaningful.
+	ID uint32
+	// N is a generic numeric argument (frame count, error counter...).
+	N uint64
+}
+
+// Tracer records events into a bounded ring buffer: when full, the oldest
+// events are overwritten, so a long campaign keeps its most recent history
+// (the frames *before* a finding — exactly what the paper's failure
+// analysis needs). A nil *Tracer is valid and Emit on it is a no-op.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	filled  bool
+	total   uint64
+	enabled map[EventKind]bool // nil = all kinds
+}
+
+// DefaultTraceCapacity bounds the ring buffer (events retained).
+const DefaultTraceCapacity = 1 << 16
+
+// NewTracer creates a tracer retaining up to capacity events
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// SetKinds restricts recording to the given kinds (all kinds when empty).
+// Restricting high-rate kinds (EvDispatch, EvTx) stretches the ring's
+// history for long campaigns.
+func (t *Tracer) SetKinds(kinds ...EventKind) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(kinds) == 0 {
+		t.enabled = nil
+		return
+	}
+	t.enabled = make(map[EventKind]bool, len(kinds))
+	for _, k := range kinds {
+		t.enabled[k] = true
+	}
+}
+
+// Emit records one event. Safe on a nil receiver and for concurrent use.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.enabled != nil && !t.enabled[e.Kind] {
+		t.mu.Unlock()
+		return
+	}
+	t.buf[t.next] = e
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.filled = true
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns how many events were emitted (including overwritten ones).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Len returns how many events are currently retained.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.filled {
+		return len(t.buf)
+	}
+	return t.next
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.filled {
+		out := make([]Event, t.next)
+		copy(out, t.buf[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// chromeEvent is the trace_event JSON shape Perfetto/chrome://tracing read.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the retained events as a Chrome trace_event JSON
+// document on the virtual timeline: load the file in Perfetto (or
+// chrome://tracing) and each actor (port, ECU, campaign) appears as its own
+// track, with tx spans sized by their stuffed wire time.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+
+	// Assign one track per actor, in order of first appearance, and name
+	// the tracks with thread_name metadata events.
+	tids := make(map[string]int)
+	var order []string
+	for _, e := range events {
+		if _, ok := tids[e.Actor]; !ok {
+			tids[e.Actor] = len(tids) + 1
+			order = append(order, e.Actor)
+		}
+	}
+
+	out := make([]chromeEvent, 0, len(events)+len(order))
+	for _, actor := range order {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tids[actor],
+			Args: map[string]any{"name": actor},
+		})
+	}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Kind.category(),
+			Ts:   float64(e.At) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  tids[e.Actor],
+		}
+		if e.Dur > 0 {
+			ce.Ph = "X"
+			ce.Dur = float64(e.Dur) / float64(time.Microsecond)
+		} else {
+			ce.Ph = "i"
+			ce.S = "t" // thread-scoped instant
+		}
+		args := make(map[string]any)
+		if e.Detail != "" {
+			args["detail"] = e.Detail
+		}
+		if e.ID != 0 || e.Kind == EvTx || e.Kind == EvArbWon || e.Kind == EvArbLost {
+			args["id"] = e.ID
+		}
+		if e.N != 0 {
+			args["n"] = e.N
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		out = append(out, ce)
+	}
+
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: out, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

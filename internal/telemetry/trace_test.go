@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: EvTx})
+	tr.SetKinds(EvTx)
+	if tr.Total() != 0 || tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer must be inert")
+	}
+}
+
+func TestTracerRingOverwritesOldest(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Kind: EvTx, At: time.Duration(i)})
+	}
+	if tr.Total() != 5 || tr.Len() != 3 {
+		t.Fatalf("total=%d len=%d", tr.Total(), tr.Len())
+	}
+	got := tr.Events()
+	for i, want := range []time.Duration{2, 3, 4} {
+		if got[i].At != want {
+			t.Fatalf("event %d at %v, want %v (oldest-first order broken)", i, got[i].At, want)
+		}
+	}
+}
+
+func TestTracerKindFilter(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetKinds(EvOracle)
+	tr.Emit(Event{Kind: EvTx})
+	tr.Emit(Event{Kind: EvOracle})
+	if tr.Len() != 1 || tr.Events()[0].Kind != EvOracle {
+		t.Fatalf("filter failed: %v", tr.Events())
+	}
+	tr.SetKinds() // back to all
+	tr.Emit(Event{Kind: EvTx})
+	if tr.Len() != 2 {
+		t.Fatal("empty SetKinds must re-enable all kinds")
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(Event{At: time.Millisecond, Dur: 222 * time.Microsecond,
+		Kind: EvTx, Actor: "fuzzer", Name: "tx 0x215", ID: 0x215})
+	tr.Emit(Event{At: 2 * time.Millisecond, Kind: EvOracle, Actor: "campaign",
+		Name: "oracle", Detail: "unlock-ack", N: 42})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			S    string         `json:"s"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// 2 thread_name metadata events + 2 payload events.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("events = %d", len(doc.TraceEvents))
+	}
+	meta := doc.TraceEvents[0]
+	if meta.Name != "thread_name" || meta.Ph != "M" || meta.Args["name"] != "fuzzer" {
+		t.Fatalf("metadata event wrong: %+v", meta)
+	}
+	tx := doc.TraceEvents[2]
+	if tx.Ph != "X" || tx.Cat != "tx" || tx.Ts != 1000 || tx.Dur != 222 || tx.Tid != 1 {
+		t.Fatalf("tx event wrong: %+v", tx)
+	}
+	inst := doc.TraceEvents[3]
+	if inst.Ph != "i" || inst.S != "t" || inst.Cat != "oracle" ||
+		inst.Args["detail"] != "unlock-ack" || inst.Args["n"] != float64(42) {
+		t.Fatalf("instant event wrong: %+v", inst)
+	}
+}
+
+func TestTelemetryNilSafe(t *testing.T) {
+	var tel *Telemetry
+	tel.Advance(time.Second)
+	tel.Emit(Event{Kind: EvReset})
+	if tel.Reg() != nil || tel.Trc() != nil {
+		t.Fatal("nil telemetry must hand out nil planes")
+	}
+}

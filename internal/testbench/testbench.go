@@ -23,6 +23,7 @@ import (
 	"repro/internal/infotain"
 	"repro/internal/oracle"
 	"repro/internal/signal"
+	"repro/internal/telemetry"
 )
 
 // AppToken is the bench's app/head-unit pairing secret.
@@ -56,7 +57,7 @@ type Bench struct {
 
 // New assembles a bench on the given scheduler.
 func New(sched *clock.Scheduler, cfg Config) *Bench {
-	b := &Bench{sched: sched, Bus: bus.New(sched)}
+	b := &Bench{sched: sched, Bus: bus.New(sched, bus.WithName("bench"))}
 	b.HeadUnit = infotain.New(ecu.New("headunit", sched, b.Bus.Connect("headunit")), AppToken)
 	b.BCM = bcm.New(ecu.New("bcm", sched, b.Bus.Connect("bcm")), bcm.Config{
 		Check:     cfg.Check,
@@ -69,6 +70,18 @@ func New(sched *clock.Scheduler, cfg Config) *Bench {
 
 // Scheduler returns the bench clock.
 func (b *Bench) Scheduler() *clock.Scheduler { return b.sched }
+
+// Instrument attaches the bench bus and its three nodes to a telemetry
+// plane. Passing nil is a no-op.
+func (b *Bench) Instrument(t *telemetry.Telemetry) {
+	if t == nil {
+		return
+	}
+	b.Bus.Instrument(t)
+	b.HeadUnit.ECU().Instrument(t)
+	b.BCM.ECU().Instrument(t)
+	b.Monitor.Instrument(t)
+}
 
 // MonitorFrames returns the number of frames the monitor node observed.
 func (b *Bench) MonitorFrames() uint64 { return b.monitorFrames }

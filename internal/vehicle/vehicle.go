@@ -26,6 +26,7 @@ import (
 	"repro/internal/isotp"
 	"repro/internal/obd"
 	"repro/internal/signal"
+	"repro/internal/telemetry"
 	"repro/internal/uds"
 )
 
@@ -105,8 +106,8 @@ type Vehicle struct {
 func New(sched *clock.Scheduler, cfg Config) *Vehicle {
 	v := &Vehicle{
 		sched:      sched,
-		Powertrain: bus.New(sched),
-		Body:       bus.New(sched),
+		Powertrain: bus.New(sched, bus.WithName("powertrain")),
+		Body:       bus.New(sched, bus.WithName("body")),
 		db:         signal.VehicleDB(),
 		rng:        uint64(cfg.Seed)*2862933555777941757 + 3037000493,
 		fuelLevel:  61.5,
@@ -182,6 +183,23 @@ func attachClusterUDS(e *ecu.ECU, c *cluster.Cluster) *uds.Server {
 
 // Scheduler returns the vehicle's virtual clock.
 func (v *Vehicle) Scheduler() *clock.Scheduler { return v.sched }
+
+// Instrument attaches the whole car to a telemetry plane: both buses (with
+// per-port counters and sliding-window load) and every ECU's dispatch
+// accounting. Passing nil is a no-op.
+func (v *Vehicle) Instrument(t *telemetry.Telemetry) {
+	if t == nil {
+		return
+	}
+	v.Powertrain.Instrument(t)
+	v.Body.Instrument(t)
+	for _, e := range []*ecu.ECU{
+		v.Engine.ECU(), v.Cluster.ECU(), v.BCM.ECU(), v.HeadUnit.ECU(),
+		v.transmission, v.abs, v.climate, v.fuelSender, v.bodyComputer,
+	} {
+		e.Instrument(t)
+	}
+}
 
 // AttachOBD connects a tester/fuzzer node to one of the exposed buses via
 // the OBD port and returns its port.

@@ -1,0 +1,139 @@
+package repro
+
+// Telemetry golden tests: the simulation is deterministic, so for a fixed
+// seed the full Prometheus exposition and the Chrome trace document are
+// exact artefacts. Any drift means either instrumentation semantics or
+// simulation determinism changed — both deserve a deliberate
+//
+//	go test -run TestGoldenTelemetry -update
+//
+// regeneration plus a diff review.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/testbench"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite telemetry golden files")
+
+// goldenScenario runs the fixed observability scenario: a targeted unlock
+// campaign on the bench (arbitration, tx, dispatch, generator and oracle
+// events) followed by a short data-link bit-fuzz burst (error frames and
+// fault-confinement state changes), all on one virtual timeline.
+func goldenScenario(t *testing.T) *telemetry.Telemetry {
+	t.Helper()
+	sched := clock.New()
+	tel := telemetry.New(0)
+	bench := testbench.New(sched, testbench.Config{AckUnlock: true})
+	bench.Instrument(tel)
+
+	campaign, err := core.NewCampaign(sched, bench.AttachFuzzer("fuzzer"), core.Config{
+		Seed:      1,
+		TargetIDs: []can.ID{0x215},
+		LenMin:    7, LenMax: 7,
+		ByteMin: 0x10, ByteMax: 0x30, // keeps the unlock byte reachable: quick finding
+		Interval: time.Millisecond,
+	}, core.WithStopOnFinding(), core.WithTelemetry(tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign.AddOracle(bench.UnlockOracle())
+	campaign.Start()
+	sched.RunUntil(2 * time.Second)
+	campaign.Stop()
+
+	// Data-link burst: a malicious node that corrupts frames on the wire and
+	// resets its own fault confinement, walking TEC through error-passive.
+	port := bench.AttachFuzzer("bitfuzzer")
+	bf := core.NewBitFuzzer(sched, port, core.BitFuzzConfig{
+		Seed: 4, FlipBits: 12, Interval: time.Millisecond,
+	})
+	bf.Start()
+	sched.Every(25*time.Millisecond, port.ResetErrors)
+	sched.RunFor(60 * time.Millisecond)
+	bf.Stop()
+	return tel
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestGoldenTelemetry -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden (determinism or instrumentation change?).\n"+
+			"Regenerate with -update and review the diff.\ngot %d bytes, want %d bytes",
+			name, len(got), len(want))
+	}
+}
+
+func TestGoldenTelemetryPrometheus(t *testing.T) {
+	tel := goldenScenario(t)
+	var buf bytes.Buffer
+	if err := tel.Reg().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Structural guarantees before the byte-exact check.
+	for _, want := range []string{
+		"campaign_frames_sent_total ",
+		"campaign_findings_total 1",
+		"can_bus_load_ratio{bus=\"bench\"}",
+		"can_port_tx_frames_total{bus=\"bench\",port=\"fuzzer\"}",
+		"can_port_arb_losses_total{bus=\"bench\",port=",
+		"can_frames_corrupted_total{bus=\"bench\"}",
+		"can_tx_wire_seconds_bucket{bus=\"bench\",le=\"+Inf\"}",
+		"campaign_send_errors_total{cause=\"queue-full\"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	checkGolden(t, "telemetry_metrics.prom", buf.Bytes())
+}
+
+func TestGoldenTelemetryChromeTrace(t *testing.T) {
+	tel := goldenScenario(t)
+	var buf bytes.Buffer
+	if err := tel.Trc().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The trace must show all planes: arbitration, error frames,
+	// fault-confinement transitions, ECU dispatch and the oracle firing.
+	for _, want := range []string{
+		`"cat": "arbitration"`,
+		`"cat": "error"`,
+		`"cat": "ecu"`,
+		`"cat": "oracle"`,
+		`"cat": "generator"`,
+		`"name": "error-passive"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %s in trace", want)
+		}
+	}
+	checkGolden(t, "telemetry_trace.json", buf.Bytes())
+}
