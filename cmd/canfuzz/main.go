@@ -27,6 +27,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ecu"
+	"repro/internal/faults"
 	"repro/internal/oracle"
 	"repro/internal/signal"
 	"repro/internal/telemetry"
@@ -66,6 +67,8 @@ func run(args []string) error {
 	corpusFile := fs.String("corpus", "", "capture log seeding mutate/bits modes (candump format)")
 	mutateBits := fs.Int("mutate-bits", 1, "bits flipped per frame in mutate/bits modes")
 	sweepLen := fs.Int("sweep-len", 1, "fixed payload length for sweep mode")
+	chaosSpec := fs.String("chaos", "", `fault-injection plan, e.g. "seed=1;corrupt(p=1,at=2s,for=50ms);jam(at=5s,for=10ms)"`)
+	recovery := fs.Bool("recover", false, "ISO 11898-1 bus-off auto-recovery plus the campaign resilience policy")
 	metricsAddr := fs.String("metrics", "", "serve /metrics, /healthz and /trace.json on this address (e.g. localhost:9900)")
 	traceFile := fs.String("trace", "", "write the campaign as Chrome trace_event JSON to this file (open in Perfetto)")
 	metricsHold := fs.Duration("metrics-hold", 0, "keep the metrics endpoint up this long (wall time) after the campaign ends")
@@ -149,6 +152,9 @@ func run(args []string) error {
 	case "sweep":
 		cfg.Mode = core.ModeSweep
 	case "bits":
+		if *chaosSpec != "" || *recovery {
+			return fmt.Errorf("-chaos/-recover are not supported in bits mode")
+		}
 		return runBitsMode(*seed, *dur, *interval, *mutateBits, corpus,
 			tel, *metricsAddr, *traceFile, *metricsHold)
 	default:
@@ -167,6 +173,22 @@ func run(args []string) error {
 	var campaign *core.Campaign
 	var err error
 
+	// The chaos injector is created up front so WithFaultCounts can feed
+	// the report; its bus/ECU attachments happen per target below.
+	var inj *faults.Injector
+	if *chaosSpec != "" {
+		plan, perr := faults.ParsePlan(*chaosSpec)
+		if perr != nil {
+			return perr
+		}
+		inj = faults.New(sched, plan)
+		inj.Instrument(tel)
+		opts = append(opts, core.WithFaultCounts(inj.Counts))
+	}
+	if *recovery {
+		opts = append(opts, core.WithResilience(core.DefaultResilience()))
+	}
+
 	switch *target {
 	case "bench":
 		mode := bcm.CheckByteOnly
@@ -181,7 +203,9 @@ func run(args []string) error {
 		}
 		bench := testbench.New(sched, testbench.Config{Check: mode, AckUnlock: true})
 		bench.Instrument(tel)
-		campaign, err = core.NewCampaign(sched, bench.AttachFuzzer("fuzzer"), cfg, opts...)
+		fuzzPort := bench.AttachFuzzer("fuzzer")
+		armChaos(inj, *recovery, bench.Bus, bench.ECUs(), fuzzPort)
+		campaign, err = core.NewCampaign(sched, fuzzPort, cfg, opts...)
 		if err != nil {
 			return err
 		}
@@ -194,7 +218,9 @@ func run(args []string) error {
 		clusterECU := ecu.New("cluster", sched, b.Connect("cluster"))
 		clusterECU.Instrument(tel)
 		c := cluster.New(clusterECU)
-		campaign, err = core.NewCampaign(sched, b.Connect("fuzzer"), cfg, opts...)
+		fuzzPort := b.Connect("fuzzer")
+		armChaos(inj, *recovery, b, map[string]*ecu.ECU{"cluster": clusterECU}, fuzzPort)
+		campaign, err = core.NewCampaign(sched, fuzzPort, cfg, opts...)
 		if err != nil {
 			return err
 		}
@@ -216,7 +242,18 @@ func run(args []string) error {
 		v := vehicle.New(sched, vehicle.Config{Seed: *seed, BCMAckUnlock: true})
 		v.Instrument(tel)
 		sched.RunUntil(time.Second) // let the car reach steady idle
-		campaign, err = core.NewCampaign(sched, v.AttachOBD(which, "fuzzer"), cfg, opts...)
+		fuzzPort := v.AttachOBD(which, "fuzzer")
+		fuzzedBus := v.Body
+		if which == vehicle.OBDPowertrain {
+			fuzzedBus = v.Powertrain
+		}
+		armChaos(inj, *recovery, fuzzedBus, v.ECUs(), fuzzPort)
+		if *recovery {
+			// Both car buses survive bus-off, not just the fuzzed one.
+			v.Powertrain.SetAutoRecovery(true)
+			v.Body.SetAutoRecovery(true)
+		}
+		campaign, err = core.NewCampaign(sched, fuzzPort, cfg, opts...)
 		if err != nil {
 			return err
 		}
@@ -237,9 +274,20 @@ func run(args []string) error {
 	}
 	defer stopServing()
 
+	if inj != nil {
+		if err := inj.Start(); err != nil {
+			return err
+		}
+		logger.Info("chaos armed", "kinds", strings.Join(inj.Plan().Kinds(), ","),
+			"recover", *recovery)
+	}
+
 	campaign.Start()
 	sched.RunUntil(sched.Now() + *dur)
 	campaign.Stop()
+	if inj != nil {
+		inj.Stop()
+	}
 
 	if err := finishTelemetry(tel, *traceFile, *metricsHold); err != nil {
 		return err
@@ -252,6 +300,14 @@ func run(args []string) error {
 		campaign.FramesSent(), campaign.SendErrors(), sched.Now())
 	fmt.Printf("identifier coverage: %d distinct ids fuzzed\n",
 		campaign.Monitor().DistinctIDsSent())
+	if inj != nil {
+		fmt.Printf("faults injected by kind: %v\n", inj.Counts())
+	}
+	if rep := campaign.BuildReport(); rep.Resilience != nil {
+		fmt.Printf("resilience: %d retries (%d exhausted), %d watchdog fires, %d bus-offs, %d recoveries\n",
+			rep.Resilience.Retries, rep.Resilience.RetriesExhausted,
+			rep.Resilience.WatchdogFires, rep.Resilience.PortBusOffs, rep.Resilience.PortRecoveries)
+	}
 	findings := campaign.Findings()
 	if len(findings) == 0 {
 		fmt.Println("no findings (remember: not triggering anything does not mean no flaws exist)")
@@ -266,6 +322,25 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// armChaos wires the fault injector and the recovery policy into one
+// target bus: the bus gets ISO 11898-1 auto-recovery when requested, and
+// the injector learns where to corrupt the wire and which ECUs a
+// stall/panic target name resolves to. The fuzzer's own port is attachable
+// as detach target "fuzzer".
+func armChaos(inj *faults.Injector, recovery bool, b *busPkg.Bus, ecus map[string]*ecu.ECU, fuzzPort *busPkg.Port) {
+	if recovery {
+		b.SetAutoRecovery(true)
+	}
+	if inj == nil {
+		return
+	}
+	inj.AttachBus(b)
+	for name, e := range ecus {
+		inj.AttachECU(name, e)
+	}
+	inj.AttachPort("fuzzer", fuzzPort)
 }
 
 // runBitsMode runs the data-link-layer fuzzer against a bench-mounted

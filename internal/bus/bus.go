@@ -42,6 +42,16 @@ const (
 	busOffThreshold       = 256
 )
 
+// Bus-off recovery constants from ISO 11898-1 §8.3.4: a bus-off node may
+// return to error-active after monitoring 128 occurrences of 11 consecutive
+// recessive bits. The simulator credits one sequence per observed end of
+// frame (EOF or error delimiter plus intermission) and accrues sequences
+// continuously while the bus is idle.
+const (
+	busOffRecoverySequences = 128
+	recessiveSeqBits        = 11
+)
+
 // NodeState describes a port's CAN fault-confinement state.
 type NodeState int
 
@@ -113,6 +123,14 @@ func WithName(name string) Option {
 	}
 }
 
+// WithAutoRecovery makes every port (current and future) perform
+// CAN-conformant bus-off recovery: a bus-off node rejoins as error-active
+// after observing 128 sequences of 11 recessive bits (ISO 11898-1 §8.3.4)
+// instead of staying off the bus until an explicit ResetErrors.
+func WithAutoRecovery() Option {
+	return func(b *Bus) { b.autoRecover = true }
+}
+
 // WithLoadWindow sets the sliding virtual-time window over which WindowLoad
 // computes recent bus utilisation (default DefaultLoadWindow).
 func WithLoadWindow(d time.Duration) Option {
@@ -131,16 +149,48 @@ func WithLoadWindow(d time.Duration) Option {
 // it and the transmitter's error counter increases.
 type Corruptor func(can.Frame) bool
 
+// TxAction is an Interceptor's verdict on one completed transmission.
+type TxAction int
+
+const (
+	// TxDeliver lets the frame through unharmed.
+	TxDeliver TxAction = iota
+	// TxCorrupt destroys the frame on the wire: every node detects the CRC
+	// error at end of frame, the transmitter's TEC rises by 8 and each
+	// receiver's REC by 1 (the classic Corruptor behaviour).
+	TxCorrupt
+	// TxDrop loses the frame silently: it occupies the wire and the
+	// transmitter sees its ACK, but no receiver is handed the frame —
+	// modelling a receiver-side glitch the protocol does not detect.
+	TxDrop
+	// TxDuplicate delivers the frame twice to every receiver, modelling the
+	// spurious retransmission a marginal transceiver produces.
+	TxDuplicate
+)
+
+// Interceptor is the generalised wire-fault hook: it inspects each
+// transmission at end of frame and decides its fate. It subsumes Corruptor
+// (which remains for compatibility and is consulted only when the
+// interceptor returns TxDeliver).
+type Interceptor func(can.Frame) TxAction
+
 // Stats is a snapshot of bus-level counters.
 type Stats struct {
 	// FramesDelivered counts successfully transmitted frames.
 	FramesDelivered uint64
 	// FramesCorrupted counts transmissions destroyed by fault injection.
 	FramesCorrupted uint64
+	// FramesDropped counts transmissions lost silently by fault injection.
+	FramesDropped uint64
+	// FramesDuplicated counts transmissions delivered twice by fault
+	// injection.
+	FramesDuplicated uint64
 	// BitsTransmitted counts wire bits of successful frames (with IFS).
 	BitsTransmitted uint64
 	// BusyTime is cumulative time the bus spent transmitting.
 	BusyTime time.Duration
+	// JamTime is cumulative time the bus was held dominant by Jam.
+	JamTime time.Duration
 }
 
 // Bus is the shared medium. Create with New; attach nodes with Connect.
@@ -157,6 +207,16 @@ type Bus struct {
 	busy          bool
 	delivering    bool
 	corrupt       Corruptor
+	intercept     Interceptor
+
+	// Stuck-dominant window: no transmission starts and no recessive bits
+	// are observable before jamUntil.
+	jamUntil time.Duration
+
+	// Idle tracking for ISO 11898-1 bus-off recovery: while the bus is
+	// idle, recovering nodes accrue recessive-bit sequences continuously.
+	idle        bool
+	autoRecover bool
 
 	stats Stats
 	start time.Duration
@@ -166,6 +226,8 @@ type Bus struct {
 	tel        *telemetry.Telemetry
 	mDelivered *telemetry.Counter
 	mCorrupted *telemetry.Counter
+	mFaultDrop *telemetry.Counter
+	mFaultDup  *telemetry.Counter
 	mBits      *telemetry.Counter
 	gLoad      *telemetry.Gauge
 	hWireTime  *telemetry.Histogram
@@ -206,6 +268,8 @@ func (b *Bus) Instrument(t *telemetry.Telemetry) {
 	lbl := telemetry.Label{Key: "bus", Value: b.name}
 	b.mDelivered = reg.Counter("can_frames_delivered_total", "Successfully transmitted frames.", lbl)
 	b.mCorrupted = reg.Counter("can_frames_corrupted_total", "Transmissions destroyed by corruption or protocol violation.", lbl)
+	b.mFaultDrop = reg.Counter("can_frames_dropped_total", "Transmissions lost silently by fault injection.", lbl)
+	b.mFaultDup = reg.Counter("can_frames_duplicated_total", "Transmissions delivered twice by fault injection.", lbl)
 	b.mBits = reg.Counter("can_bits_transmitted_total", "Wire bits of successful frames, including interframe space.", lbl)
 	b.gLoad = reg.Gauge("can_bus_load_ratio", "Fraction of the sliding virtual-time window the bus spent transmitting.", lbl)
 	b.hWireTime = reg.Histogram("can_tx_wire_seconds", "Stuffed wire time per successful transmission.", nil, lbl)
@@ -222,6 +286,61 @@ func (b *Bus) Scheduler() *clock.Scheduler { return b.sched }
 
 // SetCorruptor installs a fault-injection hook. Pass nil to remove it.
 func (b *Bus) SetCorruptor(c Corruptor) { b.corrupt = c }
+
+// SetInterceptor installs the generalised wire-fault hook. Pass nil to
+// remove it. When both an interceptor and a corruptor are installed the
+// corruptor is consulted only for frames the interceptor delivers.
+func (b *Bus) SetInterceptor(i Interceptor) { b.intercept = i }
+
+// SetAutoRecovery switches ISO bus-off auto-recovery for every currently
+// connected port and sets the default for ports connected later.
+func (b *Bus) SetAutoRecovery(on bool) {
+	b.autoRecover = on
+	for _, p := range b.ports {
+		p.SetAutoRecover(on)
+	}
+}
+
+// Jammed reports whether a stuck-dominant window is currently holding the
+// bus.
+func (b *Bus) Jammed() bool { return b.sched.Now() < b.jamUntil }
+
+// Jam holds the bus dominant for d (a stuck-dominant transceiver or a
+// deliberate jamming attack): no transmission can start and no recessive
+// bits are observable, so bus-off recovery pauses. An in-flight
+// transmission completes first — the jam takes effect at the next
+// arbitration opportunity. Overlapping jams extend the window.
+func (b *Bus) Jam(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	now := b.sched.Now()
+	until := now + d
+	if until <= b.jamUntil {
+		return // already jammed at least that long
+	}
+	extending := b.jamUntil > now
+	if extending {
+		b.stats.JamTime += until - b.jamUntil
+	} else {
+		b.stats.JamTime += d
+	}
+	b.jamUntil = until
+	b.leaveIdle() // dominant bits interrupt recessive observation
+	if !extending {
+		b.sched.At(until, b.jamEnded)
+	}
+}
+
+// jamEnded resumes arbitration when the dominant window elapses. If the
+// window was extended meanwhile, it re-arms for the new deadline.
+func (b *Bus) jamEnded() {
+	if b.sched.Now() < b.jamUntil {
+		b.sched.At(b.jamUntil, b.jamEnded)
+		return
+	}
+	b.tryStart()
+}
 
 // Tap registers a passive listener that observes every successfully
 // delivered frame, like a wiretap or a device on the OBD port. Taps cannot
@@ -256,9 +375,10 @@ func (b *Bus) FrameTime(f can.Frame) time.Duration {
 // Connect attaches a named node to the bus and returns its port.
 func (b *Bus) Connect(name string) *Port {
 	p := &Port{
-		bus:   b,
-		name:  name,
-		state: ErrorActive,
+		bus:         b,
+		name:        name,
+		state:       ErrorActive,
+		autoRecover: b.autoRecover,
 	}
 	b.ports = append(b.ports, p)
 	if b.tel != nil {
@@ -274,6 +394,9 @@ func (b *Bus) Connect(name string) *Port {
 func (b *Bus) tryStart() {
 	if b.busy || b.delivering {
 		return
+	}
+	if b.sched.Now() < b.jamUntil {
+		return // stuck-dominant window: arbitration resumes at jamEnded
 	}
 	var winner *Port
 	var winnerID can.ID
@@ -307,8 +430,10 @@ func (b *Bus) tryStart() {
 		}
 	}
 	if winner == nil {
+		b.enterIdle()
 		return
 	}
+	b.leaveIdle()
 	// The uncontended case (one pending sender) has no losers to charge;
 	// skip the loser rescan unless a tracer wants the arb-won event too.
 	if contenders > 1 || b.tel != nil {
@@ -335,8 +460,17 @@ func (b *Bus) tryStart() {
 func (b *Bus) complete(tx *Port, frame can.Frame, dur time.Duration, bits int) {
 	b.busy = false
 	b.noteBusy(dur)
+	b.creditFrameEnd()
 
-	if b.corrupt != nil && b.corrupt(frame) {
+	action := TxDeliver
+	if b.intercept != nil {
+		action = b.intercept(frame)
+	}
+	if action == TxDeliver && b.corrupt != nil && b.corrupt(frame) {
+		action = TxCorrupt
+	}
+
+	if action == TxCorrupt {
 		b.noteErrorFrame(tx, frame.ID, dur)
 		for _, p := range b.ports {
 			if p != tx && !p.detached && p.state != BusOff {
@@ -349,20 +483,153 @@ func (b *Bus) complete(tx *Port, frame can.Frame, dur time.Duration, bits int) {
 
 	b.noteDelivered(tx, frame.ID, dur, bits)
 
-	msg := Message{Frame: frame, Time: b.sched.Now(), Origin: tx.name}
-	b.delivering = true
-	for _, p := range b.ports {
-		if p == tx || p.detached || p.state == BusOff || p.recv == nil {
-			continue
-		}
-		p.noteRx()
-		p.recv(msg)
+	if action == TxDrop {
+		// The wire carried the frame and the transmitter saw its ACK, but
+		// no receiver was handed it.
+		b.stats.FramesDropped++
+		b.mFaultDrop.Inc()
+		b.tryStart()
+		return
 	}
-	for _, t := range b.taps {
-		t(msg)
+
+	msg := Message{Frame: frame, Time: b.sched.Now(), Origin: tx.name}
+	passes := 1
+	if action == TxDuplicate {
+		passes = 2
+		b.stats.FramesDuplicated++
+		b.mFaultDup.Inc()
+	}
+	b.delivering = true
+	for i := 0; i < passes; i++ {
+		for _, p := range b.ports {
+			if p == tx || p.detached || p.state == BusOff || p.recv == nil {
+				continue
+			}
+			p.noteRx()
+			p.recv(msg)
+		}
+		for _, t := range b.taps {
+			t(msg)
+		}
 	}
 	b.delivering = false
 	b.tryStart()
+}
+
+// --- Bus-off recovery (ISO 11898-1 §8.3.4) ----------------------------------
+//
+// A bus-off node with auto-recovery enabled monitors the bus for 128
+// occurrences of 11 consecutive recessive bits and then rejoins as
+// error-active with cleared counters. Sequences accrue from two sources:
+// one per observed end of frame (EOF or error delimiter plus the
+// intermission field is at least 11 recessive bits), and continuously while
+// the bus is idle (one sequence per 11 bit times). Stuck-dominant jams
+// interrupt the idle accrual — a jammed bus shows no recessive bits.
+
+// seqTime returns the wire time of 11 recessive bits at the nominal rate.
+func (b *Bus) seqTime() time.Duration {
+	return time.Duration(recessiveSeqBits) * time.Second / time.Duration(b.bitrate)
+}
+
+// enterIdle marks the bus idle and arms a rejoin timer for every
+// recovering port at its exact remaining recessive time.
+func (b *Bus) enterIdle() {
+	if b.idle {
+		return
+	}
+	b.idle = true
+	for _, p := range b.ports {
+		if p.recovering {
+			p.recIdleStart = b.sched.Now()
+			b.armRecovery(p)
+		}
+	}
+}
+
+// leaveIdle credits the elapsed idle time to recovering ports (whole
+// 11-bit sequences only, counted per port from when its accrual began) and
+// cancels their rejoin timers.
+func (b *Bus) leaveIdle() {
+	if !b.idle {
+		return
+	}
+	b.idle = false
+	for _, p := range b.ports {
+		if !p.recovering {
+			continue
+		}
+		if p.recTimer != nil {
+			p.recTimer.Stop()
+			p.recTimer = nil
+		}
+		p.recSeq += int((b.sched.Now() - p.recIdleStart) / b.seqTime())
+		if p.recSeq >= busOffRecoverySequences {
+			// The rejoin instant coincides with this event; the timer may
+			// be ordered after us in the queue, so rejoin directly.
+			b.rejoin(p)
+		}
+	}
+}
+
+// armRecovery schedules p's rejoin assuming the bus stays idle.
+func (b *Bus) armRecovery(p *Port) {
+	remaining := busOffRecoverySequences - p.recSeq
+	if remaining <= 0 {
+		b.rejoin(p)
+		return
+	}
+	p.recTimer = b.sched.After(time.Duration(remaining)*b.seqTime(), func() {
+		p.recTimer = nil
+		b.rejoin(p)
+	})
+}
+
+// beginRecovery starts the recessive-bit count for a port that just went
+// bus-off. Called from the state machine when auto-recovery is enabled.
+func (b *Bus) beginRecovery(p *Port) {
+	if p.recovering {
+		return
+	}
+	p.recovering = true
+	p.recSeq = 0
+	if b.idle {
+		// The node went bus-off on an idle bus (e.g. SetAutoRecover on an
+		// already-off node); its idle accrual starts from this instant.
+		p.recIdleStart = b.sched.Now()
+		b.armRecovery(p)
+	}
+}
+
+// creditFrameEnd credits one recessive sequence to every recovering port at
+// an observed end of frame, rejoining any that reach the threshold.
+func (b *Bus) creditFrameEnd() {
+	for _, p := range b.ports {
+		if !p.recovering {
+			continue
+		}
+		p.recSeq++
+		if p.recSeq >= busOffRecoverySequences {
+			b.rejoin(p)
+		}
+	}
+}
+
+// rejoin returns a recovered node to error-active with cleared counters
+// (the controller re-initialises after the recovery sequence).
+func (b *Bus) rejoin(p *Port) {
+	if !p.recovering {
+		return
+	}
+	p.recovering = false
+	if p.recTimer != nil {
+		p.recTimer.Stop()
+		p.recTimer = nil
+	}
+	p.tec, p.rec = 0, 0
+	p.state = ErrorActive
+	p.stats.Recoveries++
+	p.noteStateChange()
+	p.noteRecovery()
 }
 
 // --- Telemetry accounting ---------------------------------------------------

@@ -78,6 +78,7 @@ func (b *Bus) startFD(winner *Port) {
 func (b *Bus) completeFD(tx *Port, frame can.FDFrame, dur time.Duration) {
 	b.busy = false
 	b.noteBusy(dur)
+	b.creditFrameEnd()
 
 	if b.corrupt != nil && b.corrupt(can.Frame{ID: frame.ID}) {
 		b.noteErrorFrame(tx, frame.ID, dur)

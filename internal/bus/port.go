@@ -2,8 +2,10 @@ package bus
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/can"
+	"repro/internal/clock"
 	"repro/internal/telemetry"
 )
 
@@ -20,6 +22,11 @@ type PortStats struct {
 	// ArbLosses counts arbitration rounds this node contended in and lost
 	// to a higher-priority (lower) identifier.
 	ArbLosses uint64
+	// BusOffs counts entries into the bus-off state.
+	BusOffs uint64
+	// Recoveries counts automatic bus-off recoveries (ISO 11898-1 rejoin
+	// after 128×11 recessive bits; manual ResetErrors is not counted).
+	Recoveries uint64
 }
 
 // Port is a node's attachment to the bus. A port both transmits (Send) and
@@ -38,6 +45,13 @@ type Port struct {
 	tec   int // transmit error counter
 	rec   int // receive error counter
 
+	// Bus-off auto-recovery state (ISO 11898-1 §8.3.4).
+	autoRecover  bool
+	recovering   bool
+	recSeq       int           // recessive 11-bit sequences observed
+	recIdleStart time.Duration // when this port's idle accrual began
+	recTimer     *clock.Timer
+
 	stats PortStats
 
 	// Telemetry handles; nil (no-op) until the bus is instrumented.
@@ -45,6 +59,7 @@ type Port struct {
 	mRx      *telemetry.Counter
 	mArbLoss *telemetry.Counter
 	mDropped *telemetry.Counter
+	gState   *telemetry.Gauge
 }
 
 // instrument registers the per-port counter series. Called by
@@ -57,6 +72,8 @@ func (p *Port) instrument() {
 	p.mRx = reg.Counter("can_port_rx_frames_total", "Frames this port received.", busLbl, portLbl)
 	p.mArbLoss = reg.Counter("can_port_arb_losses_total", "Arbitration rounds this port lost.", busLbl, portLbl)
 	p.mDropped = reg.Counter("can_port_dropped_total", "Frames rejected at Send time (full queue, bus-off, detached).", busLbl, portLbl)
+	p.gState = reg.Gauge("bus_node_state", "Fault-confinement state of the node (1 error-active, 2 error-passive, 3 bus-off).", busLbl, portLbl)
+	p.gState.Set(float64(p.state))
 }
 
 // noteRx accounts one received frame.
@@ -116,12 +133,43 @@ func (p *Port) Send(f can.Frame) error {
 	return nil
 }
 
+// SetAutoRecover switches ISO bus-off auto-recovery for this node. Enabling
+// it on a node already in bus-off starts the recovery count immediately;
+// disabling it cancels an in-progress recovery.
+func (p *Port) SetAutoRecover(on bool) {
+	p.autoRecover = on
+	if on && p.state == BusOff && !p.detached {
+		p.bus.beginRecovery(p)
+	}
+	if !on {
+		p.cancelRecovery()
+	}
+}
+
+// AutoRecover reports whether ISO bus-off auto-recovery is enabled.
+func (p *Port) AutoRecover() bool { return p.autoRecover }
+
+// Recovering reports whether the node is currently counting recessive bits
+// toward a bus-off rejoin.
+func (p *Port) Recovering() bool { return p.recovering }
+
+// cancelRecovery abandons an in-progress bus-off recovery.
+func (p *Port) cancelRecovery() {
+	p.recovering = false
+	p.recSeq = 0
+	if p.recTimer != nil {
+		p.recTimer.Stop()
+		p.recTimer = nil
+	}
+}
+
 // Detach removes the node from the bus. Pending transmissions are dropped.
 func (p *Port) Detach() {
 	p.detached = true
 	p.txq = nil
 	p.rawq = nil
 	p.fdq = nil
+	p.cancelRecovery()
 }
 
 // Reattach reconnects a detached node (e.g. after a simulated power cycle)
@@ -135,6 +183,7 @@ func (p *Port) Reattach() {
 // error-active, modelling the controller reset an ECU performs on power-up
 // (this is how a bus-off node recovers).
 func (p *Port) ResetErrors() {
+	p.cancelRecovery()
 	prev := p.state
 	p.tec, p.rec = 0, 0
 	p.state = ErrorActive
@@ -177,6 +226,10 @@ func (p *Port) updateState() {
 			p.txq = nil // controller drops its mailboxes on bus-off
 			p.rawq = nil
 			p.fdq = nil
+			p.stats.BusOffs++
+			if p.autoRecover {
+				p.bus.beginRecovery(p)
+			}
 		}
 	case p.tec >= errorPassiveThreshold || p.rec >= errorPassiveThreshold:
 		if p.state != BusOff {
@@ -195,6 +248,7 @@ func (p *Port) updateState() {
 // noteStateChange records a fault-confinement transition. Transitions are
 // rare, so the lazy per-state counter registration is off the hot path.
 func (p *Port) noteStateChange() {
+	p.gState.Set(float64(p.state))
 	tel := p.bus.tel
 	if tel == nil {
 		return
@@ -208,5 +262,21 @@ func (p *Port) noteStateChange() {
 	tel.Emit(telemetry.Event{
 		At: p.bus.sched.Now(), Kind: telemetry.EvStateChange,
 		Actor: p.name, Name: st, N: uint64(p.tec),
+	})
+}
+
+// noteRecovery records a completed ISO bus-off recovery.
+func (p *Port) noteRecovery() {
+	tel := p.bus.tel
+	if tel == nil {
+		return
+	}
+	tel.Reg().Counter("can_busoff_recoveries_total",
+		"Automatic bus-off recoveries (ISO 11898-1 rejoin).",
+		telemetry.Label{Key: "bus", Value: p.bus.name},
+		telemetry.Label{Key: "port", Value: p.name}).Inc()
+	tel.Emit(telemetry.Event{
+		At: p.bus.sched.Now(), Kind: telemetry.EvRecover,
+		Actor: p.name, Name: "bus-off-recovered",
 	})
 }

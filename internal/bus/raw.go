@@ -88,6 +88,7 @@ func (b *Bus) startRaw(winner *Port) {
 func (b *Bus) completeRaw(tx *Port, raw rawTx, dur time.Duration) {
 	b.busy = false
 	b.noteBusy(dur)
+	b.creditFrameEnd()
 
 	frame, err := can.DecodeBits(raw.bits)
 	if err != nil || frame.Validate() != nil {

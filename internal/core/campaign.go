@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/bus"
@@ -55,6 +56,13 @@ func WithMaxFrames(n uint64) Option {
 	return func(c *Campaign) { c.maxFrames = n }
 }
 
+// WithFaultCounts installs a snapshot function (typically
+// faults.Injector.Counts) whose injected-fault counts by kind are embedded
+// in BuildReport, making chaos campaigns self-describing.
+func WithFaultCounts(fn func() map[string]uint64) Option {
+	return func(c *Campaign) { c.faultCounts = fn }
+}
+
 // WithTelemetry attaches the campaign to a telemetry plane: frame and
 // error counters, coverage and integrity gauges, and trace events for
 // generator progress, oracle firings and system resets. Oracles added via
@@ -73,15 +81,31 @@ const genBatchEvery = 256
 // outpaced the bus" (queue-full) from "the fuzzer knocked itself off the
 // bus" (bus-off) — they demand opposite remediations.
 const (
-	CauseQueueFull = "queue-full"
-	CauseBusOff    = "bus-off"
-	CauseDetached  = "detached"
-	CauseOther     = "other"
+	CauseQueueFull      = "queue-full"
+	CauseBusOff         = "bus-off"
+	CauseDetached       = "detached"
+	CauseRetryExhausted = "retry-exhausted"
+	CauseWatchdogReset  = "watchdog-reset"
+	CauseOther          = "other"
 )
 
-// classifySendError maps a Port.Send error to its cause label.
+// sendErrorCauses lists every cause label classifySendError can return, for
+// eager counter registration.
+var sendErrorCauses = []string{
+	CauseQueueFull, CauseBusOff, CauseDetached,
+	CauseRetryExhausted, CauseWatchdogReset, CauseOther,
+}
+
+// classifySendError maps a send-path error to its cause label. The
+// resilience sentinels are checked first: a frame abandoned after exhausted
+// retries or a watchdog reset must not be re-bucketed by whatever transient
+// error happened to be last.
 func classifySendError(err error) string {
 	switch {
+	case errors.Is(err, ErrRetryExhausted):
+		return CauseRetryExhausted
+	case errors.Is(err, ErrWatchdogReset):
+		return CauseWatchdogReset
 	case errors.Is(err, bus.ErrTxQueueFull):
 		return CauseQueueFull
 	case errors.Is(err, bus.ErrBusOff):
@@ -119,6 +143,12 @@ type Campaign struct {
 	window        int
 	maxFrames     uint64
 
+	// res is the resilience policy; nil (the default) means no retries and
+	// no watchdog, with zero overhead on the send path.
+	res *resState
+	// faultCounts snapshots injected-fault counts for BuildReport.
+	faultCounts func() map[string]uint64
+
 	// Telemetry handles; nil (no-op) unless WithTelemetry was given.
 	tel       *telemetry.Telemetry
 	mSent     *telemetry.Counter
@@ -155,8 +185,8 @@ func NewCampaign(sched *clock.Scheduler, port *bus.Port, cfg Config, opts ...Opt
 		c.mResets = reg.Counter("campaign_resets_total", "System resets performed after findings.")
 		c.gDistinct = reg.Gauge("campaign_distinct_ids", "Distinct identifiers fuzzed (coverage numerator).")
 		c.gByteMean = reg.Gauge("campaign_sent_byte_mean", "Mean payload byte value of sent frames (Fig 5 integrity; ~127.5 when healthy).")
-		c.mErrCause = make(map[string]*telemetry.Counter, 4)
-		for _, cause := range []string{CauseQueueFull, CauseBusOff, CauseDetached, CauseOther} {
+		c.mErrCause = make(map[string]*telemetry.Counter, len(sendErrorCauses))
+		for _, cause := range sendErrorCauses {
 			c.mErrCause[cause] = reg.Counter("campaign_send_errors_total",
 				"Rejected transmissions, by cause.", telemetry.Label{Key: "cause", Value: cause})
 		}
@@ -222,6 +252,7 @@ func (c *Campaign) Start() {
 		o.Start(c.sched, c.report)
 	}
 	c.timer = c.sched.Every(c.gen.cfg.Interval, c.sendOne)
+	c.startWatchdog()
 }
 
 // Stop halts transmission and disarms oracles.
@@ -245,6 +276,7 @@ func (c *Campaign) Stop() {
 		c.timer.Stop()
 		c.timer = nil
 	}
+	c.stopWatchdog()
 	for _, o := range c.oracles {
 		o.Stop()
 	}
@@ -260,15 +292,25 @@ func (c *Campaign) RunFor(d time.Duration) {
 
 // RunUntilFinding starts the campaign and drives the scheduler until the
 // first finding or the deadline. It reports the finding and whether one
-// occurred.
+// occurred. When no resilience policy is configured a default dead-bus
+// watchdog is armed, so a campaign that knocks its own node bus-off mid-run
+// ends promptly with a classified "watchdog" finding instead of spinning
+// ErrBusOff until maxDuration.
 func (c *Campaign) RunUntilFinding(maxDuration time.Duration) (Finding, bool) {
 	if !c.stopOnFinding {
 		c.stopOnFinding = true
 	}
+	if c.res == nil {
+		w := DefaultResilience().WatchdogWindow
+		if iv := c.gen.cfg.Interval; w < 4*iv {
+			w = 4 * iv // never let a slow sender look like a dead bus
+		}
+		c.res = &resState{Resilience: Resilience{WatchdogWindow: w}}
+	}
 	before := len(c.findings)
 	c.Start()
 	deadline := c.sched.Now() + maxDuration
-	for c.sched.Now() < deadline && len(c.findings) == before {
+	for c.running && c.sched.Now() < deadline && len(c.findings) == before {
 		if !c.sched.Step() {
 			break
 		}
@@ -280,21 +322,45 @@ func (c *Campaign) RunUntilFinding(maxDuration time.Duration) (Finding, bool) {
 	return Finding{}, false
 }
 
-// sendOne is the timing-loop body: generate, transmit, account.
+// sendOne is the timing-loop body: generate (or pick up a pending
+// retransmission), transmit, account. With a resilience policy, transient
+// rejections pause the loop for a doubling backoff and retry the same frame
+// instead of abandoning it.
 func (c *Campaign) sendOne() {
 	if c.maxFrames > 0 && c.framesSent >= c.maxFrames {
 		c.Stop()
 		return
 	}
-	f := c.gen.Next()
+	res := c.res
+	if res != nil && c.sched.Now() < res.pausedUntil {
+		return // backing off; keep the generator stream untouched
+	}
+	var f can.Frame
+	if res != nil && res.pendingValid {
+		f = res.pending
+	} else {
+		f = c.gen.Next()
+	}
 	if err := c.port.Send(f); err != nil {
-		c.sendErrors++
-		cause := classifySendError(err)
-		c.errsByCause[cause]++
-		if c.tel != nil {
-			c.mErrCause[cause].Inc()
+		if res != nil && res.RetryMax > 0 && transientSendError(err) {
+			if res.attempts < res.RetryMax {
+				res.pending, res.pendingValid = f, true
+				res.attempts++
+				res.pausedUntil = c.sched.Now() + res.backoff()
+				c.noteRetry()
+				return
+			}
+			res.clearPending()
+			res.retriesExhausted++
+			c.noteSendError(fmt.Errorf("%w (%d attempts, last: %v)",
+				ErrRetryExhausted, res.RetryMax, err))
+			return
 		}
+		c.noteSendError(err)
 		return
+	}
+	if res != nil && res.pendingValid {
+		res.clearPending()
 	}
 	c.framesSent++
 	c.mon.NoteSent(f)
@@ -308,6 +374,16 @@ func (c *Campaign) sendOne() {
 			At: now, Kind: telemetry.EvGenBatch,
 			Actor: "campaign", Name: "gen-batch", N: c.framesSent,
 		})
+	}
+}
+
+// noteSendError accounts one abandoned transmission by cause.
+func (c *Campaign) noteSendError(err error) {
+	c.sendErrors++
+	cause := classifySendError(err)
+	c.errsByCause[cause]++
+	if c.tel != nil {
+		c.mErrCause[cause].Inc()
 	}
 }
 

@@ -39,6 +39,14 @@ type Report struct {
 	// ByteMeanSpread is max-min of the per-position means.
 	ByteMeanSpread float64 `json:"byteMeanSpread"`
 
+	// Resilience summarises the graceful-degradation counters (retries,
+	// watchdog activity, fuzzer-port bus-off cycles). Nil when the campaign
+	// ran without a resilience policy.
+	Resilience *ResilienceReport `json:"resilience,omitempty"`
+	// FaultsInjected counts injected faults by kind (see internal/faults).
+	// Empty when no fault plan was attached.
+	FaultsInjected map[string]uint64 `json:"faultsInjected,omitempty"`
+
 	// Findings lists oracle firings in order.
 	Findings []ReportFinding `json:"findings"`
 }
@@ -73,6 +81,25 @@ func (c *Campaign) BuildReport() Report {
 	}
 	if len(c.errsByCause) > 0 {
 		r.SendErrorsByCause = c.SendErrorsByCause()
+	}
+	if c.res != nil {
+		ps := c.port.Stats()
+		r.Resilience = &ResilienceReport{
+			Retries:          c.res.retries,
+			RetriesExhausted: c.res.retriesExhausted,
+			WatchdogFires:    c.res.watchdogFires,
+			WatchdogResets:   c.res.watchdogResets,
+			PortBusOffs:      ps.BusOffs,
+			PortRecoveries:   ps.Recoveries,
+		}
+	}
+	if c.faultCounts != nil {
+		if m := c.faultCounts(); len(m) > 0 {
+			r.FaultsInjected = make(map[string]uint64, len(m))
+			for k, v := range m {
+				r.FaultsInjected[k] = v
+			}
+		}
 	}
 	for _, f := range c.findings {
 		rf := ReportFinding{

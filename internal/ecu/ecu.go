@@ -92,11 +92,21 @@ type ECU struct {
 	faults    []Fault
 	onPowerOn []func()
 
+	// Crash/stall fault state. A crashed ECU is off the bus until Recover;
+	// a stalled ECU drops frames and skips periodic work until the stall
+	// window elapses.
+	crashed      bool
+	crashDetail  string
+	stalledUntil time.Duration
+	panicNext    string // armed InjectPanic detail; "" when disarmed
+	onCrash      []func(detail string)
+
 	// Telemetry handles; nil (no-op) until Instrument is called.
 	tel         *telemetry.Telemetry
 	mDispatched *telemetry.Counter
 	mFaults     *telemetry.Counter
 	mPowerCycle *telemetry.Counter
+	mCrashes    *telemetry.Counter
 }
 
 // New creates an ECU bound to a bus port. The ECU starts powered on in
@@ -136,6 +146,7 @@ func (e *ECU) Instrument(t *telemetry.Telemetry) {
 	e.mDispatched = t.Registry.Counter("ecu_frames_dispatched_total", "Frames routed to this ECU's handlers.", lbl)
 	e.mFaults = t.Registry.Counter("ecu_faults_total", "Fault-log entries raised by this ECU.", lbl)
 	e.mPowerCycle = t.Registry.Counter("ecu_power_cycles_total", "Power-off/power-on transitions of this ECU.", lbl)
+	e.mCrashes = t.Registry.Counter("ecu_crashes_total", "Handler panics recovered by crashing this ECU.", lbl)
 }
 
 // Scheduler returns the virtual clock the ECU runs on.
@@ -181,7 +192,14 @@ func (e *ECU) Periodic(interval time.Duration, fn func()) {
 	if fn == nil {
 		panic("ecu: nil periodic")
 	}
-	spec := &periodicSpec{interval: interval, fn: fn}
+	spec := &periodicSpec{interval: interval}
+	spec.fn = func() {
+		if !e.powered || e.crashed || e.sched.Now() < e.stalledUntil {
+			return // stalled application: the tick is skipped, not deferred
+		}
+		defer e.guard()
+		fn()
+	}
 	e.periodics = append(e.periodics, spec)
 	if e.powered {
 		spec.timer = e.sched.Every(interval, spec.fn)
@@ -209,10 +227,16 @@ func (e *ECU) Send(f can.Frame) error {
 	return nil
 }
 
-// dispatch routes a received frame to handlers.
+// dispatch routes a received frame to handlers. Handler panics do not
+// propagate into the simulation loop: the guard converts them into an ECU
+// crash (node off the bus, fault logged) so the campaign can observe the
+// failure and keep running.
 func (e *ECU) dispatch(m bus.Message) {
-	if !e.powered {
+	if !e.powered || e.crashed {
 		return
+	}
+	if e.sched.Now() < e.stalledUntil {
+		return // wedged application task: the frame is lost
 	}
 	e.mDispatched.Inc()
 	if e.tel != nil {
@@ -221,12 +245,106 @@ func (e *ECU) dispatch(m bus.Message) {
 			Actor: e.name, Name: "dispatch", ID: uint32(m.Frame.ID),
 		})
 	}
+	defer e.guard()
+	if e.panicNext != "" {
+		detail := e.panicNext
+		e.panicNext = ""
+		panic(detail)
+	}
 	for _, h := range e.handlers[m.Frame.ID] {
 		h(m)
 	}
 	for _, h := range e.catchAll {
 		h(m)
 	}
+}
+
+// guard recovers a panicking handler or periodic by crashing the ECU
+// instead of unwinding through the scheduler.
+func (e *ECU) guard() {
+	if r := recover(); r != nil {
+		e.crash(fmt.Sprint(r))
+	}
+}
+
+// crash takes the ECU down after an unrecovered software fault: the fault
+// is logged (the log survives, as the tester's record), the node leaves the
+// bus, and OnCrash observers are notified. The ECU stays down until Recover.
+func (e *ECU) crash(detail string) {
+	if e.crashed {
+		return
+	}
+	e.crashed = true
+	e.crashDetail = detail
+	e.LogFault("U3000", "software crash: "+detail)
+	e.mCrashes.Inc()
+	if e.tel != nil {
+		e.tel.Emit(telemetry.Event{
+			At: e.sched.Now(), Kind: telemetry.EvFault,
+			Actor: e.name, Name: "ecu-crash", Detail: detail,
+		})
+	}
+	e.PowerOff()
+	for _, fn := range e.onCrash {
+		fn(detail)
+	}
+}
+
+// Crashed reports whether the ECU is down after a software crash.
+func (e *ECU) Crashed() bool { return e.crashed }
+
+// CrashDetail returns the panic value of the crash that took the ECU down
+// ("" when not crashed).
+func (e *ECU) CrashDetail() string { return e.crashDetail }
+
+// OnCrash registers an observer invoked when a handler or periodic panic
+// crashes the ECU.
+func (e *ECU) OnCrash(fn func(detail string)) {
+	if fn == nil {
+		panic("ecu: nil callback")
+	}
+	e.onCrash = append(e.onCrash, fn)
+}
+
+// Recover clears a crash and powers the ECU back on (the watchdog reset a
+// real controller performs). A no-op on an ECU that is not crashed.
+func (e *ECU) Recover() {
+	if !e.crashed {
+		return
+	}
+	e.crashed = false
+	e.crashDetail = ""
+	if e.tel != nil {
+		e.tel.Emit(telemetry.Event{
+			At: e.sched.Now(), Kind: telemetry.EvRecover,
+			Actor: e.name, Name: "ecu-recovered",
+		})
+	}
+	e.PowerOn()
+}
+
+// InjectStall wedges the ECU's application for d: received frames are lost
+// and periodic work is skipped until the window elapses. Overlapping stalls
+// extend the window.
+func (e *ECU) InjectStall(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if until := e.sched.Now() + d; until > e.stalledUntil {
+		e.stalledUntil = until
+	}
+}
+
+// Stalled reports whether the ECU is currently inside a stall window.
+func (e *ECU) Stalled() bool { return e.sched.Now() < e.stalledUntil }
+
+// InjectPanic arms a panic in the ECU's next frame dispatch, exercising the
+// crash-recovery path exactly as a latent handler bug would.
+func (e *ECU) InjectPanic(detail string) {
+	if detail == "" {
+		detail = "injected panic"
+	}
+	e.panicNext = detail
 }
 
 // PowerOff halts the ECU: periodic transmissions stop, the port detaches,
@@ -257,9 +375,10 @@ func (e *ECU) PowerOff() {
 
 // PowerOn restores the ECU after PowerOff: the port reattaches (clearing
 // bus error state, as a controller reset does), periodic schedules restart,
-// and OnPowerOn callbacks run.
+// and OnPowerOn callbacks run. A crashed ECU cannot power on until Recover
+// clears the crash.
 func (e *ECU) PowerOn() {
-	if e.powered {
+	if e.powered || e.crashed {
 		return
 	}
 	e.powered = true

@@ -57,6 +57,14 @@ func New(e *ecu.ECU) *Engine {
 	// React to climate load requests: a trusted input, fuzzable.
 	e.Handle(signal.IDClimate, eng.onClimate)
 	e.Periodic(10*time.Millisecond, eng.tick)
+	// Volatile governor state re-initialises on power-up (a controller
+	// reset returns the idle target to base; coolant is physical and
+	// persists).
+	e.OnPowerOn(func() {
+		eng.rpm = baseIdleRPM
+		eng.acLoad = false
+		eng.throttle = 0
+	})
 	return eng
 }
 

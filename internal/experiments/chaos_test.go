@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/faults"
+)
+
+func TestChaosClusterBrickRecovers(t *testing.T) {
+	res := ChaosClusterBrick(1, time.Hour, true)
+	if !res.Found {
+		t.Fatal("chaos campaign with recovery never found the cluster crash")
+	}
+	if res.Finding.Verdict.Oracle != "cluster-crash" {
+		t.Fatalf("finding oracle = %q, want cluster-crash", res.Finding.Verdict.Oracle)
+	}
+	if !res.ClusterCrashed {
+		t.Fatal("crash display not latched")
+	}
+	// The injected corruption bricked the fuzzer node mid-run and ISO
+	// auto-recovery brought it back: the report records the full cycle.
+	if res.BusOffs == 0 || res.Recoveries == 0 {
+		t.Fatalf("bus-off/recovery cycle missing: busoffs=%d recoveries=%d",
+			res.BusOffs, res.Recoveries)
+	}
+	if res.FuzzerState != bus.ErrorActive {
+		t.Fatalf("fuzzer state = %v at end, want error-active", res.FuzzerState)
+	}
+	rep := res.Report
+	if rep.Resilience == nil || rep.Resilience.PortBusOffs == 0 || rep.Resilience.PortRecoveries == 0 {
+		t.Fatalf("resilience section incomplete: %+v", rep.Resilience)
+	}
+	if rep.FaultsInjected[string(faults.KindCorrupt)] == 0 {
+		t.Fatalf("no corrupt injections in report: %v", rep.FaultsInjected)
+	}
+	for _, k := range []faults.Kind{faults.KindJam, faults.KindStall} {
+		if rep.FaultsInjected[string(k)] != 1 {
+			t.Fatalf("FaultsInjected[%s] = %d, want 1 (all: %v)",
+				k, rep.FaultsInjected[string(k)], rep.FaultsInjected)
+		}
+	}
+	if res.Elapsed >= time.Hour {
+		t.Fatalf("ran to the deadline: %v", res.Elapsed)
+	}
+}
+
+func TestChaosClusterBrickWatchdogWithoutRecovery(t *testing.T) {
+	res := ChaosClusterBrick(1, time.Hour, false)
+	if !res.Found {
+		t.Fatal("dead-bus run produced no finding")
+	}
+	if res.Finding.Verdict.Oracle != "watchdog" {
+		t.Fatalf("finding oracle = %q, want watchdog", res.Finding.Verdict.Oracle)
+	}
+	if res.BusOffs == 0 || res.Recoveries != 0 {
+		t.Fatalf("busoffs=%d recoveries=%d, want brick without rejoin",
+			res.BusOffs, res.Recoveries)
+	}
+	if res.FuzzerState != bus.BusOff {
+		t.Fatalf("fuzzer state = %v, want bus-off", res.FuzzerState)
+	}
+	// The watchdog must short-circuit the run, not spin to the deadline.
+	if res.Elapsed >= time.Second {
+		t.Fatalf("watchdog took %v to end the run", res.Elapsed)
+	}
+}
+
+func TestChaosClusterBrickSeedStable(t *testing.T) {
+	a := ChaosClusterBrick(1, time.Hour, true)
+	b := ChaosClusterBrick(1, time.Hour, true)
+	if !reflect.DeepEqual(a.Report, b.Report) {
+		t.Fatalf("same seed produced different reports:\n%+v\n%+v", a.Report, b.Report)
+	}
+	if a.BusOffs != b.BusOffs || a.Recoveries != b.Recoveries || a.Elapsed != b.Elapsed {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if len(a.Report.FaultsInjected) == 0 {
+		t.Fatal("report missing injected-fault counts")
+	}
+}

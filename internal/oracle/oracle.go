@@ -309,3 +309,21 @@ func Display(name string, interval time.Duration, render func() string, baseline
 		},
 	}
 }
+
+// Crash returns a Probe watching an ECU's crash flag (crashed reads
+// ECU.Crashed, detail reads ECU.CrashDetail): the XCP-style equivalent of a
+// debugger noticing the target died. It fires once, when the flag first
+// reads true.
+func Crash(name string, interval time.Duration, crashed func() bool, detail func() string) *Probe {
+	return &Probe{
+		OracleName: name,
+		Interval:   interval,
+		Once:       true,
+		Check: func() string {
+			if crashed() {
+				return "ecu crashed: " + detail()
+			}
+			return ""
+		},
+	}
+}

@@ -35,6 +35,13 @@ const (
 	EvReset
 	// EvCustom is free-form instrumentation.
 	EvCustom
+	// EvFault marks an injected fault (wire corruption window, babbling
+	// node, jam, ECU stall/panic, port detach) taking effect.
+	EvFault
+	// EvRecover marks a recovery action: a bus-off node rejoining after the
+	// ISO 11898-1 interval, an ECU rebooting after a crash, or a campaign
+	// watchdog reset restoring bus progress.
+	EvRecover
 )
 
 // category returns the trace_event "cat" string.
@@ -54,6 +61,10 @@ func (k EventKind) category() string {
 		return "oracle"
 	case EvReset:
 		return "campaign"
+	case EvFault:
+		return "fault"
+	case EvRecover:
+		return "recovery"
 	default:
 		return "custom"
 	}

@@ -83,6 +83,16 @@ func (b *Bench) Instrument(t *telemetry.Telemetry) {
 	b.Monitor.Instrument(t)
 }
 
+// ECUs returns the bench nodes by name — the attachment map a
+// fault-injection plan uses to resolve stall/panic targets.
+func (b *Bench) ECUs() map[string]*ecu.ECU {
+	return map[string]*ecu.ECU{
+		b.HeadUnit.ECU().Name(): b.HeadUnit.ECU(),
+		b.BCM.ECU().Name():      b.BCM.ECU(),
+		b.Monitor.Name():        b.Monitor,
+	}
+}
+
 // MonitorFrames returns the number of frames the monitor node observed.
 func (b *Bench) MonitorFrames() uint64 { return b.monitorFrames }
 

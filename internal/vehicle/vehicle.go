@@ -201,6 +201,19 @@ func (v *Vehicle) Instrument(t *telemetry.Telemetry) {
 	}
 }
 
+// ECUs returns every application ECU by node name — the attachment map a
+// fault-injection plan uses to resolve stall/panic targets.
+func (v *Vehicle) ECUs() map[string]*ecu.ECU {
+	m := map[string]*ecu.ECU{}
+	for _, e := range []*ecu.ECU{
+		v.Engine.ECU(), v.Cluster.ECU(), v.BCM.ECU(), v.HeadUnit.ECU(),
+		v.transmission, v.abs, v.climate, v.fuelSender, v.bodyComputer,
+	} {
+		m[e.Name()] = e
+	}
+	return m
+}
+
 // AttachOBD connects a tester/fuzzer node to one of the exposed buses via
 // the OBD port and returns its port.
 func (v *Vehicle) AttachOBD(which OBDBus, name string) *bus.Port {
