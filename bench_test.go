@@ -12,7 +12,9 @@ package repro
 // them.
 
 import (
+	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/telemetry"
 	"repro/internal/testbench"
 )
@@ -319,4 +322,49 @@ func BenchmarkAblationIDS(b *testing.B) {
 	}
 	b.ReportMetric(res.DetectionLatency.Seconds()*1000, "detect-latency-ms")
 	b.ReportMetric(float64(res.FramesBeforeDetection), "fuzz-frames-tolerated")
+}
+
+// fleetTable5Factory builds the Table V workload for the fleet benchmark:
+// one full blind bench-unlock world per trial.
+func fleetTable5Factory(spec fleet.TrialSpec) (*fleet.World, error) {
+	exp, err := testbench.NewUnlockExperiment(testbench.Config{}, core.Config{Seed: spec.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &fleet.World{Sched: exp.Bench.Scheduler(), Campaign: exp.Campaign}, nil
+}
+
+// BenchmarkFleet measures fleet scaling on the Table V workload: the same
+// trial set at 1, 2, 4 and NumCPU workers. Per-trial results are identical
+// at every width (the determinism guarantee), so the trials/sec metric
+// isolates pure orchestration speedup — expect near-linear scaling until
+// the trial count stops dividing evenly across the pool.
+func BenchmarkFleet(b *testing.B) {
+	trials := table5Runs()
+	widths := []int{1, 2, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	for _, workers := range widths {
+		if workers < 1 || seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var rep *fleet.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = fleet.Run(fleet.Config{
+					Trials:      trials,
+					Workers:     workers,
+					BaseSeed:    100,
+					MaxPerTrial: 12 * time.Hour,
+				}, fleetTable5Factory)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.FoundFindings), "findings")
+			b.ReportMetric(rep.VirtualTimeTotal.Seconds(), "virtual-sec")
+			b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+		})
+	}
 }

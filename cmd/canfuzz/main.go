@@ -9,6 +9,7 @@
 //	canfuzz -target cluster -dur 5m             # brick the cluster (Fig 9)
 //	canfuzz -target vehicle -bus body -dur 10s  # disturb the car (Figs 7-8)
 //	canfuzz -target bench -ids 215 -len-min 7 -len-max 7   # targeted
+//	canfuzz -target bench -trials 1000 -workers 8 -json    # fleet (Table V distribution)
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ecu"
 	"repro/internal/faults"
+	"repro/internal/fleet"
 	"repro/internal/oracle"
 	"repro/internal/signal"
 	"repro/internal/telemetry"
@@ -72,8 +75,32 @@ func run(args []string) error {
 	metricsAddr := fs.String("metrics", "", "serve /metrics, /healthz and /trace.json on this address (e.g. localhost:9900)")
 	traceFile := fs.String("trace", "", "write the campaign as Chrome trace_event JSON to this file (open in Perfetto)")
 	metricsHold := fs.Duration("metrics-hold", 0, "keep the metrics endpoint up this long (wall time) after the campaign ends")
+	trials := fs.Int("trials", 1, "number of independent fleet trials (>= 1; > 1 enables fleet mode)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "fleet worker-pool size (>= 1)")
+	failFast := fs.Bool("fail-fast", false, "fleet mode: stop dispatching trials after the first confirmed finding")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Flag validation: loud errors instead of silent misbehaviour.
+	if *trials < 1 {
+		return fmt.Errorf("-trials must be >= 1, got %d", *trials)
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be >= 1, got %d", *workers)
+	}
+	if *interval < core.MinInterval {
+		return fmt.Errorf("-interval must be >= 1ms (the fuzzer's maximum rate, §VI), got %v", *interval)
+	}
+	if *trials > 1 {
+		switch {
+		case *chaosSpec != "":
+			return fmt.Errorf("-chaos is not supported in fleet mode (-trials > 1): fault plans attach to one world")
+		case *metricsAddr != "" || *traceFile != "" || *metricsHold != 0:
+			return fmt.Errorf("-metrics/-trace/-metrics-hold are not supported in fleet mode (-trials > 1); the fleet report embeds a merged telemetry snapshot")
+		case *mode == "bits":
+			return fmt.Errorf("-mode bits is not supported in fleet mode (-trials > 1)")
+		}
 	}
 
 	cfg := core.Config{
@@ -161,109 +188,44 @@ func run(args []string) error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
-	var opts []core.Option
-	if *stop {
-		opts = append(opts, core.WithStopOnFinding())
+	checkMode := bcm.CheckByteOnly
+	switch *check {
+	case "byte":
+	case "length":
+		checkMode = bcm.CheckByteAndLength
+	case "twobytes":
+		checkMode = bcm.CheckTwoBytes
+	default:
+		return fmt.Errorf("unknown bcm-check %q", *check)
 	}
-	if tel != nil {
-		opts = append(opts, core.WithTelemetry(tel))
+	spec := targetSpec{
+		target:   *target,
+		busName:  *busName,
+		check:    checkMode,
+		stop:     *stop,
+		recovery: *recovery,
 	}
 
-	sched := clock.New()
-	var campaign *core.Campaign
-	var err error
-
-	// The chaos injector is created up front so WithFaultCounts can feed
-	// the report; its bus/ECU attachments happen per target below.
-	var inj *faults.Injector
+	// The chaos plan is parsed up front; the injector itself is built per
+	// world so it shares the world's scheduler.
+	var plan *faults.Plan
 	if *chaosSpec != "" {
-		plan, perr := faults.ParsePlan(*chaosSpec)
+		p, perr := faults.ParsePlan(*chaosSpec)
 		if perr != nil {
 			return perr
 		}
-		inj = faults.New(sched, plan)
-		inj.Instrument(tel)
-		opts = append(opts, core.WithFaultCounts(inj.Counts))
-	}
-	if *recovery {
-		opts = append(opts, core.WithResilience(core.DefaultResilience()))
+		plan = &p
 	}
 
-	switch *target {
-	case "bench":
-		mode := bcm.CheckByteOnly
-		switch *check {
-		case "byte":
-		case "length":
-			mode = bcm.CheckByteAndLength
-		case "twobytes":
-			mode = bcm.CheckTwoBytes
-		default:
-			return fmt.Errorf("unknown bcm-check %q", *check)
-		}
-		bench := testbench.New(sched, testbench.Config{Check: mode, AckUnlock: true})
-		bench.Instrument(tel)
-		fuzzPort := bench.AttachFuzzer("fuzzer")
-		armChaos(inj, *recovery, bench.Bus, bench.ECUs(), fuzzPort)
-		campaign, err = core.NewCampaign(sched, fuzzPort, cfg, opts...)
-		if err != nil {
-			return err
-		}
-		campaign.AddOracle(bench.UnlockOracle())
-		campaign.AddOracle(bench.LEDOracle(10 * time.Millisecond))
-
-	case "cluster":
-		b := busPkg.New(sched, busPkg.WithName("bench"))
-		b.Instrument(tel)
-		clusterECU := ecu.New("cluster", sched, b.Connect("cluster"))
-		clusterECU.Instrument(tel)
-		c := cluster.New(clusterECU)
-		fuzzPort := b.Connect("fuzzer")
-		armChaos(inj, *recovery, b, map[string]*ecu.ECU{"cluster": clusterECU}, fuzzPort)
-		campaign, err = core.NewCampaign(sched, fuzzPort, cfg, opts...)
-		if err != nil {
-			return err
-		}
-		campaign.AddOracle(&oracle.Probe{
-			OracleName: "cluster-crash", Interval: 10 * time.Millisecond, Once: true,
-			Check: func() string {
-				if c.Crashed() {
-					return "persistent CRASH display latched"
-				}
-				return ""
-			},
-		})
-
-	case "vehicle":
-		which := vehicle.OBDBody
-		if *busName == "powertrain" {
-			which = vehicle.OBDPowertrain
-		}
-		v := vehicle.New(sched, vehicle.Config{Seed: *seed, BCMAckUnlock: true})
-		v.Instrument(tel)
-		sched.RunUntil(time.Second) // let the car reach steady idle
-		fuzzPort := v.AttachOBD(which, "fuzzer")
-		fuzzedBus := v.Body
-		if which == vehicle.OBDPowertrain {
-			fuzzedBus = v.Powertrain
-		}
-		armChaos(inj, *recovery, fuzzedBus, v.ECUs(), fuzzPort)
-		if *recovery {
-			// Both car buses survive bus-off, not just the fuzzed one.
-			v.Powertrain.SetAutoRecovery(true)
-			v.Body.SetAutoRecovery(true)
-		}
-		campaign, err = core.NewCampaign(sched, fuzzPort, cfg, opts...)
-		if err != nil {
-			return err
-		}
-		campaign.AddOracle(&oracle.SignalRange{DB: signal.VehicleDB()})
-		campaign.AddOracle(oracle.Physical("bcm-unlock", 10*time.Millisecond,
-			v.BCM.Unlocked, false, "doors unlocked"))
-
-	default:
-		return fmt.Errorf("unknown target %q", *target)
+	if *trials > 1 {
+		return runFleet(spec, cfg, *trials, *workers, *dur, *failFast, *jsonOut)
 	}
+
+	world, inj, err := newWorld(spec, cfg, tel, plan)
+	if err != nil {
+		return err
+	}
+	sched, campaign := world.Sched, world.Campaign
 
 	logger.Info("fuzzing", "target", *target, "space", cfg.SpaceSize(),
 		"interval", campaign.Generator().Config().Interval, "seed", *seed)
@@ -320,6 +282,157 @@ func run(args []string) error {
 		for _, fr := range f.Recent {
 			fmt.Printf("    %s\n", fr)
 		}
+	}
+	return nil
+}
+
+// targetSpec names everything needed to construct one target world.
+type targetSpec struct {
+	target   string
+	busName  string
+	check    bcm.CheckMode
+	stop     bool
+	recovery bool
+}
+
+// newWorld constructs one fully isolated target world: a fresh scheduler,
+// the selected target system on it, and an armed campaign with the
+// target's oracles. The single-campaign path calls it once with the
+// telemetry plane and chaos plan; the fleet calls it once per trial with
+// both nil, which is what keeps trials independent and the hot path
+// uninstrumented.
+func newWorld(spec targetSpec, cfg core.Config, tel *telemetry.Telemetry, plan *faults.Plan) (*fleet.World, *faults.Injector, error) {
+	sched := clock.New()
+	var opts []core.Option
+	if spec.stop {
+		opts = append(opts, core.WithStopOnFinding())
+	}
+	if tel != nil {
+		opts = append(opts, core.WithTelemetry(tel))
+	}
+	var inj *faults.Injector
+	if plan != nil {
+		inj = faults.New(sched, *plan)
+		inj.Instrument(tel)
+		opts = append(opts, core.WithFaultCounts(inj.Counts))
+	}
+	if spec.recovery {
+		opts = append(opts, core.WithResilience(core.DefaultResilience()))
+	}
+
+	var campaign *core.Campaign
+	var err error
+	switch spec.target {
+	case "bench":
+		bench := testbench.New(sched, testbench.Config{Check: spec.check, AckUnlock: true})
+		bench.Instrument(tel)
+		fuzzPort := bench.AttachFuzzer("fuzzer")
+		armChaos(inj, spec.recovery, bench.Bus, bench.ECUs(), fuzzPort)
+		campaign, err = core.NewCampaign(sched, fuzzPort, cfg, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		campaign.AddOracle(bench.UnlockOracle())
+		campaign.AddOracle(bench.LEDOracle(10 * time.Millisecond))
+
+	case "cluster":
+		b := busPkg.New(sched, busPkg.WithName("bench"))
+		b.Instrument(tel)
+		clusterECU := ecu.New("cluster", sched, b.Connect("cluster"))
+		clusterECU.Instrument(tel)
+		c := cluster.New(clusterECU)
+		fuzzPort := b.Connect("fuzzer")
+		armChaos(inj, spec.recovery, b, map[string]*ecu.ECU{"cluster": clusterECU}, fuzzPort)
+		campaign, err = core.NewCampaign(sched, fuzzPort, cfg, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		campaign.AddOracle(&oracle.Probe{
+			OracleName: "cluster-crash", Interval: 10 * time.Millisecond, Once: true,
+			Check: func() string {
+				if c.Crashed() {
+					return "persistent CRASH display latched"
+				}
+				return ""
+			},
+		})
+
+	case "vehicle":
+		which := vehicle.OBDBody
+		if spec.busName == "powertrain" {
+			which = vehicle.OBDPowertrain
+		}
+		v := vehicle.New(sched, vehicle.Config{Seed: cfg.Seed, BCMAckUnlock: true})
+		v.Instrument(tel)
+		sched.RunUntil(time.Second) // let the car reach steady idle
+		fuzzPort := v.AttachOBD(which, "fuzzer")
+		fuzzedBus := v.Body
+		if which == vehicle.OBDPowertrain {
+			fuzzedBus = v.Powertrain
+		}
+		armChaos(inj, spec.recovery, fuzzedBus, v.ECUs(), fuzzPort)
+		if spec.recovery {
+			// Both car buses survive bus-off, not just the fuzzed one.
+			v.Powertrain.SetAutoRecovery(true)
+			v.Body.SetAutoRecovery(true)
+		}
+		campaign, err = core.NewCampaign(sched, fuzzPort, cfg, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		campaign.AddOracle(&oracle.SignalRange{DB: signal.VehicleDB()})
+		campaign.AddOracle(oracle.Physical("bcm-unlock", 10*time.Millisecond,
+			v.BCM.Unlocked, false, "doors unlocked"))
+
+	default:
+		return nil, nil, fmt.Errorf("unknown target %q", spec.target)
+	}
+	return &fleet.World{Sched: sched, Campaign: campaign}, inj, nil
+}
+
+// runFleet executes -trials independent campaigns on the worker pool and
+// prints the deterministic fleet report (JSON with -json, a summary
+// otherwise).
+func runFleet(spec targetSpec, cfg core.Config, trials, workers int, maxPerTrial time.Duration, failFast, jsonOut bool) error {
+	logEvery := trials / 10
+	if logEvery < 1 {
+		logEvery = 1
+	}
+	logger.Info("fleet fuzzing", "target", spec.target, "trials", trials,
+		"workers", workers, "base_seed", cfg.Seed, "max_per_trial", maxPerTrial)
+	rep, err := fleet.Run(fleet.Config{
+		Trials:      trials,
+		Workers:     workers,
+		BaseSeed:    cfg.Seed,
+		MaxPerTrial: maxPerTrial,
+		FailFast:    failFast,
+		Logger:      logger,
+		LogEvery:    logEvery,
+	}, func(ts fleet.TrialSpec) (*fleet.World, error) {
+		tcfg := cfg
+		tcfg.Seed = ts.Seed
+		w, _, err := newWorld(spec, tcfg, nil, nil)
+		return w, err
+	})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return rep.WriteJSON(os.Stdout)
+	}
+	fmt.Printf("fleet: %d trials (%d findings, %d timeouts, %d panics, %d skipped) over %v total virtual time\n",
+		rep.Trials, rep.FoundFindings, rep.TimedOut, rep.Panics, rep.Skipped, rep.VirtualTimeTotal)
+	fmt.Printf("sent %d frames (%d rejected) across the fleet\n", rep.FramesSent, rep.SendErrors)
+	if ttf := rep.TimeToFinding; ttf != nil {
+		fmt.Printf("time to finding: mean %v, median %v, p95 %v, min %v, max %v (%d samples)\n",
+			ttf.Mean, ttf.Median, ttf.P95, ttf.Min, ttf.Max, ttf.Samples)
+	}
+	for _, f := range rep.Findings {
+		fmt.Printf("finding: [%s] %s (trigger id %s) in %d trials, fastest %v (first trial %d)\n",
+			f.Oracle, f.Detail, f.TriggerID, f.Count, f.MinTimeToFinding, f.FirstTrial)
+	}
+	if rep.FoundFindings == 0 {
+		fmt.Println("no findings (remember: not triggering anything does not mean no flaws exist)")
 	}
 	return nil
 }

@@ -117,3 +117,47 @@ func TestRunConfigFileErrors(t *testing.T) {
 		t.Fatal("bad config accepted")
 	}
 }
+
+func TestRunFleetMode(t *testing.T) {
+	// Targeted fleet: every trial unlocks within virtual seconds.
+	err := run([]string{"-target", "bench", "-ids", "215", "-trials", "6",
+		"-workers", "3", "-dur", "30m", "-seed", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFleetModeJSON(t *testing.T) {
+	err := run([]string{"-target", "bench", "-ids", "215", "-trials", "3",
+		"-workers", "2", "-dur", "30m", "-seed", "5", "-json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFleetFailFast(t *testing.T) {
+	err := run([]string{"-target", "bench", "-ids", "215", "-trials", "16",
+		"-workers", "2", "-dur", "30m", "-seed", "5", "-fail-fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-trials", "0"},
+		{"-trials", "-3"},
+		{"-workers", "0"},
+		{"-workers", "-1"},
+		{"-interval", "100us"},
+		{"-trials", "2", "-chaos", "seed=1;jam(at=1s)"},
+		{"-trials", "2", "-metrics", "localhost:0"},
+		{"-trials", "2", "-trace", "/tmp/t.json"},
+		{"-trials", "2", "-mode", "bits"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

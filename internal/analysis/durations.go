@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Duration-distribution tools. Table V prints twelve raw run times; a
+// fleet run produces hundreds or thousands, which need the distribution
+// view instead: quantiles and a binned histogram of time-to-finding.
+
+// Percentile returns the p-quantile of the run times for p in [0, 1],
+// using the nearest-rank method on the sorted sample (p=0 is the minimum,
+// p=1 the maximum). An empty sample returns 0; p outside [0, 1] is
+// clamped.
+func (r RunStats) Percentile(p float64) time.Duration {
+	n := len(r.Times)
+	if n == 0 {
+		return 0
+	}
+	if math.IsNaN(p) || p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	sorted := make([]time.Duration, n)
+	copy(sorted, r.Times)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// P95 returns the 95th-percentile run time.
+func (r RunStats) P95() time.Duration { return r.Percentile(0.95) }
+
+// DurationBucket is one bin of a DurationHistogram.
+type DurationBucket struct {
+	// Lo and Hi bound the bin: samples t with Lo <= t < Hi fall in it
+	// (the last bin is closed, Lo <= t <= Hi).
+	Lo, Hi time.Duration
+	// Count is the number of samples in the bin.
+	Count uint64
+}
+
+// DurationHistogram is an equal-width binning of a duration sample — the
+// fleet's time-to-finding distribution in displayable form.
+type DurationHistogram struct {
+	// Buckets holds the bins in ascending order. Empty for an empty sample.
+	Buckets []DurationBucket
+	// Total is the sample size.
+	Total int
+}
+
+// NewDurationHistogram bins the samples into at most bins equal-width
+// buckets spanning [min, max]. Edge cases collapse rather than error: an
+// empty sample yields an empty histogram, and a single sample or an
+// all-equal sample (min == max) yields one bucket holding everything.
+// bins < 1 is treated as 1.
+func NewDurationHistogram(times []time.Duration, bins int) DurationHistogram {
+	h := DurationHistogram{Total: len(times)}
+	if len(times) == 0 {
+		return h
+	}
+	if bins < 1 {
+		bins = 1
+	}
+	lo, hi := times[0], times[0]
+	for _, t := range times[1:] {
+		if t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+	}
+	if lo == hi {
+		h.Buckets = []DurationBucket{{Lo: lo, Hi: hi, Count: uint64(len(times))}}
+		return h
+	}
+	span := hi - lo
+	width := span / time.Duration(bins)
+	if span%time.Duration(bins) != 0 {
+		width++ // round up so bins*width covers the span
+	}
+	h.Buckets = make([]DurationBucket, bins)
+	for i := range h.Buckets {
+		h.Buckets[i].Lo = lo + time.Duration(i)*width
+		h.Buckets[i].Hi = h.Buckets[i].Lo + width
+	}
+	h.Buckets[bins-1].Hi = hi
+	for _, t := range times {
+		i := int((t - lo) / width)
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Buckets[i].Count++
+	}
+	return h
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+)
+
+func secs(vals ...int) []time.Duration {
+	out := make([]time.Duration, len(vals))
+	for i, v := range vals {
+		out[i] = time.Duration(v) * time.Second
+	}
+	return out
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	var r RunStats
+	if r.Percentile(0.5) != 0 || r.P95() != 0 {
+		t.Fatal("empty sample should yield 0")
+	}
+}
+
+func TestPercentileSingleSample(t *testing.T) {
+	r := RunStats{Times: secs(7)}
+	for _, p := range []float64{0, 0.5, 0.95, 1} {
+		if got := r.Percentile(p); got != 7*time.Second {
+			t.Fatalf("Percentile(%v) = %v, want 7s", p, got)
+		}
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	r := RunStats{Times: secs(10, 1, 5, 3, 8, 2, 9, 4, 7, 6)} // 1..10 shuffled
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, time.Second},
+		{0.1, time.Second},
+		{0.5, 5 * time.Second},
+		{0.95, 10 * time.Second},
+		{1, 10 * time.Second},
+	}
+	for _, c := range cases {
+		if got := r.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileClampsOutOfRange(t *testing.T) {
+	r := RunStats{Times: secs(1, 2, 3)}
+	if r.Percentile(-1) != time.Second {
+		t.Fatal("p<0 should clamp to the minimum")
+	}
+	if r.Percentile(2) != 3*time.Second {
+		t.Fatal("p>1 should clamp to the maximum")
+	}
+}
+
+func TestDurationHistogramEmpty(t *testing.T) {
+	h := NewDurationHistogram(nil, 8)
+	if h.Total != 0 || len(h.Buckets) != 0 {
+		t.Fatalf("empty sample: got %d buckets, total %d", len(h.Buckets), h.Total)
+	}
+}
+
+func TestDurationHistogramSingleSample(t *testing.T) {
+	h := NewDurationHistogram(secs(42), 8)
+	if h.Total != 1 || len(h.Buckets) != 1 {
+		t.Fatalf("single sample: %d buckets, total %d", len(h.Buckets), h.Total)
+	}
+	b := h.Buckets[0]
+	if b.Lo != 42*time.Second || b.Hi != 42*time.Second || b.Count != 1 {
+		t.Fatalf("bucket = %+v", b)
+	}
+}
+
+func TestDurationHistogramAllEqual(t *testing.T) {
+	h := NewDurationHistogram(secs(5, 5, 5, 5), 8)
+	if len(h.Buckets) != 1 || h.Buckets[0].Count != 4 {
+		t.Fatalf("all-equal sample should collapse to one bucket: %+v", h.Buckets)
+	}
+}
+
+func TestDurationHistogramBinsAndCoverage(t *testing.T) {
+	times := secs(0, 1, 2, 3, 4, 5, 6, 7, 8, 9)
+	h := NewDurationHistogram(times, 3)
+	if len(h.Buckets) != 3 {
+		t.Fatalf("buckets = %d, want 3", len(h.Buckets))
+	}
+	var total uint64
+	for i, b := range h.Buckets {
+		if b.Hi <= b.Lo {
+			t.Fatalf("bucket %d degenerate: %+v", i, b)
+		}
+		total += b.Count
+	}
+	if total != uint64(len(times)) {
+		t.Fatalf("histogram lost samples: %d of %d", total, len(times))
+	}
+	// Extremes land in the outermost bins.
+	if h.Buckets[0].Count == 0 || h.Buckets[2].Count == 0 {
+		t.Fatalf("outer buckets empty: %+v", h.Buckets)
+	}
+	if h.Buckets[2].Hi != 9*time.Second {
+		t.Fatalf("last bucket must close at the max: %+v", h.Buckets[2])
+	}
+}
+
+func TestDurationHistogramBinsClamp(t *testing.T) {
+	h := NewDurationHistogram(secs(1, 9), 0)
+	if len(h.Buckets) != 1 {
+		t.Fatalf("bins<1 should clamp to 1, got %d buckets", len(h.Buckets))
+	}
+	if h.Buckets[0].Count != 2 {
+		t.Fatalf("bucket = %+v", h.Buckets[0])
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ecu"
+	"repro/internal/fleet"
 	"repro/internal/oracle"
 	"repro/internal/testbench"
 )
@@ -139,20 +140,39 @@ func runUnlockVariant(check bcm.CheckMode, baseSeed int64, runs int, maxPerRun t
 }
 
 // runUnlockVariantCfg executes one unlock-experiment row with a per-run
-// fuzzer configuration.
+// fuzzer configuration. The runs execute on a fleet.Run worker pool — one
+// isolated bench world per run, all cores busy — and the row is assembled
+// from the fleet's index-ordered results, so the Stats are identical to
+// the old sequential loop's, just produced in a fraction of the wall
+// time. cfgFor fixes each run's seed, so the fleet's own derived seeds are
+// intentionally unused here (Table V rows predate the splitmix stream and
+// must keep their published values).
 func runUnlockVariantCfg(check bcm.CheckMode, runs int, maxPerRun time.Duration, cfgFor func(i int) core.Config) Table5Row {
 	row := Table5Row{Message: check.String(), Check: check}
-	for i := 0; i < runs; i++ {
-		exp, err := testbench.NewUnlockExperiment(testbench.Config{Check: check}, cfgFor(i))
+	rep, err := fleet.Run(fleet.Config{
+		Trials:      runs,
+		MaxPerTrial: maxPerRun,
+	}, func(spec fleet.TrialSpec) (*fleet.World, error) {
+		exp, err := testbench.NewUnlockExperiment(testbench.Config{Check: check}, cfgFor(spec.Index))
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
-		elapsed, ok := exp.Run(maxPerRun)
-		if !ok {
+		return &fleet.World{Sched: exp.Bench.Scheduler(), Campaign: exp.Campaign}, nil
+	})
+	if err != nil {
+		panic(err) // static configuration cannot fail
+	}
+	for _, tr := range rep.Results {
+		switch tr.Status {
+		case fleet.StatusFinding:
+			row.Stats.Times = append(row.Stats.Times, tr.TimeToFinding)
+		case fleet.StatusTimeout:
 			row.TimedOut++
-			continue
+		default:
+			// A panicking or unconstructible bench is a harness bug, not a
+			// Table V outcome.
+			panic("experiments: unlock trial ended " + tr.Status + ": " + tr.PanicValue + tr.Err)
 		}
-		row.Stats.Times = append(row.Stats.Times, elapsed)
 	}
 	return row
 }

@@ -92,18 +92,10 @@ const (
 	JamDefault = 10 * time.Millisecond
 )
 
-// splitmix64 is the stream-derivation hash (Steele et al.; the same mixer
-// Go's runtime and many PRNGs use to decorrelate nearby seeds).
-func splitmix64(x uint64) uint64 {
-	x += 0x9E3779B97F4A7C15
-	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
-	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
-	return x ^ (x >> 31)
-}
-
-// specRNG returns the independent RNG stream for spec index i of a plan.
+// specRNG returns the independent RNG stream for spec index i of a plan
+// (see seed.go for the derivation).
 func specRNG(seed int64, i int) *rand.Rand {
-	return rand.New(rand.NewSource(int64(splitmix64(uint64(seed) ^ splitmix64(uint64(i)+1)))))
+	return DeriveRNG(seed, i)
 }
 
 // wireFault is an armed wire-level spec.

@@ -43,14 +43,14 @@ func TestParsePlanFull(t *testing.T) {
 func TestParsePlanErrors(t *testing.T) {
 	for _, bad := range []string{
 		"",
-		"seed=7",                 // no fault clauses
-		"meltdown(at=1s)",        // unknown kind
-		"corrupt(at=1s",          // unbalanced
-		"corrupt(wat=1)",         // unknown key
-		"corrupt(p=banana)",      // bad number
-		"babble(id=FFFF)",        // identifier out of range
-		"corrupt(p 1)",           // not key=value
-		"seed=banana;corrupt()",  // bad seed
+		"seed=7",                // no fault clauses
+		"meltdown(at=1s)",       // unknown kind
+		"corrupt(at=1s",         // unbalanced
+		"corrupt(wat=1)",        // unknown key
+		"corrupt(p=banana)",     // bad number
+		"babble(id=FFFF)",       // identifier out of range
+		"corrupt(p 1)",          // not key=value
+		"seed=banana;corrupt()", // bad seed
 	} {
 		if _, err := ParsePlan(bad); err == nil {
 			t.Errorf("ParsePlan(%q) succeeded, want error", bad)

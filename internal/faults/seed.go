@@ -1,0 +1,35 @@
+package faults
+
+import "math/rand"
+
+// Seed derivation. Fault plans, and now fleet campaigns, need families of
+// statistically independent RNG streams that are (a) reproducible from one
+// base seed and (b) stable under composition: adding stream i+1 must not
+// perturb stream i, and nearby base seeds must not produce correlated
+// streams. SplitMix64 (Steele et al., "Fast Splittable Pseudorandom Number
+// Generators" — the same finalising mixer Go's runtime uses) gives both:
+// it is a bijective avalanche hash, so consecutive inputs map to
+// decorrelated outputs.
+
+// SplitMix64 applies the splitmix64 finalising mix to x.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed returns stream i of the base seed's seed family:
+// SplitMix64(base XOR SplitMix64(i+1)), reinterpreted as int64. It is the
+// derivation the injector uses for per-spec fault streams and the fleet
+// uses for per-trial campaign seeds; i and base are mixed independently so
+// neither sequential trial indices nor sequential base seeds yield
+// correlated streams.
+func DeriveSeed(base int64, i int) int64 {
+	return int64(SplitMix64(uint64(base) ^ SplitMix64(uint64(i)+1)))
+}
+
+// DeriveRNG returns a rand.Rand over DeriveSeed(base, i).
+func DeriveRNG(base int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(base, i)))
+}

@@ -1,0 +1,239 @@
+// Package fleet is the parallel multi-world campaign orchestrator: it runs
+// N independent fuzzing trials, each in its own freshly constructed
+// virtual world (scheduler, bus, target ECUs, campaign), across a bounded
+// worker pool, and folds the outcomes into one deterministic Report.
+//
+// The paper's quantitative result (Table V) is a *distribution* of
+// time-to-unlock over repeated runs. Each run is a fully isolated
+// discrete-event simulation sharing no state with its siblings, which
+// makes the workload embarrassingly parallel; what needs care is keeping
+// the aggregate reproducible. The fleet guarantees that by construction:
+//
+//   - Per-trial seeds come from the base seed via the splitmix64 stream
+//     (faults.DeriveSeed), so trial i's world is a pure function of
+//     (BaseSeed, i) — worker count and interleaving cannot touch it.
+//   - Results are collected into a slice indexed by trial and aggregated
+//     sequentially in index order, never in completion order.
+//   - No wall-clock quantity enters the Report (progress logging, which
+//     does report trials/sec, goes to the logger only).
+//
+// A panicking trial is contained by its worker and becomes a classified
+// TrialResult (StatusPanic) instead of a dead fleet; fail-fast mode stops
+// dispatching new trials once any trial confirms a finding.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// World is one fully isolated trial universe: a private scheduler and a
+// campaign wired to a target built on it. The factory owns construction;
+// the fleet only runs the campaign and reads its counters.
+type World struct {
+	// Sched is the world's private virtual clock.
+	Sched *clock.Scheduler
+	// Campaign is the armed fuzzer attached to the world's target.
+	Campaign *core.Campaign
+}
+
+// TrialSpec identifies one trial for a TargetFactory.
+type TrialSpec struct {
+	// Index is the trial index in [0, Trials).
+	Index int
+	// Seed is the derived per-trial seed, faults.DeriveSeed(BaseSeed,
+	// Index). Factories normally seed their campaign config with it;
+	// factories reproducing a legacy seed scheme may ignore it.
+	Seed int64
+}
+
+// TargetFactory builds the world for one trial. It must return a fresh,
+// fully independent world on every call: no shared scheduler, bus, ECU or
+// RNG state, because trials run concurrently.
+type TargetFactory func(spec TrialSpec) (*World, error)
+
+// Config tunes a fleet run.
+type Config struct {
+	// Trials is the number of independent campaigns (required, >= 1).
+	Trials int
+	// Workers bounds the pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// BaseSeed roots the per-trial seed stream.
+	BaseSeed int64
+	// MaxPerTrial is the per-trial virtual deadline (required, > 0).
+	MaxPerTrial time.Duration
+	// FailFast stops dispatching new trials after the first trial that
+	// confirms a finding. In-flight trials still complete and are
+	// reported; undispatched ones are recorded as StatusSkipped. Which
+	// trials were in flight depends on scheduling, so fail-fast runs trade
+	// the byte-identical-report guarantee for early exit.
+	FailFast bool
+	// Logger, when non-nil, receives progress lines.
+	Logger *slog.Logger
+	// LogEvery emits one progress line per this many completed trials
+	// (default 10 when a Logger is set).
+	LogEvery int
+}
+
+// Validation errors.
+var (
+	ErrNoTrials    = errors.New("fleet: Trials must be >= 1")
+	ErrNoDeadline  = errors.New("fleet: MaxPerTrial must be > 0")
+	ErrNilFactory  = errors.New("fleet: TargetFactory is nil")
+	errNilWorld    = errors.New("fleet: factory returned a nil world")
+	errWorldFields = errors.New("fleet: world is missing Sched or Campaign")
+)
+
+// Run executes the fleet and returns its deterministic report.
+func Run(cfg Config, factory TargetFactory) (*Report, error) {
+	if cfg.Trials < 1 {
+		return nil, ErrNoTrials
+	}
+	if cfg.MaxPerTrial <= 0 {
+		return nil, ErrNoDeadline
+	}
+	if factory == nil {
+		return nil, ErrNilFactory
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	logEvery := cfg.LogEvery
+	if logEvery <= 0 {
+		logEvery = 10
+	}
+
+	results := make([]TrialResult, cfg.Trials)
+	seeds := make([]int64, cfg.Trials)
+	for i := range seeds {
+		seeds[i] = faults.DeriveSeed(cfg.BaseSeed, i)
+	}
+
+	var (
+		wg        sync.WaitGroup
+		completed atomic.Int64
+		findings  atomic.Int64
+		stop      = make(chan struct{})
+		stopOnce  sync.Once
+		start     = time.Now()
+	)
+	indices := make(chan int)
+	go func() {
+		defer close(indices)
+		for i := 0; i < cfg.Trials; i++ {
+			select {
+			case indices <- i:
+			case <-stop:
+				// Fail-fast: everything not yet dispatched is skipped.
+				// Only this goroutine ever touches these slots — workers
+				// never received the indices.
+				for j := i; j < cfg.Trials; j++ {
+					results[j] = TrialResult{Trial: j, Seed: seeds[j], Status: StatusSkipped}
+				}
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				res := runTrial(TrialSpec{Index: i, Seed: seeds[i]}, cfg.MaxPerTrial, factory)
+				results[i] = res
+				if res.Findings > 0 {
+					findings.Add(int64(res.Findings))
+					if cfg.FailFast {
+						stopOnce.Do(func() { close(stop) })
+					}
+				}
+				if n := completed.Add(1); cfg.Logger != nil && (n%int64(logEvery) == 0 || n == int64(cfg.Trials)) {
+					elapsed := time.Since(start).Seconds()
+					rate := float64(n)
+					if elapsed > 0 {
+						rate = float64(n) / elapsed
+					}
+					cfg.Logger.Info("fleet progress",
+						"done", n, "total", cfg.Trials,
+						"findings", findings.Load(),
+						"trials_per_sec", fmt.Sprintf("%.1f", rate))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := &Report{
+		BaseSeed:    cfg.BaseSeed,
+		Trials:      cfg.Trials,
+		Workers:     workers,
+		FailFast:    cfg.FailFast,
+		MaxPerTrial: cfg.MaxPerTrial,
+		Results:     results,
+	}
+	rep.aggregate()
+	return rep, nil
+}
+
+// runTrial builds and runs one world. A panic anywhere inside — factory or
+// simulation — is contained and classified; the named return keeps the
+// partial result fields gathered before the panic.
+func runTrial(spec TrialSpec, maxPerTrial time.Duration, factory TargetFactory) (res TrialResult) {
+	res = TrialResult{Trial: spec.Index, Seed: spec.Seed}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Status = StatusPanic
+			res.PanicValue = fmt.Sprint(r)
+		}
+	}()
+	w, err := factory(spec)
+	if err != nil {
+		res.Status = StatusError
+		res.Err = err.Error()
+		return res
+	}
+	if w == nil {
+		res.Status = StatusError
+		res.Err = errNilWorld.Error()
+		return res
+	}
+	if w.Sched == nil || w.Campaign == nil {
+		res.Status = StatusError
+		res.Err = errWorldFields.Error()
+		return res
+	}
+	finding, ok := w.Campaign.RunUntilFinding(maxPerTrial)
+	res.VirtualElapsed = w.Sched.Now()
+	res.FramesSent = w.Campaign.FramesSent()
+	res.SendErrors = w.Campaign.SendErrors()
+	if m := w.Campaign.SendErrorsByCause(); len(m) > 0 {
+		res.SendErrorsByCause = m
+	}
+	res.Findings = len(w.Campaign.Findings())
+	if !ok {
+		res.Status = StatusTimeout
+		return res
+	}
+	res.Status = StatusFinding
+	res.TimeToFinding = finding.Elapsed
+	res.Oracle = finding.Verdict.Oracle
+	res.Detail = finding.Verdict.Detail
+	if n := len(finding.Recent); n > 0 {
+		res.TriggerID = fmt.Sprintf("%03X", uint16(finding.Recent[n-1].ID))
+	}
+	return res
+}

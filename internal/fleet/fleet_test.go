@@ -1,0 +1,253 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bcm"
+	"repro/internal/bus"
+	"repro/internal/can"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/signal"
+	"repro/internal/testbench"
+)
+
+// unlockFactory builds the Table V bench world per trial, targeted at the
+// command identifier so each trial finds the unlock within virtual
+// seconds.
+func unlockFactory(check bcm.CheckMode) TargetFactory {
+	return func(spec TrialSpec) (*World, error) {
+		exp, err := testbench.NewUnlockExperiment(testbench.Config{Check: check},
+			core.Config{Seed: spec.Seed, TargetIDs: []can.ID{signal.IDBodyCommand}})
+		if err != nil {
+			return nil, err
+		}
+		return &World{Sched: exp.Bench.Scheduler(), Campaign: exp.Campaign}, nil
+	}
+}
+
+// idleFactory builds a world whose campaign has no oracle: every trial
+// times out.
+func idleFactory(spec TrialSpec) (*World, error) {
+	sched := clock.New()
+	b := bus.New(sched)
+	campaign, err := core.NewCampaign(sched, b.Connect("fuzzer"), core.Config{Seed: spec.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &World{Sched: sched, Campaign: campaign}, nil
+}
+
+func mustRun(t *testing.T, cfg Config, factory TargetFactory) *Report {
+	t.Helper()
+	rep, err := Run(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestFleetDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The acceptance criterion: the same fleet serialises byte-identically
+	// at workers=1 and workers=NumCPU.
+	cfg := Config{Trials: 12, BaseSeed: 7, MaxPerTrial: 30 * time.Minute}
+	cfg.Workers = 1
+	seq := mustRun(t, cfg, unlockFactory(bcm.CheckByteOnly))
+	cfg.Workers = runtime.NumCPU()
+	par := mustRun(t, cfg, unlockFactory(bcm.CheckByteOnly))
+
+	var a, b bytes.Buffer
+	if err := seq.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("fleet report differs between workers=1 and workers=%d:\n--- seq ---\n%s\n--- par ---\n%s",
+			runtime.NumCPU(), a.String(), b.String())
+	}
+}
+
+func TestFleetResultsOrderedByTrialIndex(t *testing.T) {
+	rep := mustRun(t, Config{Trials: 8, BaseSeed: 3, MaxPerTrial: 30 * time.Minute, Workers: 4},
+		unlockFactory(bcm.CheckByteOnly))
+	if len(rep.Results) != 8 {
+		t.Fatalf("results = %d, want 8", len(rep.Results))
+	}
+	for i, tr := range rep.Results {
+		if tr.Trial != i {
+			t.Fatalf("result %d has trial index %d", i, tr.Trial)
+		}
+		if want := faults.DeriveSeed(3, i); tr.Seed != want {
+			t.Fatalf("trial %d seed = %d, want DeriveSeed = %d", i, tr.Seed, want)
+		}
+		if tr.Status != StatusFinding {
+			t.Fatalf("trial %d status = %q", i, tr.Status)
+		}
+		if tr.TimeToFinding <= 0 || tr.FramesSent == 0 {
+			t.Fatalf("trial %d missing counters: %+v", i, tr)
+		}
+	}
+}
+
+func TestFleetAggregationAndStats(t *testing.T) {
+	rep := mustRun(t, Config{Trials: 10, BaseSeed: 11, MaxPerTrial: 30 * time.Minute, Workers: 4},
+		unlockFactory(bcm.CheckByteOnly))
+	if rep.FoundFindings != 10 || rep.Completed != 10 {
+		t.Fatalf("found/completed = %d/%d", rep.FoundFindings, rep.Completed)
+	}
+	// Every trial trips the same oracle on the same command identifier, so
+	// the dedup collapses the fleet's findings.
+	if len(rep.Findings) != 1 {
+		t.Fatalf("aggregated findings = %d, want 1: %+v", len(rep.Findings), rep.Findings)
+	}
+	agg := rep.Findings[0]
+	if agg.Oracle != "unlock-ack" || agg.Count != 10 || agg.TriggerID != "215" {
+		t.Fatalf("aggregated finding = %+v", agg)
+	}
+	ttf := rep.TimeToFinding
+	if ttf == nil || ttf.Samples != 10 {
+		t.Fatalf("time-to-finding stats missing: %+v", ttf)
+	}
+	if ttf.Min <= 0 || ttf.Min > ttf.Median || ttf.Median > ttf.Max || ttf.P95 > ttf.Max {
+		t.Fatalf("inconsistent distribution: %+v", ttf)
+	}
+	var binned uint64
+	for _, b := range ttf.Histogram {
+		binned += b.Count
+	}
+	if binned != 10 {
+		t.Fatalf("histogram holds %d of 10 samples", binned)
+	}
+	if rep.Telemetry == nil || !strings.Contains(string(rep.Telemetry), "fleet_time_to_finding_seconds") {
+		t.Fatalf("merged telemetry snapshot missing: %s", rep.Telemetry)
+	}
+}
+
+func TestFleetTimeout(t *testing.T) {
+	rep := mustRun(t, Config{Trials: 3, BaseSeed: 1, MaxPerTrial: 100 * time.Millisecond, Workers: 2},
+		idleFactory)
+	if rep.TimedOut != 3 || rep.FoundFindings != 0 {
+		t.Fatalf("timedOut/found = %d/%d", rep.TimedOut, rep.FoundFindings)
+	}
+	if rep.TimeToFinding != nil {
+		t.Fatal("no findings should mean no time-to-finding stats")
+	}
+	for _, tr := range rep.Results {
+		if tr.Status != StatusTimeout || tr.FramesSent == 0 {
+			t.Fatalf("trial %+v", tr)
+		}
+	}
+}
+
+func TestFleetPanicIsolation(t *testing.T) {
+	// Odd trials panic mid-construction; even trials complete normally. A
+	// crashed trial must become a classified result, not a dead fleet.
+	factory := func(spec TrialSpec) (*World, error) {
+		if spec.Index%2 == 1 {
+			panic(fmt.Sprintf("trial %d exploded", spec.Index))
+		}
+		return unlockFactory(bcm.CheckByteOnly)(spec)
+	}
+	rep := mustRun(t, Config{Trials: 6, BaseSeed: 5, MaxPerTrial: 30 * time.Minute, Workers: 3},
+		factory)
+	if rep.Panics != 3 || rep.FoundFindings != 3 {
+		t.Fatalf("panics/found = %d/%d", rep.Panics, rep.FoundFindings)
+	}
+	for i, tr := range rep.Results {
+		if i%2 == 1 {
+			if tr.Status != StatusPanic || !strings.Contains(tr.PanicValue, fmt.Sprintf("trial %d exploded", i)) {
+				t.Fatalf("trial %d: %+v", i, tr)
+			}
+		} else if tr.Status != StatusFinding {
+			t.Fatalf("trial %d: %+v", i, tr)
+		}
+	}
+}
+
+func TestFleetFactoryError(t *testing.T) {
+	factory := func(spec TrialSpec) (*World, error) {
+		if spec.Index == 1 {
+			return nil, fmt.Errorf("no world for trial %d", spec.Index)
+		}
+		return idleFactory(spec)
+	}
+	rep := mustRun(t, Config{Trials: 2, BaseSeed: 1, MaxPerTrial: 50 * time.Millisecond}, factory)
+	if rep.Errors != 1 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+	if tr := rep.Results[1]; tr.Status != StatusError || !strings.Contains(tr.Err, "no world for trial 1") {
+		t.Fatalf("trial 1: %+v", tr)
+	}
+}
+
+func TestFleetNilWorldClassified(t *testing.T) {
+	rep := mustRun(t, Config{Trials: 1, BaseSeed: 1, MaxPerTrial: time.Second},
+		func(TrialSpec) (*World, error) { return nil, nil })
+	if rep.Results[0].Status != StatusError {
+		t.Fatalf("nil world: %+v", rep.Results[0])
+	}
+}
+
+func TestFleetFailFast(t *testing.T) {
+	// Serial workers with fail-fast: trial 0 finds, so later trials are
+	// never dispatched.
+	rep := mustRun(t, Config{
+		Trials: 64, BaseSeed: 7, Workers: 1,
+		MaxPerTrial: 30 * time.Minute, FailFast: true,
+	}, unlockFactory(bcm.CheckByteOnly))
+	if rep.FoundFindings < 1 {
+		t.Fatal("fail-fast fleet found nothing")
+	}
+	if rep.Skipped == 0 {
+		t.Fatal("fail-fast did not skip any trials")
+	}
+	var accounted int
+	for _, tr := range rep.Results {
+		if tr.Status != "" {
+			accounted++
+		}
+	}
+	if accounted != 64 {
+		t.Fatalf("only %d of 64 trials accounted for", accounted)
+	}
+	if rep.Completed+rep.Skipped != 64 {
+		t.Fatalf("completed %d + skipped %d != 64", rep.Completed, rep.Skipped)
+	}
+}
+
+func TestFleetConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Trials: 0, MaxPerTrial: time.Second}, idleFactory); err != ErrNoTrials {
+		t.Fatalf("Trials=0: %v", err)
+	}
+	if _, err := Run(Config{Trials: 1}, idleFactory); err != ErrNoDeadline {
+		t.Fatalf("MaxPerTrial=0: %v", err)
+	}
+	if _, err := Run(Config{Trials: 1, MaxPerTrial: time.Second}, nil); err != ErrNilFactory {
+		t.Fatalf("nil factory: %v", err)
+	}
+}
+
+func TestFleetProgressLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	mustRun(t, Config{
+		Trials: 4, BaseSeed: 2, Workers: 2,
+		MaxPerTrial: 30 * time.Minute, Logger: logger, LogEvery: 2,
+	}, unlockFactory(bcm.CheckByteOnly))
+	out := buf.String()
+	if !strings.Contains(out, "fleet progress") || !strings.Contains(out, "total=4") {
+		t.Fatalf("progress log missing: %q", out)
+	}
+	if !strings.Contains(out, "trials_per_sec") {
+		t.Fatalf("progress log lacks throughput: %q", out)
+	}
+}

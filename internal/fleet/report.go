@@ -1,0 +1,264 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/telemetry"
+)
+
+// Trial statuses.
+const (
+	// StatusFinding means the trial's campaign produced at least one
+	// finding before its deadline.
+	StatusFinding = "finding"
+	// StatusTimeout means the per-trial deadline elapsed with no finding.
+	StatusTimeout = "timeout"
+	// StatusPanic means the trial's world panicked; the panic was contained
+	// and classified, the rest of the fleet was unaffected.
+	StatusPanic = "panic"
+	// StatusError means the TargetFactory failed to build the world.
+	StatusError = "error"
+	// StatusSkipped means fail-fast cancellation stopped the trial before
+	// it was dispatched.
+	StatusSkipped = "skipped"
+)
+
+// TrialResult is the outcome of one isolated trial, fully determined by
+// the trial's seed (scheduling of other trials cannot influence it).
+type TrialResult struct {
+	// Trial is the trial index in [0, Trials).
+	Trial int `json:"trial"`
+	// Seed is the campaign seed the trial ran with.
+	Seed int64 `json:"seed"`
+	// Status classifies the outcome (StatusFinding, StatusTimeout, ...).
+	Status string `json:"status"`
+	// VirtualElapsed is the virtual time the trial's world advanced.
+	VirtualElapsed time.Duration `json:"virtualElapsedNanos"`
+	// TimeToFinding is the virtual time of the first finding (0 unless
+	// Status is StatusFinding).
+	TimeToFinding time.Duration `json:"timeToFindingNanos,omitempty"`
+	// Oracle and Detail describe the first finding.
+	Oracle string `json:"oracle,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	// TriggerID is the identifier of the last fuzz frame preceding the
+	// first finding, in hex ("" when unknown).
+	TriggerID string `json:"triggerId,omitempty"`
+	// Findings is the number of oracle firings in the trial.
+	Findings int `json:"findings"`
+	// FramesSent and SendErrors are the trial campaign's counters.
+	FramesSent uint64 `json:"framesSent"`
+	SendErrors uint64 `json:"sendErrors"`
+	// SendErrorsByCause breaks SendErrors down by cause.
+	SendErrorsByCause map[string]uint64 `json:"sendErrorsByCause,omitempty"`
+	// PanicValue is the contained panic (StatusPanic only).
+	PanicValue string `json:"panicValue,omitempty"`
+	// Err is the factory error (StatusError only).
+	Err string `json:"error,omitempty"`
+}
+
+// AggregatedFinding is one deduplicated finding across the fleet, keyed by
+// (oracle, detail, trigger frame identifier).
+type AggregatedFinding struct {
+	// Oracle and Detail identify the failure class.
+	Oracle string `json:"oracle"`
+	Detail string `json:"detail"`
+	// TriggerID is the hex identifier of the frame preceding the finding.
+	TriggerID string `json:"triggerId,omitempty"`
+	// Count is how many trials hit this finding.
+	Count int `json:"count"`
+	// FirstTrial is the lowest trial index that hit it.
+	FirstTrial int `json:"firstTrial"`
+	// MinTimeToFinding is the fastest virtual time any trial needed.
+	MinTimeToFinding time.Duration `json:"minTimeToFindingNanos"`
+}
+
+// TimeToFindingStats summarises the virtual time-to-finding distribution
+// over the trials that produced findings.
+type TimeToFindingStats struct {
+	// Samples is the number of finding trials behind the statistics.
+	Samples int `json:"samples"`
+	// Mean, Median, P95, Min and Max summarise the distribution.
+	Mean   time.Duration `json:"meanNanos"`
+	Median time.Duration `json:"medianNanos"`
+	P95    time.Duration `json:"p95Nanos"`
+	Min    time.Duration `json:"minNanos"`
+	Max    time.Duration `json:"maxNanos"`
+	// Histogram bins the distribution (analysis.NewDurationHistogram).
+	Histogram []HistogramBucket `json:"histogram,omitempty"`
+}
+
+// HistogramBucket is one serialisable bin of the time-to-finding histogram.
+type HistogramBucket struct {
+	// Lo and Hi bound the bin in virtual nanoseconds.
+	Lo time.Duration `json:"loNanos"`
+	Hi time.Duration `json:"hiNanos"`
+	// Count is the number of trials in the bin.
+	Count uint64 `json:"count"`
+}
+
+// Report is the deterministic fleet summary: identical configuration and
+// base seed produce byte-identical JSON at any worker count, because every
+// field is derived from per-trial results ordered by trial index, never by
+// completion order, and no wall-clock quantity is recorded.
+type Report struct {
+	// BaseSeed and Trials echo the configuration.
+	BaseSeed int64 `json:"baseSeed"`
+	Trials   int   `json:"trials"`
+	// Workers is the pool size the fleet ran with. It is an execution
+	// detail, not part of the result, so it is deliberately excluded from
+	// the JSON: the same fleet serialises byte-identically at any worker
+	// count.
+	Workers int `json:"-"`
+	// FailFast records whether first-finding cancellation was armed.
+	FailFast bool `json:"failFast,omitempty"`
+	// MaxPerTrial is the per-trial virtual deadline.
+	MaxPerTrial time.Duration `json:"maxPerTrialNanos"`
+
+	// Completed counts trials that ran to a classified end (everything but
+	// StatusSkipped); FoundFindings/TimedOut/Panics/Errors/Skipped break
+	// the fleet down by status.
+	Completed     int `json:"completed"`
+	FoundFindings int `json:"foundFindings"`
+	TimedOut      int `json:"timedOut"`
+	Panics        int `json:"panics"`
+	Errors        int `json:"errors"`
+	Skipped       int `json:"skipped"`
+
+	// FramesSent and SendErrors sum the per-trial counters.
+	FramesSent uint64 `json:"framesSent"`
+	SendErrors uint64 `json:"sendErrors"`
+	// VirtualTimeTotal sums per-trial virtual elapsed time — the simulated
+	// fuzzing time the fleet covered (wall time is a fraction of it).
+	VirtualTimeTotal time.Duration `json:"virtualTimeTotalNanos"`
+
+	// TimeToFinding summarises the distribution over finding trials (nil
+	// when no trial found anything).
+	TimeToFinding *TimeToFindingStats `json:"timeToFinding,omitempty"`
+	// Findings lists deduplicated findings sorted by (oracle, detail,
+	// trigger identifier).
+	Findings []AggregatedFinding `json:"findings,omitempty"`
+	// Results holds every trial in index order.
+	Results []TrialResult `json:"results"`
+	// Telemetry is the merged fleet telemetry snapshot (the
+	// telemetry.Registry JSON document).
+	Telemetry json.RawMessage `json:"telemetry,omitempty"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// histogramBins is the bin count for the time-to-finding histogram.
+const histogramBins = 10
+
+// timeToFindingBoundsSeconds are the telemetry histogram bucket bounds for
+// fleet_time_to_finding_seconds; Table V times span seconds to an hour.
+var timeToFindingBoundsSeconds = []float64{1, 5, 10, 30, 60, 120, 300, 600, 1800, 3600}
+
+// aggregate folds the per-trial results (already in index order) into the
+// report: status counts, summed counters, deduplicated findings, the
+// time-to-finding distribution and the merged telemetry snapshot. It is
+// pure sequential code, so the result is independent of how the trials
+// were interleaved across workers.
+func (r *Report) aggregate() {
+	reg := telemetry.NewRegistry()
+	mTrials := map[string]*telemetry.Counter{}
+	for _, st := range []string{StatusFinding, StatusTimeout, StatusPanic, StatusError, StatusSkipped} {
+		mTrials[st] = reg.Counter("fleet_trials_total", "Fleet trials by outcome.",
+			telemetry.Label{Key: "status", Value: st})
+	}
+	mFrames := reg.Counter("fleet_frames_sent_total", "Fuzz frames transmitted across the fleet.")
+	mErrs := reg.Counter("fleet_send_errors_total", "Rejected transmissions across the fleet.")
+	mFindings := reg.Counter("fleet_findings_total", "Oracle firings across the fleet.")
+	hTTF := reg.Histogram("fleet_time_to_finding_seconds",
+		"Virtual time to first finding per finding trial.", timeToFindingBoundsSeconds)
+
+	var times []time.Duration
+	dedup := map[string]*AggregatedFinding{}
+	var maxVirtual time.Duration
+	for _, tr := range r.Results {
+		switch tr.Status {
+		case StatusFinding:
+			r.FoundFindings++
+			times = append(times, tr.TimeToFinding)
+			hTTF.ObserveDuration(tr.TimeToFinding)
+			key := tr.Oracle + "\x00" + tr.Detail + "\x00" + tr.TriggerID
+			if f := dedup[key]; f != nil {
+				f.Count++
+				if tr.TimeToFinding < f.MinTimeToFinding {
+					f.MinTimeToFinding = tr.TimeToFinding
+				}
+			} else {
+				dedup[key] = &AggregatedFinding{
+					Oracle: tr.Oracle, Detail: tr.Detail, TriggerID: tr.TriggerID,
+					Count: 1, FirstTrial: tr.Trial, MinTimeToFinding: tr.TimeToFinding,
+				}
+			}
+		case StatusTimeout:
+			r.TimedOut++
+		case StatusPanic:
+			r.Panics++
+		case StatusError:
+			r.Errors++
+		case StatusSkipped:
+			r.Skipped++
+		}
+		if tr.Status != StatusSkipped {
+			r.Completed++
+		}
+		mTrials[tr.Status].Inc()
+		r.FramesSent += tr.FramesSent
+		r.SendErrors += tr.SendErrors
+		r.VirtualTimeTotal += tr.VirtualElapsed
+		mFindings.Add(uint64(tr.Findings))
+		if tr.VirtualElapsed > maxVirtual {
+			maxVirtual = tr.VirtualElapsed
+		}
+	}
+	mFrames.Add(r.FramesSent)
+	mErrs.Add(r.SendErrors)
+	reg.Advance(maxVirtual)
+
+	if len(times) > 0 {
+		stats := analysis.RunStats{Times: times}
+		ttf := &TimeToFindingStats{
+			Samples: len(times),
+			Mean:    stats.Mean(),
+			Median:  stats.Median(),
+			P95:     stats.P95(),
+			Min:     stats.Min(),
+			Max:     stats.Max(),
+		}
+		for _, b := range analysis.NewDurationHistogram(times, histogramBins).Buckets {
+			ttf.Histogram = append(ttf.Histogram, HistogramBucket{Lo: b.Lo, Hi: b.Hi, Count: b.Count})
+		}
+		r.TimeToFinding = ttf
+	}
+
+	for _, f := range dedup {
+		r.Findings = append(r.Findings, *f)
+	}
+	sort.Slice(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if a.Oracle != b.Oracle {
+			return a.Oracle < b.Oracle
+		}
+		if a.Detail != b.Detail {
+			return a.Detail < b.Detail
+		}
+		return a.TriggerID < b.TriggerID
+	})
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err == nil {
+		r.Telemetry = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+	}
+}
