@@ -31,6 +31,7 @@ import (
 	"repro/internal/ecu"
 	"repro/internal/faults"
 	"repro/internal/fleet"
+	"repro/internal/guided"
 	"repro/internal/oracle"
 	"repro/internal/signal"
 	"repro/internal/telemetry"
@@ -78,8 +79,15 @@ func run(args []string) error {
 	trials := fs.Int("trials", 1, "number of independent fleet trials (>= 1; > 1 enables fleet mode)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "fleet worker-pool size (>= 1)")
 	failFast := fs.Bool("fail-fast", false, "fleet mode: stop dispatching trials after the first confirmed finding")
+	corpusIn := fs.String("corpus-in", "", "guided mode: seed corpus file, one ID#HEXDATA frame per line")
+	corpusOut := fs.String("corpus-out", "", "guided mode: write the evolved corpus here (fleet: the merged corpus)")
+	minimize := fs.Bool("minimize", false, "minimize the first finding's trigger window to a minimal reproducer after the run")
+	minimizeOut := fs.String("minimize-out", "", "write the minimized reproducer as a canreplay-compatible capture log (implies -minimize)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *minimizeOut != "" {
+		*minimize = true
 	}
 
 	// Flag validation: loud errors instead of silent misbehaviour.
@@ -100,7 +108,12 @@ func run(args []string) error {
 			return fmt.Errorf("-metrics/-trace/-metrics-hold are not supported in fleet mode (-trials > 1); the fleet report embeds a merged telemetry snapshot")
 		case *mode == "bits":
 			return fmt.Errorf("-mode bits is not supported in fleet mode (-trials > 1)")
+		case *minimize:
+			return fmt.Errorf("-minimize is not supported in fleet mode (-trials > 1): minimize the single-run reproduction of one trial instead")
 		}
+	}
+	if *minimize && *chaosSpec != "" {
+		return fmt.Errorf("-minimize is not supported with -chaos: replay worlds are rebuilt without the fault plan")
 	}
 
 	cfg := core.Config{
@@ -128,6 +141,8 @@ func run(args []string) error {
 			*mode = "mutate"
 		case core.ModeSweep:
 			*mode = "sweep"
+		case core.ModeGuided:
+			*mode = "guided"
 		default:
 			*mode = "random"
 		}
@@ -168,6 +183,10 @@ func run(args []string) error {
 		tel = telemetry.New(0)
 	}
 
+	if *mode != "guided" && (*corpusIn != "" || *corpusOut != "") {
+		return fmt.Errorf("-corpus-in/-corpus-out require -mode guided")
+	}
+
 	switch *mode {
 	case "random":
 	case "mutate":
@@ -178,14 +197,34 @@ func run(args []string) error {
 		}
 	case "sweep":
 		cfg.Mode = core.ModeSweep
+	case "guided":
+		cfg.Mode = core.ModeGuided
 	case "bits":
 		if *chaosSpec != "" || *recovery {
 			return fmt.Errorf("-chaos/-recover are not supported in bits mode")
+		}
+		if *minimize {
+			return fmt.Errorf("-minimize is not supported in bits mode")
 		}
 		return runBitsMode(*seed, *dur, *interval, *mutateBits, corpus,
 			tel, *metricsAddr, *traceFile, *metricsHold)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	// Guided seed corpora use the one-frame-per-line ID#HEXDATA format so
+	// fleet-merged corpora feed straight back in.
+	var guidedSeed []can.Frame
+	if *corpusIn != "" {
+		f, err := os.Open(*corpusIn)
+		if err != nil {
+			return err
+		}
+		guidedSeed, err = guided.ReadCorpus(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("corpus-in %s: %w", *corpusIn, err)
+		}
 	}
 
 	checkMode := bcm.CheckByteOnly
@@ -199,11 +238,12 @@ func run(args []string) error {
 		return fmt.Errorf("unknown bcm-check %q", *check)
 	}
 	spec := targetSpec{
-		target:   *target,
-		busName:  *busName,
-		check:    checkMode,
-		stop:     *stop,
-		recovery: *recovery,
+		target:     *target,
+		busName:    *busName,
+		check:      checkMode,
+		stop:       *stop,
+		recovery:   *recovery,
+		guidedSeed: guidedSeed,
 	}
 
 	// The chaos plan is parsed up front; the injector itself is built per
@@ -218,7 +258,7 @@ func run(args []string) error {
 	}
 
 	if *trials > 1 {
-		return runFleet(spec, cfg, *trials, *workers, *dur, *failFast, *jsonOut)
+		return runFleet(spec, cfg, *trials, *workers, *dur, *failFast, *jsonOut, *corpusOut)
 	}
 
 	world, inj, err := newWorld(spec, cfg, tel, plan)
@@ -255,8 +295,24 @@ func run(args []string) error {
 		return err
 	}
 
+	if *corpusOut != "" && world.Corpus != nil {
+		if err := writeCorpusFile(*corpusOut, world.Corpus()); err != nil {
+			return err
+		}
+	}
+
+	var minimized *core.MinimizedTrigger
+	if *minimize {
+		var err error
+		if minimized, err = runMinimize(spec, cfg, campaign, *minimizeOut); err != nil {
+			return err
+		}
+	}
+
+	rep := campaign.BuildReport()
+	rep.Minimized = minimized
 	if *jsonOut {
-		return campaign.BuildReport().WriteJSON(os.Stdout)
+		return rep.WriteJSON(os.Stdout)
 	}
 	fmt.Printf("sent %d frames (%d rejected) in %v virtual time\n",
 		campaign.FramesSent(), campaign.SendErrors(), sched.Now())
@@ -265,7 +321,11 @@ func run(args []string) error {
 	if inj != nil {
 		fmt.Printf("faults injected by kind: %v\n", inj.Counts())
 	}
-	if rep := campaign.BuildReport(); rep.Resilience != nil {
+	if rep.CorpusSize > 0 || rep.NoveltyHits > 0 {
+		fmt.Printf("guided: corpus %d frames, %d novel features\n",
+			rep.CorpusSize, rep.NoveltyHits)
+	}
+	if rep.Resilience != nil {
 		fmt.Printf("resilience: %d retries (%d exhausted), %d watchdog fires, %d bus-offs, %d recoveries\n",
 			rep.Resilience.Retries, rep.Resilience.RetriesExhausted,
 			rep.Resilience.WatchdogFires, rep.Resilience.PortBusOffs, rep.Resilience.PortRecoveries)
@@ -283,16 +343,86 @@ func run(args []string) error {
 			fmt.Printf("    %s\n", fr)
 		}
 	}
+	if rep.Minimized != nil {
+		fmt.Printf("minimized reproducer for [%s]: %d frames (from %d, %d executions)\n",
+			rep.Minimized.Oracle, len(rep.Minimized.Frames),
+			rep.Minimized.OriginalFrames, rep.Minimized.Executions)
+		for _, l := range rep.Minimized.Frames {
+			fmt.Printf("    %s\n", l)
+		}
+	}
+	return nil
+}
+
+// runMinimize shrinks the first finding's trigger window by re-executing
+// candidate subsequences in fresh replay worlds. It returns nil without
+// error when the campaign produced no findings.
+func runMinimize(spec targetSpec, cfg core.Config, campaign *core.Campaign, outFile string) (*core.MinimizedTrigger, error) {
+	findings := campaign.Findings()
+	if len(findings) == 0 {
+		logger.Info("minimize: no findings to minimize")
+		return nil, nil
+	}
+	f := findings[0]
+	interval := campaign.Generator().Config().Interval
+	m := &guided.Minimizer{
+		Factory: func(fleet.TrialSpec) (*fleet.World, error) {
+			w, _, err := newWorld(spec, cfg, nil, nil)
+			return w, err
+		},
+		Seed:     cfg.Seed,
+		Oracle:   f.Verdict.Oracle,
+		Interval: interval,
+	}
+	res, err := m.Minimize(f.Recent)
+	if err != nil {
+		return nil, fmt.Errorf("minimize: %w", err)
+	}
+	logger.Info("minimized", "oracle", res.Oracle, "frames", len(res.Frames),
+		"from", res.OriginalFrames, "executions", res.Executions)
+	if outFile != "" {
+		out, err := os.Create(outFile)
+		if err != nil {
+			return nil, err
+		}
+		werr := res.WriteReplayLog(out, "can0", interval)
+		if cerr := out.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return nil, werr
+		}
+		logger.Info("reproducer written", "file", outFile, "frames", len(res.Frames))
+	}
+	return res.Trigger(), nil
+}
+
+// writeCorpusFile serializes an evolved corpus in the shareable
+// one-frame-per-line format.
+func writeCorpusFile(path string, lines []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := guided.WriteCorpus(f, lines)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	logger.Info("corpus written", "file", path, "frames", len(lines))
 	return nil
 }
 
 // targetSpec names everything needed to construct one target world.
 type targetSpec struct {
-	target   string
-	busName  string
-	check    bcm.CheckMode
-	stop     bool
-	recovery bool
+	target     string
+	busName    string
+	check      bcm.CheckMode
+	stop       bool
+	recovery   bool
+	guidedSeed []can.Frame // -corpus-in frames seeding every guided engine
 }
 
 // newWorld constructs one fully isolated target world: a fresh scheduler,
@@ -321,6 +451,7 @@ func newWorld(spec targetSpec, cfg core.Config, tel *telemetry.Telemetry, plan *
 	}
 
 	var campaign *core.Campaign
+	var probes []guided.Probe
 	var err error
 	switch spec.target {
 	case "bench":
@@ -334,6 +465,7 @@ func newWorld(spec targetSpec, cfg core.Config, tel *telemetry.Telemetry, plan *
 		}
 		campaign.AddOracle(bench.UnlockOracle())
 		campaign.AddOracle(bench.LEDOracle(10 * time.Millisecond))
+		probes = bench.GuidedProbes(fuzzPort)
 
 	case "cluster":
 		b := busPkg.New(sched, busPkg.WithName("bench"))
@@ -356,6 +488,11 @@ func newWorld(spec targetSpec, cfg core.Config, tel *telemetry.Telemetry, plan *
 				return ""
 			},
 		})
+		probes = []guided.Probe{
+			{Name: "cluster_crash_displays", Fn: c.CrashDisplays},
+			{Name: "fuzzer_tec", Fn: func() uint64 { tec, _ := fuzzPort.ErrorCounters(); return uint64(tec) }},
+			{Name: "fuzzer_rec", Fn: func() uint64 { _, rec := fuzzPort.ErrorCounters(); return uint64(rec) }},
+		}
 
 	case "vehicle":
 		which := vehicle.OBDBody
@@ -383,17 +520,44 @@ func newWorld(spec targetSpec, cfg core.Config, tel *telemetry.Telemetry, plan *
 		campaign.AddOracle(&oracle.SignalRange{DB: signal.VehicleDB()})
 		campaign.AddOracle(oracle.Physical("bcm-unlock", 10*time.Millisecond,
 			v.BCM.Unlocked, false, "doors unlocked"))
+		probes = []guided.Probe{
+			{Name: "bcm_unlocked", Fn: func() uint64 {
+				if v.BCM.Unlocked() {
+					return 1
+				}
+				return 0
+			}},
+			{Name: "fuzzer_tec", Fn: func() uint64 { tec, _ := fuzzPort.ErrorCounters(); return uint64(tec) }},
+			{Name: "fuzzer_rec", Fn: func() uint64 { _, rec := fuzzPort.ErrorCounters(); return uint64(rec) }},
+		}
 
 	default:
 		return nil, nil, fmt.Errorf("unknown target %q", spec.target)
 	}
-	return &fleet.World{Sched: sched, Campaign: campaign}, inj, nil
+
+	world := &fleet.World{Sched: sched, Campaign: campaign}
+	if cfg.Mode == core.ModeGuided {
+		engOpts := []guided.EngineOption{guided.WithProbes(probes...)}
+		if tel != nil {
+			engOpts = append(engOpts, guided.WithTelemetry(tel))
+		}
+		if len(spec.guidedSeed) > 0 {
+			engOpts = append(engOpts, guided.WithSeedFrames(spec.guidedSeed))
+		}
+		eng, err := guided.NewEngine(cfg, engOpts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		campaign.SetFrameSource(eng)
+		world.Corpus = eng.CorpusFrames
+	}
+	return world, inj, nil
 }
 
 // runFleet executes -trials independent campaigns on the worker pool and
 // prints the deterministic fleet report (JSON with -json, a summary
 // otherwise).
-func runFleet(spec targetSpec, cfg core.Config, trials, workers int, maxPerTrial time.Duration, failFast, jsonOut bool) error {
+func runFleet(spec targetSpec, cfg core.Config, trials, workers int, maxPerTrial time.Duration, failFast, jsonOut bool, corpusOut string) error {
 	logEvery := trials / 10
 	if logEvery < 1 {
 		logEvery = 1
@@ -417,6 +581,11 @@ func runFleet(spec targetSpec, cfg core.Config, trials, workers int, maxPerTrial
 	if err != nil {
 		return err
 	}
+	if corpusOut != "" {
+		if err := writeCorpusFile(corpusOut, rep.MergedCorpus); err != nil {
+			return err
+		}
+	}
 	if jsonOut {
 		return rep.WriteJSON(os.Stdout)
 	}
@@ -426,6 +595,9 @@ func runFleet(spec targetSpec, cfg core.Config, trials, workers int, maxPerTrial
 	if ttf := rep.TimeToFinding; ttf != nil {
 		fmt.Printf("time to finding: mean %v, median %v, p95 %v, min %v, max %v (%d samples)\n",
 			ttf.Mean, ttf.Median, ttf.P95, ttf.Min, ttf.Max, ttf.Samples)
+	}
+	if len(rep.MergedCorpus) > 0 {
+		fmt.Printf("merged corpus: %d distinct frames across the fleet\n", len(rep.MergedCorpus))
 	}
 	for _, f := range rep.Findings {
 		fmt.Printf("finding: [%s] %s (trigger id %s) in %d trials, fastest %v (first trial %d)\n",

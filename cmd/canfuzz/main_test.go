@@ -2,6 +2,7 @@ package main
 
 import (
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -154,10 +155,105 @@ func TestRunFlagValidation(t *testing.T) {
 		{"-trials", "2", "-metrics", "localhost:0"},
 		{"-trials", "2", "-trace", "/tmp/t.json"},
 		{"-trials", "2", "-mode", "bits"},
+		{"-trials", "2", "-minimize"},
+		{"-minimize", "-chaos", "seed=1;jam(at=1s)"},
+		{"-mode", "bits", "-minimize"},
+		{"-mode", "random", "-corpus-out", "/tmp/c.corpus"},
+		{"-mode", "mutate", "-corpus-in", "/tmp/c.corpus"},
+		{"-mode", "guided", "-corpus-in", "/nonexistent.corpus"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+func TestRunGuidedMode(t *testing.T) {
+	// Unguided-range guided fuzzing on the bench: response feedback steers
+	// the corpus onto the command id, so the unlock lands well inside the
+	// budget without -ids hints.
+	dir := t.TempDir()
+	corpusOut := dir + "/evolved.corpus"
+	err := run([]string{"-target", "bench", "-mode", "guided", "-dur", "30m",
+		"-seed", "3", "-corpus-out", corpusOut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(corpusOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("evolved corpus file is empty")
+	}
+	// The evolved corpus must feed back in as a seed corpus.
+	err = run([]string{"-target", "bench", "-mode", "guided", "-dur", "30m",
+		"-seed", "8", "-corpus-in", corpusOut})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGuidedConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	cfgFile := dir + "/guided.json"
+	doc := `{"seed": 3, "mode": "guided"}`
+	if err := os.WriteFile(cfgFile, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-target", "bench", "-config", cfgFile, "-json", "-dur", "30m"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGuidedFleetMergedCorpus(t *testing.T) {
+	dir := t.TempDir()
+	merged := dir + "/merged.corpus"
+	err := run([]string{"-target", "bench", "-mode", "guided", "-trials", "3",
+		"-workers", "2", "-dur", "30m", "-seed", "11", "-corpus-out", merged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("fleet merged corpus file is empty")
+	}
+}
+
+func TestRunMinimizeEmitsReplayableLog(t *testing.T) {
+	// The acceptance path: canfuzz -minimize writes a reproducer log that
+	// cmd/canreplay can replay to the same finding. The replay itself is
+	// exercised in internal/guided; here we check the emitted artifact.
+	dir := t.TempDir()
+	repro := dir + "/repro.log"
+	err := run([]string{"-target", "bench", "-mode", "guided", "-dur", "30m",
+		"-seed", "3", "-minimize-out", repro, "-json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(repro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines == 0 || lines > 8 {
+		t.Fatalf("reproducer has %d frames, want 1..8", lines)
+	}
+	if !strings.Contains(string(data), "215#") {
+		t.Fatalf("reproducer does not touch the command id:\n%s", data)
+	}
+}
+
+func TestRunMinimizeNoFindingIsNotAnError(t *testing.T) {
+	// A run that finds nothing has nothing to minimize; that is a clean
+	// exit, not a failure.
+	err := run([]string{"-target", "bench", "-mode", "random", "-dur", "2s",
+		"-seed", "1", "-minimize"})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

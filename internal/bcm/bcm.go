@@ -88,6 +88,14 @@ type BCM struct {
 	unlocks  uint64
 	locks    uint64
 	onChange func(unlocked bool)
+
+	// cmdFrames counts every frame seen on the command identifier;
+	// nearMisses counts frames carrying a valid command byte that failed the
+	// configured strictness check. Both are feedback signals for guided
+	// fuzzing: a near-miss means the fuzzer is one constraint away from the
+	// Table V unlock.
+	cmdFrames  uint64
+	nearMisses uint64
 }
 
 // New builds the BCM application on an ECU runtime.
@@ -110,6 +118,13 @@ func (b *BCM) Unlocked() bool { return b.unlocked }
 // Counters returns how many unlock and lock transitions have occurred.
 func (b *BCM) Counters() (unlocks, locks uint64) { return b.unlocks, b.locks }
 
+// CommandStats returns how many frames arrived on the command identifier
+// and how many were near-misses (valid command byte, failed strictness
+// check) — the guided fuzzer's gradient toward the unlock.
+func (b *BCM) CommandStats() (cmdFrames, nearMisses uint64) {
+	return b.cmdFrames, b.nearMisses
+}
+
 // OnChange registers a callback fired on every lock-state transition (the
 // bench observer watching the LED).
 func (b *BCM) OnChange(fn func(unlocked bool)) { b.onChange = fn }
@@ -118,6 +133,7 @@ func (b *BCM) OnChange(fn func(unlocked bool)) { b.onChange = fn }
 // configured check mode, and returns the command byte.
 func (b *BCM) acceptFrame(m bus.Message) (byte, bool) {
 	f := m.Frame
+	b.cmdFrames++
 	if f.Remote || f.Len < 1 {
 		return 0, false
 	}
@@ -128,14 +144,17 @@ func (b *BCM) acceptFrame(m bus.Message) (byte, bool) {
 	switch b.cfg.Check {
 	case CheckByteAndLength:
 		if f.Len != commandLen {
+			b.nearMisses++
 			return 0, false
 		}
 	case CheckTwoBytes:
 		if f.Len != commandLen || f.Data[1] != sourceByte {
+			b.nearMisses++
 			return 0, false
 		}
 	case CheckAuthenticated:
 		if f.Len != commandLen || f.Data[6] != signal.CommandAuthCode(f.Data[:6]) {
+			b.nearMisses++
 			return 0, false
 		}
 	}

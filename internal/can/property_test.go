@@ -1,0 +1,82 @@
+package can
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomWireFrame draws one valid frame: random in-range identifier,
+// random DLC, random payload, and — unlike randomFrame in frame_test.go —
+// the occasional remote frame.
+func randomWireFrame(rng *rand.Rand) Frame {
+	var f Frame
+	f.ID = ID(rng.Intn(MaxID + 1))
+	f.Len = uint8(rng.Intn(MaxDataLen + 1))
+	if rng.Intn(10) == 0 {
+		f.Remote = true
+		return f
+	}
+	for i := 0; i < int(f.Len); i++ {
+		f.Data[i] = byte(rng.Intn(256))
+	}
+	return f
+}
+
+// TestMarshalUnmarshalRoundTripProperty checks Unmarshal(Marshal(f)) == f
+// over a seeded sample of the whole frame space.
+func TestMarshalUnmarshalRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		f := randomWireFrame(rng)
+		buf, err := Marshal(f)
+		if err != nil {
+			t.Fatalf("frame %d (%v): marshal: %v", i, f, err)
+		}
+		got, n, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("frame %d (%v): unmarshal: %v", i, f, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("frame %d: consumed %d of %d bytes", i, n, len(buf))
+		}
+		if !got.Equal(f) || got.Remote != f.Remote || got.Len != f.Len {
+			t.Fatalf("frame %d: round trip %v -> %v", i, f, got)
+		}
+	}
+}
+
+// TestStuffUnstuffRoundTripProperty checks Unstuff(Stuff(bits)) == bits both
+// for real frame encodings and for arbitrary bit strings, including the
+// stuffing-heavy all-equal runs.
+func TestStuffUnstuffRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	check := func(i int, bits []byte) {
+		t.Helper()
+		back, err := Unstuff(Stuff(bits))
+		if err != nil {
+			t.Fatalf("case %d: unstuff: %v", i, err)
+		}
+		if len(back) != len(bits) {
+			t.Fatalf("case %d: %d bits in, %d out", i, len(bits), len(back))
+		}
+		for j := range bits {
+			if back[j] != bits[j] {
+				t.Fatalf("case %d: bit %d flipped", i, j)
+			}
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		check(i, RawBits(randomFrame(rng)))
+
+		n := rng.Intn(128)
+		bits := make([]byte, n)
+		for j := range bits {
+			if rng.Intn(4) > 0 && j > 0 {
+				bits[j] = bits[j-1] // bias toward runs that force stuffing
+			} else {
+				bits[j] = byte(rng.Intn(2))
+			}
+		}
+		check(i, bits)
+	}
+}

@@ -27,8 +27,29 @@ type Finding struct {
 	Recent []can.Frame
 }
 
+// FrameSource supplies campaign frames from outside the built-in
+// generator — the hook ModeGuided rides on. Next is called once per timing
+// tick; returning ok=false skips the tick without transmitting (the source
+// is exhausted or waiting for feedback). Observe receives every bus message
+// the campaign's port sees while running, in delivery order, so the source
+// can close the loop between what it sent and what the target did.
+//
+// A Campaign drives its FrameSource strictly from the single-threaded
+// scheduler, so implementations need no locking.
+type FrameSource interface {
+	Next() (can.Frame, bool)
+	Observe(m bus.Message)
+}
+
 // Option configures a Campaign.
 type Option func(*Campaign)
+
+// WithFrameSource installs an external frame source that overrides the
+// built-in generator (see FrameSource). The generator still validates the
+// Config and serves as the mode/interval record for BuildReport.
+func WithFrameSource(src FrameSource) Option {
+	return func(c *Campaign) { c.src = src }
+}
 
 // WithStopOnFinding halts transmission at the first finding.
 func WithStopOnFinding() Option {
@@ -142,6 +163,7 @@ type Campaign struct {
 	onFinding     func(Finding)
 	window        int
 	maxFrames     uint64
+	src           FrameSource
 
 	// res is the resilience policy; nil (the default) means no retries and
 	// no watchdog, with zero overhead on the send path.
@@ -200,6 +222,14 @@ func (c *Campaign) Generator() *Generator { return c.gen }
 
 // Monitor returns the campaign's traffic monitor.
 func (c *Campaign) Monitor() *Monitor { return c.mon }
+
+// SetFrameSource installs (or clears, with nil) an external frame source
+// after construction — the minimizer swaps playback sources between
+// candidate executions this way. See WithFrameSource.
+func (c *Campaign) SetFrameSource(src FrameSource) { c.src = src }
+
+// FrameSource returns the installed external frame source, or nil.
+func (c *Campaign) FrameSource() FrameSource { return c.src }
 
 // FramesSent returns the number of fuzz frames transmitted so far.
 func (c *Campaign) FramesSent() uint64 { return c.framesSent }
@@ -336,9 +366,15 @@ func (c *Campaign) sendOne() {
 		return // backing off; keep the generator stream untouched
 	}
 	var f can.Frame
-	if res != nil && res.pendingValid {
+	switch {
+	case res != nil && res.pendingValid:
 		f = res.pending
-	} else {
+	case c.src != nil:
+		var ok bool
+		if f, ok = c.src.Next(); !ok {
+			return // source has nothing this tick; send nothing
+		}
+	default:
 		f = c.gen.Next()
 	}
 	if err := c.port.Send(f); err != nil {
@@ -392,6 +428,9 @@ func (c *Campaign) observe(m bus.Message) {
 	c.mon.NoteObserved(m)
 	if !c.running {
 		return
+	}
+	if c.src != nil {
+		c.src.Observe(m)
 	}
 	for _, o := range c.oracles {
 		o.Observe(m)

@@ -39,6 +39,12 @@ const (
 	// for every payload value of a fixed length (the combinatorial
 	// discussion of §V).
 	ModeSweep
+	// ModeGuided marks a coverage-guided campaign: generation is driven by
+	// an external feedback engine (internal/guided) installed with
+	// WithFrameSource, which evolves a corpus from target-response novelty.
+	// Without a source attached the mode degrades to ModeRandom — §V's
+	// blind fuzzer — so a guided Config stays runnable anywhere.
+	ModeGuided
 )
 
 // String returns the mode name.
@@ -50,6 +56,8 @@ func (m Mode) String() string {
 		return "mutate"
 	case ModeSweep:
 		return "sweep"
+	case ModeGuided:
+		return "guided"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}

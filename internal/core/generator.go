@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/can"
@@ -23,6 +24,25 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	// Validation-time corpus filtering: capture logs legitimately carry
+	// remote frames and hand-written corpora can carry malformed ones, but
+	// neither is a usable mutation parent (flipping payload bits in an RTR
+	// frame yields an invalid frame the port rejects). Filter here, and fail
+	// loudly if nothing survives — previously an all-filtered corpus reached
+	// nextMutated and panicked in rand.Intn(0).
+	if cfg.Mode == ModeMutate {
+		kept := make([]can.Frame, 0, len(cfg.Corpus))
+		for _, f := range cfg.Corpus {
+			if !f.Remote && f.Validate() == nil {
+				kept = append(kept, f)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("%w: no usable frames left after validation-time filtering (%d dropped)",
+				ErrEmptyCorpus, len(cfg.Corpus))
+		}
+		cfg.Corpus = kept
 	}
 	g := &Generator{
 		cfg: cfg,
@@ -77,6 +97,11 @@ func (g *Generator) randomID() can.ID {
 // nextMutated picks a corpus frame and flips MutateBits random bits in the
 // payload (and identifier when MutateID is set).
 func (g *Generator) nextMutated() can.Frame {
+	if len(g.cfg.Corpus) == 0 {
+		// Unreachable after NewGenerator's filtering, but a stray empty
+		// corpus must degrade to random — never rand.Intn(0).
+		return g.nextRandom()
+	}
 	f := g.cfg.Corpus[g.rng.Intn(len(g.cfg.Corpus))]
 	payloadBits := int(f.Len) * 8
 	idBits := 0

@@ -282,3 +282,51 @@ func TestSpaceSizeSaturatesInsteadOfOverflowing(t *testing.T) {
 		t.Fatalf("targeted %d > blind %d", targeted, full)
 	}
 }
+
+func TestMutateCorpusFilteredEmptyReturnsErr(t *testing.T) {
+	// Remote frames and malformed frames are dropped at construction; a
+	// corpus with no usable parent must fail with ErrEmptyCorpus instead of
+	// reaching rand.Intn(0) in nextMutated (regression: that panicked).
+	remote := can.Frame{ID: 0x123, Len: 2, Remote: true}
+	invalid := can.Frame{ID: 0x900} // > MaxID
+	_, err := NewGenerator(Config{Mode: ModeMutate, Corpus: []can.Frame{remote, invalid}})
+	if !errors.Is(err, ErrEmptyCorpus) {
+		t.Fatalf("err = %v, want ErrEmptyCorpus", err)
+	}
+}
+
+func TestMutateCorpusFilterKeepsValidFrames(t *testing.T) {
+	remote := can.Frame{ID: 0x123, Len: 2, Remote: true}
+	good := can.Frame{ID: 0x215, Len: 1, Data: [8]byte{0x20}}
+	g, err := NewGenerator(Config{Mode: ModeMutate, Corpus: []can.Frame{remote, good}, MutateBits: 1})
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	if n := len(g.Config().Corpus); n != 1 {
+		t.Fatalf("filtered corpus size = %d, want 1", n)
+	}
+	for i := 0; i < 100; i++ {
+		f := g.Next()
+		if f.Remote {
+			t.Fatal("mutated a remote frame")
+		}
+		if f.ID != good.ID && !g.Config().MutateID {
+			t.Fatalf("parent leaked wrong id %v", f.ID)
+		}
+	}
+}
+
+func TestModeGuidedFallsBackToRandom(t *testing.T) {
+	// Without a FrameSource attached, guided mode degrades to the blind
+	// random generator so the Config stays runnable anywhere.
+	guided, _ := NewGenerator(Config{Seed: 7, Mode: ModeGuided})
+	random, _ := NewGenerator(Config{Seed: 7, Mode: ModeRandom})
+	for i := 0; i < 50; i++ {
+		if g, r := guided.Next(), random.Next(); g != r {
+			t.Fatalf("frame %d: guided %v != random %v", i, g, r)
+		}
+	}
+	if ModeGuided.String() != "guided" {
+		t.Fatal("ModeGuided.String() != guided")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"time"
 
@@ -39,6 +40,16 @@ type Report struct {
 	// ByteMeanSpread is max-min of the per-position means.
 	ByteMeanSpread float64 `json:"byteMeanSpread"`
 
+	// CorpusSize and NoveltyHits summarise guided-mode feedback: the number
+	// of corpus entries the feedback engine retained and the number of sends
+	// credited with novel target behaviour. Zero (omitted) outside guided
+	// campaigns.
+	CorpusSize  int    `json:"corpusSize,omitempty"`
+	NoveltyHits uint64 `json:"noveltyHits,omitempty"`
+	// Minimized holds the minimizer's reproducer for the first finding, when
+	// minimization was run (cmd/canfuzz -minimize).
+	Minimized *MinimizedTrigger `json:"minimized,omitempty"`
+
 	// Resilience summarises the graceful-degradation counters (retries,
 	// watchdog activity, fuzzer-port bus-off cycles). Nil when the campaign
 	// ran without a resilience policy.
@@ -65,6 +76,29 @@ type ReportFinding struct {
 	RecentFrames []string `json:"recentFrames"`
 }
 
+// MinimizedTrigger is a minimal reproducer for a finding: the shortest
+// frame sequence (in corpus "ID#HEXDATA" form, transmission order) the
+// minimizer could confirm still trips the same oracle.
+type MinimizedTrigger struct {
+	// Oracle and Detail identify the finding reproduced.
+	Oracle string `json:"oracle"`
+	Detail string `json:"detail,omitempty"`
+	// OriginalFrames is the trigger-window length before minimization.
+	OriginalFrames int `json:"originalFrames"`
+	// Frames is the minimized sequence as "ID#HEXDATA" strings.
+	Frames []string `json:"frames"`
+	// Executions counts fresh-world replays the minimizer spent.
+	Executions int `json:"executions"`
+}
+
+// CorpusStats is implemented by frame sources that evolve a corpus
+// (guided.Engine); BuildReport embeds the stats when the campaign's source
+// provides them.
+type CorpusStats interface {
+	CorpusSize() int
+	NoveltyHits() uint64
+}
+
 // BuildReport snapshots a campaign into a Report.
 func (c *Campaign) BuildReport() Report {
 	cfg := c.gen.Config()
@@ -81,6 +115,10 @@ func (c *Campaign) BuildReport() Report {
 	}
 	if len(c.errsByCause) > 0 {
 		r.SendErrorsByCause = c.SendErrorsByCause()
+	}
+	if cs, ok := c.src.(CorpusStats); ok {
+		r.CorpusSize = cs.CorpusSize()
+		r.NoveltyHits = cs.NoveltyHits()
 	}
 	if c.res != nil {
 		ps := c.port.Stats()
@@ -129,7 +167,7 @@ func (r Report) WriteJSON(w io.Writer) error {
 type ConfigJSON struct {
 	// Seed seeds the campaign.
 	Seed int64 `json:"seed"`
-	// Mode is "random", "mutate" or "sweep" (empty = random).
+	// Mode is "random", "mutate", "sweep" or "guided" (empty = random).
 	Mode string `json:"mode,omitempty"`
 	// IDMin and IDMax bound the identifier range.
 	IDMin uint16 `json:"idMin,omitempty"`
@@ -188,6 +226,8 @@ func (cj ConfigJSON) ToConfig() (Config, error) {
 		cfg.Mode = ModeMutate
 	case "sweep":
 		cfg.Mode = ModeSweep
+	case "guided":
+		cfg.Mode = ModeGuided
 	default:
 		return cfg, &json.UnsupportedValueError{Str: "mode " + cj.Mode}
 	}
@@ -206,6 +246,17 @@ func (cj ConfigJSON) ToConfig() (Config, error) {
 		return cfg, err
 	}
 	return cfg, nil
+}
+
+// ParseCorpusFrame parses a corpus entry in "215#205F010000012000" form
+// (hex identifier, '#', hex payload) — the format ConfigJSON.Corpus and
+// guided corpus files share.
+func ParseCorpusFrame(s string) (can.Frame, error) { return parseCorpusFrame(s) }
+
+// FormatCorpusFrame renders a frame in the corpus "ID#HEXDATA" form,
+// the inverse of ParseCorpusFrame.
+func FormatCorpusFrame(f can.Frame) string {
+	return fmt.Sprintf("%03X#%X", uint16(f.ID), f.Data[:f.Len])
 }
 
 // parseCorpusFrame parses "215#205F010000012000" (hex id '#' hex data).

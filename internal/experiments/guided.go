@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/bcm"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/testbench"
+)
+
+// GuidedVsRandomResult compares time-to-unlock distributions for the blind
+// random fuzzer (the paper's §V design) and the coverage-guided engine on
+// the same Table V testbed with the same per-run seeds.
+type GuidedVsRandomResult struct {
+	// Check is the BCM parser variant both arms fuzzed.
+	Check bcm.CheckMode
+	// Random and Guided hold each arm's run statistics in Table V row form.
+	Random Table5Row
+	Guided Table5Row
+	// MergedCorpus is the union of the guided trials' evolved corpora
+	// (fleet-merged in trial-index order).
+	MergedCorpus []string
+	// MedianSpeedup is random median / guided median (0 when either arm has
+	// no finding runs).
+	MedianSpeedup float64
+}
+
+// GuidedVsRandom runs `runs` unlock experiments per arm with seeds
+// baseSeed+i — the same legacy seed scheme as Table5, so the random arm's
+// numbers are directly comparable to the published rows — and returns both
+// distributions. The guided engine closes the feedback loop Werquin et al.
+// describe; on the byte-only parser it reaches the unlock well under the
+// blind fuzzer's median because one frame on the command identifier admits
+// a corpus parent whose mutations keep hammering that identifier.
+func GuidedVsRandom(baseSeed int64, runs int, maxPerRun time.Duration) GuidedVsRandomResult {
+	const check = bcm.CheckByteOnly
+	res := GuidedVsRandomResult{Check: check}
+	res.Random = runUnlockVariantCfg(check, runs, maxPerRun, func(i int) core.Config {
+		return core.Config{Seed: baseSeed + int64(i)}
+	})
+	res.Guided, res.MergedCorpus = runGuidedUnlockRow(check, runs, maxPerRun, func(i int) core.Config {
+		return core.Config{Seed: baseSeed + int64(i), Mode: core.ModeGuided}
+	})
+	if rm, gm := res.Random.Stats.Median(), res.Guided.Stats.Median(); rm > 0 && gm > 0 {
+		res.MedianSpeedup = float64(rm) / float64(gm)
+	}
+	return res
+}
+
+// runGuidedUnlockRow is runUnlockVariantCfg's guided twin: one
+// GuidedUnlockExperiment world per trial, corpora collected and merged by
+// the fleet.
+func runGuidedUnlockRow(check bcm.CheckMode, runs int, maxPerRun time.Duration, cfgFor func(i int) core.Config) (Table5Row, []string) {
+	row := Table5Row{Message: check.String() + " (guided)", Check: check}
+	rep, err := fleet.Run(fleet.Config{
+		Trials:      runs,
+		MaxPerTrial: maxPerRun,
+	}, func(spec fleet.TrialSpec) (*fleet.World, error) {
+		exp, err := testbench.NewGuidedUnlockExperiment(testbench.Config{Check: check}, cfgFor(spec.Index))
+		if err != nil {
+			return nil, err
+		}
+		return &fleet.World{
+			Sched:    exp.Bench.Scheduler(),
+			Campaign: exp.Campaign,
+			Corpus:   exp.Engine.CorpusFrames,
+		}, nil
+	})
+	if err != nil {
+		panic(err) // static configuration cannot fail
+	}
+	for _, tr := range rep.Results {
+		switch tr.Status {
+		case fleet.StatusFinding:
+			row.Stats.Times = append(row.Stats.Times, tr.TimeToFinding)
+		case fleet.StatusTimeout:
+			row.TimedOut++
+		default:
+			panic("experiments: guided unlock trial ended " + tr.Status + ": " + tr.PanicValue + tr.Err)
+		}
+	}
+	return row, rep.MergedCorpus
+}

@@ -44,6 +44,10 @@ type World struct {
 	Sched *clock.Scheduler
 	// Campaign is the armed fuzzer attached to the world's target.
 	Campaign *core.Campaign
+	// Corpus, when non-nil, snapshots the trial's evolved corpus after the
+	// run (guided mode: guided.Engine.CorpusFrames). The fleet records it in
+	// the TrialResult and merges all trials' corpora in index order.
+	Corpus func() []string
 }
 
 // TrialSpec identifies one trial for a TargetFactory.
@@ -218,6 +222,9 @@ func runTrial(spec TrialSpec, maxPerTrial time.Duration, factory TargetFactory) 
 	}
 	finding, ok := w.Campaign.RunUntilFinding(maxPerTrial)
 	res.VirtualElapsed = w.Sched.Now()
+	if w.Corpus != nil {
+		res.Corpus = w.Corpus()
+	}
 	res.FramesSent = w.Campaign.FramesSent()
 	res.SendErrors = w.Campaign.SendErrors()
 	if m := w.Campaign.SendErrorsByCause(); len(m) > 0 {

@@ -1,4 +1,7 @@
-package fleet
+// The fleet suite lives in an external test package: testbench (used by
+// the factories here) imports internal/guided, which imports fleet for its
+// minimizer worlds — an in-package test would close that cycle.
+package fleet_test
 
 import (
 	"bytes"
@@ -15,6 +18,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/fleet"
 	"repro/internal/signal"
 	"repro/internal/testbench"
 )
@@ -22,32 +26,32 @@ import (
 // unlockFactory builds the Table V bench world per trial, targeted at the
 // command identifier so each trial finds the unlock within virtual
 // seconds.
-func unlockFactory(check bcm.CheckMode) TargetFactory {
-	return func(spec TrialSpec) (*World, error) {
+func unlockFactory(check bcm.CheckMode) fleet.TargetFactory {
+	return func(spec fleet.TrialSpec) (*fleet.World, error) {
 		exp, err := testbench.NewUnlockExperiment(testbench.Config{Check: check},
 			core.Config{Seed: spec.Seed, TargetIDs: []can.ID{signal.IDBodyCommand}})
 		if err != nil {
 			return nil, err
 		}
-		return &World{Sched: exp.Bench.Scheduler(), Campaign: exp.Campaign}, nil
+		return &fleet.World{Sched: exp.Bench.Scheduler(), Campaign: exp.Campaign}, nil
 	}
 }
 
 // idleFactory builds a world whose campaign has no oracle: every trial
 // times out.
-func idleFactory(spec TrialSpec) (*World, error) {
+func idleFactory(spec fleet.TrialSpec) (*fleet.World, error) {
 	sched := clock.New()
 	b := bus.New(sched)
 	campaign, err := core.NewCampaign(sched, b.Connect("fuzzer"), core.Config{Seed: spec.Seed})
 	if err != nil {
 		return nil, err
 	}
-	return &World{Sched: sched, Campaign: campaign}, nil
+	return &fleet.World{Sched: sched, Campaign: campaign}, nil
 }
 
-func mustRun(t *testing.T, cfg Config, factory TargetFactory) *Report {
+func mustRun(t *testing.T, cfg fleet.Config, factory fleet.TargetFactory) *fleet.Report {
 	t.Helper()
-	rep, err := Run(cfg, factory)
+	rep, err := fleet.Run(cfg, factory)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +61,7 @@ func mustRun(t *testing.T, cfg Config, factory TargetFactory) *Report {
 func TestFleetDeterministicAcrossWorkerCounts(t *testing.T) {
 	// The acceptance criterion: the same fleet serialises byte-identically
 	// at workers=1 and workers=NumCPU.
-	cfg := Config{Trials: 12, BaseSeed: 7, MaxPerTrial: 30 * time.Minute}
+	cfg := fleet.Config{Trials: 12, BaseSeed: 7, MaxPerTrial: 30 * time.Minute}
 	cfg.Workers = 1
 	seq := mustRun(t, cfg, unlockFactory(bcm.CheckByteOnly))
 	cfg.Workers = runtime.NumCPU()
@@ -77,7 +81,7 @@ func TestFleetDeterministicAcrossWorkerCounts(t *testing.T) {
 }
 
 func TestFleetResultsOrderedByTrialIndex(t *testing.T) {
-	rep := mustRun(t, Config{Trials: 8, BaseSeed: 3, MaxPerTrial: 30 * time.Minute, Workers: 4},
+	rep := mustRun(t, fleet.Config{Trials: 8, BaseSeed: 3, MaxPerTrial: 30 * time.Minute, Workers: 4},
 		unlockFactory(bcm.CheckByteOnly))
 	if len(rep.Results) != 8 {
 		t.Fatalf("results = %d, want 8", len(rep.Results))
@@ -89,7 +93,7 @@ func TestFleetResultsOrderedByTrialIndex(t *testing.T) {
 		if want := faults.DeriveSeed(3, i); tr.Seed != want {
 			t.Fatalf("trial %d seed = %d, want DeriveSeed = %d", i, tr.Seed, want)
 		}
-		if tr.Status != StatusFinding {
+		if tr.Status != fleet.StatusFinding {
 			t.Fatalf("trial %d status = %q", i, tr.Status)
 		}
 		if tr.TimeToFinding <= 0 || tr.FramesSent == 0 {
@@ -99,7 +103,7 @@ func TestFleetResultsOrderedByTrialIndex(t *testing.T) {
 }
 
 func TestFleetAggregationAndStats(t *testing.T) {
-	rep := mustRun(t, Config{Trials: 10, BaseSeed: 11, MaxPerTrial: 30 * time.Minute, Workers: 4},
+	rep := mustRun(t, fleet.Config{Trials: 10, BaseSeed: 11, MaxPerTrial: 30 * time.Minute, Workers: 4},
 		unlockFactory(bcm.CheckByteOnly))
 	if rep.FoundFindings != 10 || rep.Completed != 10 {
 		t.Fatalf("found/completed = %d/%d", rep.FoundFindings, rep.Completed)
@@ -133,7 +137,7 @@ func TestFleetAggregationAndStats(t *testing.T) {
 }
 
 func TestFleetTimeout(t *testing.T) {
-	rep := mustRun(t, Config{Trials: 3, BaseSeed: 1, MaxPerTrial: 100 * time.Millisecond, Workers: 2},
+	rep := mustRun(t, fleet.Config{Trials: 3, BaseSeed: 1, MaxPerTrial: 100 * time.Millisecond, Workers: 2},
 		idleFactory)
 	if rep.TimedOut != 3 || rep.FoundFindings != 0 {
 		t.Fatalf("timedOut/found = %d/%d", rep.TimedOut, rep.FoundFindings)
@@ -142,7 +146,7 @@ func TestFleetTimeout(t *testing.T) {
 		t.Fatal("no findings should mean no time-to-finding stats")
 	}
 	for _, tr := range rep.Results {
-		if tr.Status != StatusTimeout || tr.FramesSent == 0 {
+		if tr.Status != fleet.StatusTimeout || tr.FramesSent == 0 {
 			t.Fatalf("trial %+v", tr)
 		}
 	}
@@ -151,48 +155,48 @@ func TestFleetTimeout(t *testing.T) {
 func TestFleetPanicIsolation(t *testing.T) {
 	// Odd trials panic mid-construction; even trials complete normally. A
 	// crashed trial must become a classified result, not a dead fleet.
-	factory := func(spec TrialSpec) (*World, error) {
+	factory := func(spec fleet.TrialSpec) (*fleet.World, error) {
 		if spec.Index%2 == 1 {
 			panic(fmt.Sprintf("trial %d exploded", spec.Index))
 		}
 		return unlockFactory(bcm.CheckByteOnly)(spec)
 	}
-	rep := mustRun(t, Config{Trials: 6, BaseSeed: 5, MaxPerTrial: 30 * time.Minute, Workers: 3},
+	rep := mustRun(t, fleet.Config{Trials: 6, BaseSeed: 5, MaxPerTrial: 30 * time.Minute, Workers: 3},
 		factory)
 	if rep.Panics != 3 || rep.FoundFindings != 3 {
 		t.Fatalf("panics/found = %d/%d", rep.Panics, rep.FoundFindings)
 	}
 	for i, tr := range rep.Results {
 		if i%2 == 1 {
-			if tr.Status != StatusPanic || !strings.Contains(tr.PanicValue, fmt.Sprintf("trial %d exploded", i)) {
+			if tr.Status != fleet.StatusPanic || !strings.Contains(tr.PanicValue, fmt.Sprintf("trial %d exploded", i)) {
 				t.Fatalf("trial %d: %+v", i, tr)
 			}
-		} else if tr.Status != StatusFinding {
+		} else if tr.Status != fleet.StatusFinding {
 			t.Fatalf("trial %d: %+v", i, tr)
 		}
 	}
 }
 
 func TestFleetFactoryError(t *testing.T) {
-	factory := func(spec TrialSpec) (*World, error) {
+	factory := func(spec fleet.TrialSpec) (*fleet.World, error) {
 		if spec.Index == 1 {
 			return nil, fmt.Errorf("no world for trial %d", spec.Index)
 		}
 		return idleFactory(spec)
 	}
-	rep := mustRun(t, Config{Trials: 2, BaseSeed: 1, MaxPerTrial: 50 * time.Millisecond}, factory)
+	rep := mustRun(t, fleet.Config{Trials: 2, BaseSeed: 1, MaxPerTrial: 50 * time.Millisecond}, factory)
 	if rep.Errors != 1 {
 		t.Fatalf("errors = %d", rep.Errors)
 	}
-	if tr := rep.Results[1]; tr.Status != StatusError || !strings.Contains(tr.Err, "no world for trial 1") {
+	if tr := rep.Results[1]; tr.Status != fleet.StatusError || !strings.Contains(tr.Err, "no world for trial 1") {
 		t.Fatalf("trial 1: %+v", tr)
 	}
 }
 
 func TestFleetNilWorldClassified(t *testing.T) {
-	rep := mustRun(t, Config{Trials: 1, BaseSeed: 1, MaxPerTrial: time.Second},
-		func(TrialSpec) (*World, error) { return nil, nil })
-	if rep.Results[0].Status != StatusError {
+	rep := mustRun(t, fleet.Config{Trials: 1, BaseSeed: 1, MaxPerTrial: time.Second},
+		func(fleet.TrialSpec) (*fleet.World, error) { return nil, nil })
+	if rep.Results[0].Status != fleet.StatusError {
 		t.Fatalf("nil world: %+v", rep.Results[0])
 	}
 }
@@ -200,7 +204,7 @@ func TestFleetNilWorldClassified(t *testing.T) {
 func TestFleetFailFast(t *testing.T) {
 	// Serial workers with fail-fast: trial 0 finds, so later trials are
 	// never dispatched.
-	rep := mustRun(t, Config{
+	rep := mustRun(t, fleet.Config{
 		Trials: 64, BaseSeed: 7, Workers: 1,
 		MaxPerTrial: 30 * time.Minute, FailFast: true,
 	}, unlockFactory(bcm.CheckByteOnly))
@@ -225,13 +229,13 @@ func TestFleetFailFast(t *testing.T) {
 }
 
 func TestFleetConfigValidation(t *testing.T) {
-	if _, err := Run(Config{Trials: 0, MaxPerTrial: time.Second}, idleFactory); err != ErrNoTrials {
+	if _, err := fleet.Run(fleet.Config{Trials: 0, MaxPerTrial: time.Second}, idleFactory); err != fleet.ErrNoTrials {
 		t.Fatalf("Trials=0: %v", err)
 	}
-	if _, err := Run(Config{Trials: 1}, idleFactory); err != ErrNoDeadline {
+	if _, err := fleet.Run(fleet.Config{Trials: 1}, idleFactory); err != fleet.ErrNoDeadline {
 		t.Fatalf("MaxPerTrial=0: %v", err)
 	}
-	if _, err := Run(Config{Trials: 1, MaxPerTrial: time.Second}, nil); err != ErrNilFactory {
+	if _, err := fleet.Run(fleet.Config{Trials: 1, MaxPerTrial: time.Second}, nil); err != fleet.ErrNilFactory {
 		t.Fatalf("nil factory: %v", err)
 	}
 }
@@ -239,7 +243,7 @@ func TestFleetConfigValidation(t *testing.T) {
 func TestFleetProgressLogging(t *testing.T) {
 	var buf bytes.Buffer
 	logger := slog.New(slog.NewTextHandler(&buf, nil))
-	mustRun(t, Config{
+	mustRun(t, fleet.Config{
 		Trials: 4, BaseSeed: 2, Workers: 2,
 		MaxPerTrial: 30 * time.Minute, Logger: logger, LogEvery: 2,
 	}, unlockFactory(bcm.CheckByteOnly))

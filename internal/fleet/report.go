@@ -55,6 +55,9 @@ type TrialResult struct {
 	SendErrors uint64 `json:"sendErrors"`
 	// SendErrorsByCause breaks SendErrors down by cause.
 	SendErrorsByCause map[string]uint64 `json:"sendErrorsByCause,omitempty"`
+	// Corpus is the trial's evolved guided-mode corpus in "ID#HEXDATA"
+	// form, admission order (nil outside guided campaigns).
+	Corpus []string `json:"corpus,omitempty"`
 	// PanicValue is the contained panic (StatusPanic only).
 	PanicValue string `json:"panicValue,omitempty"`
 	// Err is the factory error (StatusError only).
@@ -139,6 +142,10 @@ type Report struct {
 	// TimeToFinding summarises the distribution over finding trials (nil
 	// when no trial found anything).
 	TimeToFinding *TimeToFindingStats `json:"timeToFinding,omitempty"`
+	// MergedCorpus is the union of per-trial guided corpora, deduplicated
+	// in trial-index order — byte-identical at any worker count, like the
+	// rest of the report (nil outside guided campaigns).
+	MergedCorpus []string `json:"mergedCorpus,omitempty"`
 	// Findings lists deduplicated findings sorted by (oracle, detail,
 	// trigger identifier).
 	Findings []AggregatedFinding `json:"findings,omitempty"`
@@ -183,8 +190,15 @@ func (r *Report) aggregate() {
 
 	var times []time.Duration
 	dedup := map[string]*AggregatedFinding{}
+	seenCorpus := map[string]bool{}
 	var maxVirtual time.Duration
 	for _, tr := range r.Results {
+		for _, line := range tr.Corpus {
+			if !seenCorpus[line] {
+				seenCorpus[line] = true
+				r.MergedCorpus = append(r.MergedCorpus, line)
+			}
+		}
 		switch tr.Status {
 		case StatusFinding:
 			r.FoundFindings++

@@ -1,0 +1,269 @@
+package guided
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bus"
+	"repro/internal/can"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/telemetry"
+)
+
+// rngStream is the engine's stream index in the campaign seed's splitmix64
+// family (fleet trial seeds use low indices of their own bases; any fixed
+// constant works, it just must never change).
+const rngStream = 0x6744
+
+// maxPendingFeatures bounds the response features buffered between ticks so
+// a babbling bus cannot grow the engine.
+const maxPendingFeatures = 256
+
+// exploreOneIn is the blind-exploration rate: one generated frame in this
+// many is pure random even when the corpus has parents, so the engine keeps
+// probing identifiers outside the corpus's neighbourhood.
+const exploreOneIn = 8
+
+// Probe samples one scalar of system state the bus does not broadcast —
+// a lock flag, a UDS session level, an error counter. The engine hashes
+// (name, bucketized value) into the novelty map each tick, so a probe
+// moving to a value bucket it has never occupied counts as novel feedback.
+// Fn runs on the scheduler goroutine; it must be cheap and side-effect
+// free.
+type Probe struct {
+	Name string
+	Fn   func() uint64
+}
+
+// EngineOption configures an Engine.
+type EngineOption func(*Engine)
+
+// WithProbes registers state probes. Probe features are keyed by name, so
+// registration order does not affect which behaviours count as novel.
+func WithProbes(probes ...Probe) EngineOption {
+	return func(e *Engine) { e.probes = append(e.probes, probes...) }
+}
+
+// WithTelemetry exports the engine's corpus_size gauge and
+// novelty_hits_total counter on the given plane. Nil is a no-op.
+func WithTelemetry(t *telemetry.Telemetry) EngineOption {
+	return func(e *Engine) {
+		if t == nil {
+			return
+		}
+		e.gCorpus = t.Registry.Gauge("corpus_size",
+			"Guided-mode corpus entries retained by the feedback engine.")
+		e.cNovelty = t.Registry.Counter("novelty_hits_total",
+			"Novel feedback features credited to sent frames.")
+	}
+}
+
+// WithSeedFrames preloads the corpus (e.g. from a -corpus-in file written
+// by a previous campaign). Invalid or remote frames are skipped — a shared
+// corpus file must never brick the engine.
+func WithSeedFrames(frames []can.Frame) EngineOption {
+	return func(e *Engine) {
+		for _, f := range frames {
+			if f.Remote || f.Validate() != nil {
+				continue
+			}
+			e.corp.add(f, 1)
+		}
+	}
+}
+
+// Engine is the coverage-guided frame source: it implements
+// core.FrameSource (install with WithFrameSource/SetFrameSource) and
+// core.CorpusStats (so BuildReport embeds corpus size and novelty hits).
+//
+// Per timing tick the engine (1) harvests feedback accumulated since the
+// previous tick — response (id, dlc) pairs seen on the bus plus the
+// registered probes — into the novelty map, (2) credits any novelty to the
+// frame it sent last, admitting it to the corpus or topping up its energy,
+// and (3) emits the next frame: an energy-weighted corpus parent mutated a
+// little, or a pure-random frame for exploration. All randomness comes
+// from one splitmix64-derived stream, so the whole campaign is
+// deterministic in (config seed, world).
+type Engine struct {
+	cfg  core.Config
+	rng  *rand.Rand
+	nov  noveltyMap
+	corp *corpus
+
+	probes  []Probe
+	pending []uint64
+
+	lastSent  can.Frame
+	lastValid bool
+
+	noveltyHits uint64
+	sent        uint64
+
+	gCorpus  *telemetry.Gauge
+	cNovelty *telemetry.Counter
+}
+
+// NewEngine validates the configuration (ranges, corpus syntax) exactly as
+// a campaign would and builds the feedback engine.
+func NewEngine(cfg core.Config, opts ...EngineOption) (*Engine, error) {
+	if cfg.Mode == 0 {
+		cfg.Mode = core.ModeGuided
+	}
+	gen, err := core.NewGenerator(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("guided: %w", err)
+	}
+	e := &Engine{
+		cfg:  gen.Config(), // defaults applied
+		rng:  faults.DeriveRNG(cfg.Seed, rngStream),
+		corp: newCorpus(),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	// Config-level corpus frames seed the pool too (ConfigJSON reuse).
+	for _, f := range e.cfg.Corpus {
+		if !f.Remote && f.Validate() == nil {
+			e.corp.add(f, 1)
+		}
+	}
+	return e, nil
+}
+
+// Observe implements core.FrameSource: every message the campaign's port
+// receives (which, on this bus model, is exactly the traffic *other* nodes
+// transmit) contributes a response feature.
+func (e *Engine) Observe(m bus.Message) {
+	if len(e.pending) >= maxPendingFeatures {
+		return
+	}
+	e.pending = append(e.pending,
+		hashFeature(featResponse, uint64(m.Frame.ID), uint64(m.Frame.Len)))
+}
+
+// Next implements core.FrameSource: harvest feedback, credit the previous
+// frame, emit the next one.
+func (e *Engine) Next() (can.Frame, bool) {
+	novel := e.harvest()
+	if novel > 0 {
+		e.noveltyHits += novel
+		e.cNovelty.Add(novel)
+		if e.lastValid {
+			e.corp.add(e.lastSent, novel)
+			e.gCorpus.Set(float64(e.corp.size()))
+		}
+	}
+	f := e.generate()
+	e.lastSent, e.lastValid = f, true
+	e.sent++
+	return f, true
+}
+
+// harvest drains buffered response features, samples the probes, and
+// returns how many features were novel.
+func (e *Engine) harvest() uint64 {
+	var novel uint64
+	for _, h := range e.pending {
+		if e.nov.observe(h) {
+			novel++
+		}
+	}
+	e.pending = e.pending[:0]
+	for _, p := range e.probes {
+		h := hashFeature(featProbe, hashName(p.Name), bucketize(p.Fn()))
+		if e.nov.observe(h) {
+			novel++
+		}
+	}
+	return novel
+}
+
+// generate picks the next frame: mutate a corpus parent, or explore.
+func (e *Engine) generate() can.Frame {
+	if e.corp.size() == 0 || e.rng.Intn(exploreOneIn) == 0 {
+		return e.randomFrame()
+	}
+	return e.mutate(e.corp.pick(e.rng))
+}
+
+// randomFrame mirrors the blind generator's uniform draw over the
+// configured ranges.
+func (e *Engine) randomFrame() can.Frame {
+	var f can.Frame
+	if n := len(e.cfg.TargetIDs); n > 0 {
+		f.ID = e.cfg.TargetIDs[e.rng.Intn(n)]
+	} else {
+		f.ID = e.cfg.IDMin + can.ID(e.rng.Intn(int(e.cfg.IDMax-e.cfg.IDMin)+1))
+	}
+	length := e.cfg.LenMin + e.rng.Intn(e.cfg.LenMax-e.cfg.LenMin+1)
+	f.Len = uint8(length)
+	span := e.cfg.ByteMax - e.cfg.ByteMin + 1
+	for i := 0; i < length; i++ {
+		f.Data[i] = byte(e.cfg.ByteMin + e.rng.Intn(span))
+	}
+	return f
+}
+
+// mutate applies a small stack of random operators to a corpus parent.
+// The identifier is mostly preserved — reaching a responsive identifier is
+// the hard-won part of a corpus entry — while payload bits, bytes and
+// length move freely within the configured ranges.
+func (e *Engine) mutate(f can.Frame) can.Frame {
+	ops := 1 + e.rng.Intn(3)
+	span := e.cfg.ByteMax - e.cfg.ByteMin + 1
+	for i := 0; i < ops; i++ {
+		switch e.rng.Intn(8) {
+		case 0, 1, 2: // flip one payload bit
+			if f.Len > 0 {
+				bit := e.rng.Intn(int(f.Len) * 8)
+				f.Data[bit/8] ^= 1 << (bit % 8)
+			}
+		case 3, 4: // randomize one payload byte
+			if f.Len > 0 {
+				f.Data[e.rng.Intn(int(f.Len))] = byte(e.cfg.ByteMin + e.rng.Intn(span))
+			}
+		case 5: // resize within the length range, filling new bytes randomly
+			newLen := e.cfg.LenMin + e.rng.Intn(e.cfg.LenMax-e.cfg.LenMin+1)
+			for j := int(f.Len); j < newLen; j++ {
+				f.Data[j] = byte(e.cfg.ByteMin + e.rng.Intn(span))
+			}
+			for j := newLen; j < int(f.Len); j++ {
+				f.Data[j] = 0
+			}
+			f.Len = uint8(newLen)
+		case 6: // nudge a byte ±1 (gradient walking for magic values)
+			if f.Len > 0 {
+				j := e.rng.Intn(int(f.Len))
+				if e.rng.Intn(2) == 0 {
+					f.Data[j]++
+				} else {
+					f.Data[j]--
+				}
+			}
+		case 7: // rarely, flip a low identifier bit (stay in the neighbourhood)
+			f.ID ^= 1 << e.rng.Intn(4)
+			if f.ID < e.cfg.IDMin || f.ID > e.cfg.IDMax {
+				f.ID = e.cfg.IDMin + can.ID(e.rng.Intn(int(e.cfg.IDMax-e.cfg.IDMin)+1))
+			}
+		}
+	}
+	return f
+}
+
+// CorpusSize implements core.CorpusStats.
+func (e *Engine) CorpusSize() int { return e.corp.size() }
+
+// NoveltyHits implements core.CorpusStats.
+func (e *Engine) NoveltyHits() uint64 { return e.noveltyHits }
+
+// NoveltyBits returns the number of distinct behaviours recorded (set bits
+// in the novelty map).
+func (e *Engine) NoveltyBits() int { return e.nov.count() }
+
+// CorpusFrames returns the corpus in serialized "ID#HEXDATA" form,
+// admission order.
+func (e *Engine) CorpusFrames() []string { return e.corp.frames() }
+
+// Config returns the defaulted configuration in effect.
+func (e *Engine) Config() core.Config { return e.cfg }

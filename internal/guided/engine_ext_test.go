@@ -1,0 +1,112 @@
+package guided_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bcm"
+	"repro/internal/core"
+	"repro/internal/guided"
+	"repro/internal/telemetry"
+	"repro/internal/testbench"
+)
+
+// guidedExp builds one guided unlock world; helper for the tests below.
+func guidedExp(t *testing.T, check bcm.CheckMode, seed int64, opts ...guided.EngineOption) *testbench.GuidedUnlockExperiment {
+	t.Helper()
+	exp, err := testbench.NewGuidedUnlockExperiment(testbench.Config{Check: check},
+		core.Config{Seed: seed, Mode: core.ModeGuided}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exp
+}
+
+func TestGuidedUnlockFindsFinding(t *testing.T) {
+	exp := guidedExp(t, bcm.CheckByteOnly, 1)
+	ttu, ok := exp.Run(10 * time.Minute)
+	if !ok {
+		t.Fatal("guided campaign never unlocked within 10 virtual minutes")
+	}
+	if ttu <= 0 {
+		t.Fatalf("time-to-unlock = %v", ttu)
+	}
+	if exp.Engine.CorpusSize() == 0 {
+		t.Fatal("corpus empty after a finding run")
+	}
+	if exp.Engine.NoveltyHits() == 0 {
+		t.Fatal("no novelty recorded")
+	}
+	rep := exp.Campaign.BuildReport()
+	if rep.Mode != "guided" {
+		t.Fatalf("report mode = %q", rep.Mode)
+	}
+	if rep.CorpusSize != exp.Engine.CorpusSize() || rep.NoveltyHits != exp.Engine.NoveltyHits() {
+		t.Fatalf("report corpus stats (%d,%d) != engine (%d,%d)",
+			rep.CorpusSize, rep.NoveltyHits, exp.Engine.CorpusSize(), exp.Engine.NoveltyHits())
+	}
+}
+
+func TestGuidedDeterministicAcrossRuns(t *testing.T) {
+	run := func() (time.Duration, bool, []string, uint64) {
+		exp := guidedExp(t, bcm.CheckByteAndLength, 42)
+		ttu, ok := exp.Run(5 * time.Minute)
+		return ttu, ok, exp.Engine.CorpusFrames(), exp.Engine.NoveltyHits()
+	}
+	t1, ok1, c1, n1 := run()
+	t2, ok2, c2, n2 := run()
+	if t1 != t2 || ok1 != ok2 || n1 != n2 {
+		t.Fatalf("runs diverged: (%v,%v,%d) vs (%v,%v,%d)", t1, ok1, n1, t2, ok2, n2)
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatalf("corpora diverged:\n%v\n%v", c1, c2)
+	}
+}
+
+func TestGuidedTelemetryGauges(t *testing.T) {
+	tel := telemetry.New(0)
+	exp := guidedExp(t, bcm.CheckByteOnly, 3, guided.WithTelemetry(tel))
+	if _, ok := exp.Run(10 * time.Minute); !ok {
+		t.Fatal("no finding")
+	}
+	// Re-registration interns by name, so fetching returns the live series.
+	corpus := tel.Registry.Gauge("corpus_size", "").Value()
+	novelty := tel.Registry.Counter("novelty_hits_total", "").Value()
+	if corpus == 0 || novelty == 0 {
+		t.Fatalf("corpus_size = %v, novelty_hits_total = %v; want both > 0", corpus, novelty)
+	}
+	if int(corpus) != exp.Engine.CorpusSize() {
+		t.Fatalf("gauge %v != engine corpus %d", corpus, exp.Engine.CorpusSize())
+	}
+}
+
+// TestGuidedSeedCorpusSharing round-trips an evolved corpus through the
+// file format into a second engine.
+func TestGuidedSeedCorpusSharing(t *testing.T) {
+	exp := guidedExp(t, bcm.CheckByteOnly, 5)
+	if _, ok := exp.Run(10 * time.Minute); !ok {
+		t.Fatal("no finding")
+	}
+	lines := exp.Engine.CorpusFrames()
+	if len(lines) == 0 {
+		t.Fatal("empty corpus")
+	}
+	var buf strings.Builder
+	if err := guided.WriteCorpus(&buf, lines); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := guided.ReadCorpus(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := guided.NewEngine(core.Config{Seed: 6, Mode: core.ModeGuided},
+		guided.WithSeedFrames(parsed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.CorpusSize() != len(lines) {
+		t.Fatalf("seeded corpus size = %d, want %d", eng.CorpusSize(), len(lines))
+	}
+}

@@ -1,0 +1,81 @@
+package isotp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/can"
+	"repro/internal/clock"
+)
+
+// FuzzISOTPReassemble throws adversarial FF/CF/FC interleavings at one
+// endpoint: arbitrary frame sequences carved from the fuzz input, with the
+// scheduler advanced between bursts so reassembly timers fire mid-stream.
+// The invariants are the ones a transport stack must never lose, whatever
+// the peer does: no panic, the reassembly buffer never outgrows the
+// announced length, the announced length never exceeds the 12-bit protocol
+// maximum, and every delivered payload is a plausible ISO-TP message.
+func FuzzISOTPReassemble(f *testing.F) {
+	// Well-formed exchanges as seeds: SF, FF + in-order CFs, plus hostile
+	// shapes (stray CF, FC flood, truncated FF, zero-length SF).
+	f.Add([]byte{2, 0x01, 0xAA})
+	f.Add([]byte{8, 0x10, 0x0A, 1, 2, 3, 4, 5, 6, 8, 0x21, 7, 8, 9, 10, 0, 0, 0})
+	f.Add([]byte{3, 0x21, 0xDE, 0xAD})
+	f.Add([]byte{3, 0x30, 0x00, 0x00, 3, 0x30, 0x00, 0x00})
+	f.Add([]byte{1, 0x1F, 8, 0x1F, 0xFF, 1, 2, 3, 4, 5, 6})
+	f.Add([]byte{1, 0x00, 0, 0, 8, 0x10, 0x08, 1, 2, 3, 4, 5, 6, 8, 0x22, 9, 9, 9, 9, 9, 9, 9})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sched := clock.New()
+		var delivered [][]byte
+		ep := NewEndpoint(sched, func(can.Frame) error { return nil },
+			0x7E8, 0x7E0, Config{BlockSize: 2}, func(p []byte) {
+				delivered = append(delivered, p)
+			})
+		ep.OnError(func(error) {}) // aborted transfers are expected, not fatal
+
+		check := func() {
+			if ep.rx == nil {
+				return
+			}
+			if ep.rx.expected > MaxPayload {
+				t.Fatalf("reassembly expects %d bytes, protocol max is %d", ep.rx.expected, MaxPayload)
+			}
+			if len(ep.rx.buf) > ep.rx.expected {
+				t.Fatalf("reassembly buffer %d bytes, announced only %d", len(ep.rx.buf), ep.rx.expected)
+			}
+			if cap(ep.rx.buf) > ep.rx.expected+can.MaxDataLen {
+				t.Fatalf("reassembly over-allocated: cap %d for %d expected", cap(ep.rx.buf), ep.rx.expected)
+			}
+		}
+
+		// Carve the input into frames: one DLC byte, then that many payload
+		// bytes. A zero DLC doubles as "advance virtual time" so reassembly
+		// timeouts interleave with the frame stream.
+		for i := 0; i < len(data); {
+			dlc := int(data[i] % 9)
+			i++
+			var fr can.Frame
+			fr.ID = 0x7E0
+			fr.Len = uint8(dlc)
+			for j := 0; j < dlc && i < len(data); j, i = j+1, i+1 {
+				fr.Data[j] = data[i]
+			}
+			ep.HandleFrame(bus.Message{Frame: fr})
+			check()
+			if dlc == 0 {
+				sched.RunFor(400 * time.Millisecond)
+				check()
+			}
+		}
+		sched.RunFor(2 * time.Second) // drain every pending timer
+		check()
+
+		for _, p := range delivered {
+			if len(p) == 0 || len(p) > MaxPayload {
+				t.Fatalf("delivered payload of %d bytes", len(p))
+			}
+		}
+	})
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/ecu"
+	"repro/internal/guided"
 	"repro/internal/infotain"
 	"repro/internal/oracle"
 	"repro/internal/signal"
@@ -147,6 +148,69 @@ func NewUnlockExperiment(cfg Config, fuzzCfg core.Config) (*UnlockExperiment, er
 // Run executes the experiment and returns the time to unlock. ok is false
 // if the deadline elapsed first.
 func (e *UnlockExperiment) Run(maxDuration time.Duration) (timeToUnlock time.Duration, ok bool) {
+	finding, ok := e.Campaign.RunUntilFinding(maxDuration)
+	if !ok {
+		return 0, false
+	}
+	return finding.Elapsed, true
+}
+
+// GuidedProbes returns the bench's feedback probes for a guided.Engine:
+// BCM command-frame and near-miss counters (the gradient toward the Table V
+// unlock — a near-miss means one constraint away), the lock state itself,
+// and the fuzzer port's error counters. Probe features are keyed by name,
+// so the slice order is cosmetic.
+func (b *Bench) GuidedProbes(fuzzer *bus.Port) []guided.Probe {
+	return []guided.Probe{
+		{Name: "bcm_cmd_frames", Fn: func() uint64 { n, _ := b.BCM.CommandStats(); return n }},
+		{Name: "bcm_near_misses", Fn: func() uint64 { _, n := b.BCM.CommandStats(); return n }},
+		{Name: "bcm_unlocked", Fn: func() uint64 {
+			if b.BCM.Unlocked() {
+				return 1
+			}
+			return 0
+		}},
+		{Name: "fuzzer_tec", Fn: func() uint64 { tec, _ := fuzzer.ErrorCounters(); return uint64(tec) }},
+		{Name: "fuzzer_rec", Fn: func() uint64 { _, rec := fuzzer.ErrorCounters(); return uint64(rec) }},
+	}
+}
+
+// GuidedUnlockExperiment is an UnlockExperiment driven by the guided
+// feedback engine instead of the blind generator.
+type GuidedUnlockExperiment struct {
+	// Bench is the assembled testbed.
+	Bench *Bench
+	// Campaign is the armed fuzzer, with the engine installed as its frame
+	// source.
+	Campaign *core.Campaign
+	// Engine is the feedback engine (corpus, novelty map).
+	Engine *guided.Engine
+}
+
+// NewGuidedUnlockExperiment builds a bench plus a coverage-guided fuzzer
+// for one run: the same world as NewUnlockExperiment, with a guided.Engine
+// fed by the bench probes installed as the campaign's frame source.
+func NewGuidedUnlockExperiment(cfg Config, fuzzCfg core.Config, opts ...guided.EngineOption) (*GuidedUnlockExperiment, error) {
+	sched := clock.New()
+	bench := New(sched, Config{Check: cfg.Check, AckUnlock: true})
+	port := bench.AttachFuzzer("fuzzer")
+	fuzzCfg.Mode = core.ModeGuided
+	engine, err := guided.NewEngine(fuzzCfg,
+		append([]guided.EngineOption{guided.WithProbes(bench.GuidedProbes(port)...)}, opts...)...)
+	if err != nil {
+		return nil, err
+	}
+	campaign, err := core.NewCampaign(sched, port, fuzzCfg,
+		core.WithStopOnFinding(), core.WithFrameSource(engine))
+	if err != nil {
+		return nil, err
+	}
+	campaign.AddOracle(bench.UnlockOracle())
+	return &GuidedUnlockExperiment{Bench: bench, Campaign: campaign, Engine: engine}, nil
+}
+
+// Run executes the guided experiment; same contract as UnlockExperiment.Run.
+func (e *GuidedUnlockExperiment) Run(maxDuration time.Duration) (timeToUnlock time.Duration, ok bool) {
 	finding, ok := e.Campaign.RunUntilFinding(maxDuration)
 	if !ok {
 		return 0, false
