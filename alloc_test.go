@@ -1,0 +1,84 @@
+package repro
+
+// Allocation-budget tests for the campaign-level hot path: the per-tick
+// work of a guided fuzzing campaign — engine harvest + generate, frame
+// validation, bus transmit, scheduling, ECU reactions — measured with
+// testing.AllocsPerRun so an allocation regression on the hot path is a
+// failing test, not a benchmark footnote. The bus- and clock-level
+// zero-alloc guarantees live next to their packages (internal/bus,
+// internal/clock); this pins the whole assembled world.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/guided"
+	"repro/internal/testbench"
+)
+
+// guidedStepAllocBudget bounds the average heap allocations per 1 ms
+// campaign tick in steady state. The budget is not zero because the world
+// legitimately allocates off the TX fast path: novelty hits append to the
+// corpus, ECU responses construct reply state, and the engine's RNG feeds
+// mutation — but it must stay small and flat. The pre-overhaul code spent
+// ~6 allocations per tick on clock nodes, queue growth and completion
+// closures alone.
+const guidedStepAllocBudget = 2.0
+
+func TestGuidedCampaignStepAllocBudget(t *testing.T) {
+	sched := clock.New()
+	bench := testbench.New(sched, testbench.Config{AckUnlock: true})
+	port := bench.AttachFuzzer("fuzzer")
+	fuzzCfg := core.Config{Seed: 11, Mode: core.ModeGuided, Interval: time.Millisecond}
+	engine, err := guided.NewEngine(fuzzCfg,
+		guided.WithProbes(bench.GuidedProbes(port)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign, err := core.NewCampaign(sched, port, fuzzCfg, core.WithFrameSource(engine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign.Start()
+	defer campaign.Stop()
+
+	// Warm-up: let the corpus seed itself, queues and event pools reach
+	// steady state, and the novelty map absorb the world's common responses.
+	sched.RunFor(2 * time.Second)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		sched.RunFor(time.Millisecond)
+	})
+	if allocs > guidedStepAllocBudget {
+		t.Fatalf("guided campaign step allocates %v per tick, budget %v",
+			allocs, guidedStepAllocBudget)
+	}
+}
+
+// TestRandomCampaignStepZeroAlloc pins the blind-random campaign tick —
+// generator, validation, bus transmit, scheduling, ECU reactions — at zero
+// steady-state allocations: with no corpus or novelty bookkeeping, nothing
+// on this path may touch the heap.
+func TestRandomCampaignStepZeroAlloc(t *testing.T) {
+	sched := clock.New()
+	bench := testbench.New(sched, testbench.Config{AckUnlock: true})
+	port := bench.AttachFuzzer("fuzzer")
+	campaign, err := core.NewCampaign(sched, port,
+		core.Config{Seed: 7, Interval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign.Start()
+	defer campaign.Stop()
+
+	sched.RunFor(2 * time.Second)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		sched.RunFor(time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("random campaign step allocates %v per tick, want 0", allocs)
+	}
+}

@@ -74,13 +74,26 @@ func BenchmarkCampaignTelemetry(b *testing.B) {
 }
 
 // table5Runs returns the per-variant run count for Table V style benches.
+// An explicit REPRO_TABLE5_RUNS wins; otherwise -short trims the paper's
+// 12 runs to 4.
 func table5Runs() int {
 	if s := os.Getenv("REPRO_TABLE5_RUNS"); s != "" {
 		if n, err := strconv.Atoi(s); err == nil && n > 0 {
 			return n
 		}
 	}
+	if testing.Short() {
+		return 4
+	}
 	return 12
+}
+
+// skipIfShort skips the benchmarks whose experiments must run multi-hour
+// virtual campaigns to completion and so cannot be trimmed by run count.
+func skipIfShort(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping long virtual-time experiment in -short mode")
+	}
 }
 
 func BenchmarkFigure1TestingMethods(b *testing.B) {
@@ -172,6 +185,7 @@ func BenchmarkFigure7FuzzedSignals(b *testing.B) {
 }
 
 func BenchmarkFigure8InvalidValue(b *testing.B) {
+	skipIfShort(b)
 	var rpm float64
 	var elapsed time.Duration
 	for i := 0; i < b.N; i++ {
@@ -186,6 +200,7 @@ func BenchmarkFigure8InvalidValue(b *testing.B) {
 }
 
 func BenchmarkFigure9ClusterCrash(b *testing.B) {
+	skipIfShort(b)
 	var res experiments.Fig9Result
 	for i := 0; i < b.N; i++ {
 		var ok bool
@@ -250,6 +265,7 @@ func BenchmarkAblationOracleStrictness(b *testing.B) {
 }
 
 func BenchmarkAblationPacing(b *testing.B) {
+	skipIfShort(b)
 	intervals := []time.Duration{
 		time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
 	}

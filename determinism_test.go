@@ -1,0 +1,80 @@
+package repro
+
+// Determinism regression goldens guarding the hot-path optimization work:
+// the campaign and fleet report JSON for pinned seeds is committed, and
+// these tests assert byte-identical output. Any perf change to the clock,
+// bus, codec, guided engine or campaign loop must leave these bytes
+// untouched — the optimizations may only make the same behaviour faster.
+//
+// Regenerate (and review the diff!) with:
+//
+//	go test -run TestDeterminism -update .
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/testbench"
+)
+
+// TestDeterminismCampaignReportGolden runs a guided bench-unlock campaign
+// at a pinned seed and asserts its report JSON is byte-identical to the
+// committed golden. The guided engine exercises every optimized layer at
+// once: clock event pooling, bus TX queues, frame encoding, novelty
+// hashing and the campaign send loop.
+func TestDeterminismCampaignReportGolden(t *testing.T) {
+	exp, err := testbench.NewGuidedUnlockExperiment(testbench.Config{},
+		core.Config{Seed: 101, Interval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := exp.Run(30 * time.Minute); !ok {
+		t.Fatal("guided campaign found no unlock within 30 virtual minutes")
+	}
+	rep := exp.Campaign.BuildReport()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "campaign_report_golden.json", buf.Bytes())
+}
+
+// TestDeterminismFleetReportGolden runs the 8-trial targeted-unlock fleet
+// smoke (the CI configuration: ids 215, seed 5) at full worker width and
+// asserts the aggregated report JSON is byte-identical to the committed
+// golden. The fleet report is already asserted worker-count independent in
+// internal/fleet; this pins the actual bytes across optimization passes.
+func TestDeterminismFleetReportGolden(t *testing.T) {
+	rep, err := fleet.Run(fleet.Config{
+		Trials:      8,
+		Workers:     runtime.NumCPU(),
+		BaseSeed:    5,
+		MaxPerTrial: 30 * time.Minute,
+	}, func(spec fleet.TrialSpec) (*fleet.World, error) {
+		exp, err := testbench.NewUnlockExperiment(testbench.Config{}, core.Config{
+			Seed:      spec.Seed,
+			TargetIDs: []can.ID{0x215},
+			Interval:  time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &fleet.World{Sched: exp.Bench.Scheduler(), Campaign: exp.Campaign}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FoundFindings != 8 {
+		t.Fatalf("foundFindings = %d, want 8", rep.FoundFindings)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fleet_report_golden.json", buf.Bytes())
+}

@@ -209,6 +209,24 @@ type Bus struct {
 	corrupt       Corruptor
 	intercept     Interceptor
 
+	// pend is the single in-flight transmission (the bus carries at most one
+	// frame at a time, gated by busy). Keeping it on the Bus and dispatching
+	// through the pre-bound completion events below means starting a
+	// transmission allocates nothing: the old code closed over (port, frame,
+	// dur) in a fresh closure per frame, the third-largest allocation source
+	// on the hot path.
+	pend struct {
+		kind  txKind
+		port  *Port
+		frame can.Frame
+		raw   rawTx
+		fd    can.FDFrame
+		dur   time.Duration
+		bits  int
+	}
+	completeEvent clock.Event // bound once in New to completePending
+	jamEvent      clock.Event // bound once in New to jamEnded
+
 	// Stuck-dominant window: no transmission starts and no recessive bits
 	// are observable before jamUntil.
 	jamUntil time.Duration
@@ -249,7 +267,34 @@ func New(sched *clock.Scheduler, opts ...Option) *Bus {
 	for _, o := range opts {
 		o(b)
 	}
+	b.completeEvent = b.completePending
+	b.jamEvent = b.jamEnded
 	return b
+}
+
+// txKind discriminates the in-flight transmission variant.
+type txKind int
+
+const (
+	txClassic txKind = iota
+	txRaw
+	txFD
+)
+
+// completePending finishes the in-flight transmission recorded in pend.
+// Arguments are copied out of pend at the call, so the completion handlers
+// are free to start (and record) the next transmission.
+func (b *Bus) completePending() {
+	switch b.pend.kind {
+	case txRaw:
+		raw := b.pend.raw
+		b.pend.raw = rawTx{} // release the bit slice and callback
+		b.completeRaw(b.pend.port, raw, b.pend.dur)
+	case txFD:
+		b.completeFD(b.pend.port, b.pend.fd, b.pend.dur)
+	default:
+		b.complete(b.pend.port, b.pend.frame, b.pend.dur, b.pend.bits)
+	}
 }
 
 // Name returns the telemetry label of the bus.
@@ -328,7 +373,7 @@ func (b *Bus) Jam(d time.Duration) {
 	b.jamUntil = until
 	b.leaveIdle() // dominant bits interrupt recessive observation
 	if !extending {
-		b.sched.At(until, b.jamEnded)
+		b.sched.AtEvent(until, b.jamEvent)
 	}
 }
 
@@ -336,7 +381,7 @@ func (b *Bus) Jam(d time.Duration) {
 // window was extended meanwhile, it re-arms for the new deadline.
 func (b *Bus) jamEnded() {
 	if b.sched.Now() < b.jamUntil {
-		b.sched.At(b.jamUntil, b.jamEnded)
+		b.sched.AtEvent(b.jamUntil, b.jamEvent)
 		return
 	}
 	b.tryStart()
@@ -407,21 +452,21 @@ func (b *Bus) tryStart() {
 			continue
 		}
 		pending := false
-		if len(p.txq) > 0 {
+		if p.txq.len() > 0 {
 			pending = true
-			if id := p.txq[0].ID; winner == nil || id < winnerID {
+			if id := p.txq.front().ID; winner == nil || id < winnerID {
 				winner, winnerID, winnerKind = p, id, 0
 			}
 		}
-		if len(p.rawq) > 0 {
+		if p.rawq.len() > 0 {
 			pending = true
-			if id := rawArbID(p.rawq[0].bits); winner == nil || id < winnerID {
+			if id := rawArbID(p.rawq.front().bits); winner == nil || id < winnerID {
 				winner, winnerID, winnerKind = p, id, 1
 			}
 		}
-		if len(p.fdq) > 0 {
+		if p.fdq.len() > 0 {
 			pending = true
-			if id := p.fdq[0].ID; winner == nil || id < winnerID {
+			if id := p.fdq.front().ID; winner == nil || id < winnerID {
 				winner, winnerID, winnerKind = p, id, 2
 			}
 		}
@@ -447,12 +492,13 @@ func (b *Bus) tryStart() {
 		b.startFD(winner)
 		return
 	}
-	frame := winner.txq[0]
-	winner.txq = winner.txq[1:]
+	frame := winner.txq.pop()
 	b.busy = true
 	bits := can.WireBitsWithIFS(frame)
 	dur := time.Duration(bits) * time.Second / time.Duration(b.bitrate)
-	b.sched.After(dur, func() { b.complete(winner, frame, dur, bits) })
+	b.pend.kind, b.pend.port, b.pend.frame = txClassic, winner, frame
+	b.pend.dur, b.pend.bits = dur, bits
+	b.sched.AfterEvent(dur, b.completeEvent)
 }
 
 // complete finishes a transmission: updates error counters, delivers to
@@ -646,7 +692,7 @@ func (b *Bus) noteArbitration(winner *Port, winnerID can.ID) {
 		if p == winner || p.detached || p.state == BusOff {
 			continue
 		}
-		if len(p.txq) == 0 && len(p.rawq) == 0 && len(p.fdq) == 0 {
+		if p.txq.len() == 0 && p.rawq.len() == 0 && p.fdq.len() == 0 {
 			continue
 		}
 		p.stats.ArbLosses++

@@ -56,22 +56,22 @@ func (p *Port) SendFD(f can.FDFrame) error {
 		p.noteDrop()
 		return fmt.Errorf("sendFD on %s: %w", p.name, err)
 	}
-	if len(p.fdq) >= p.bus.queueCap {
+	if p.fdq.len() >= p.bus.queueCap {
 		p.noteDrop()
 		return fmt.Errorf("sendFD on %s: %w", p.name, ErrTxQueueFull)
 	}
-	p.fdq = append(p.fdq, f)
+	p.fdq.push(f)
 	p.bus.tryStart()
 	return nil
 }
 
 // startFD begins an FD transmission for the winning port.
 func (b *Bus) startFD(winner *Port) {
-	frame := winner.fdq[0]
-	winner.fdq = winner.fdq[1:]
+	frame := winner.fdq.pop()
 	b.busy = true
 	dur := can.FDWireTime(frame, b.bitrate, b.fdDataBitrate)
-	b.sched.After(dur, func() { b.completeFD(winner, frame, dur) })
+	b.pend.kind, b.pend.port, b.pend.fd, b.pend.dur = txFD, winner, frame, dur
+	b.sched.AfterEvent(dur, b.completeEvent)
 }
 
 // completeFD delivers a finished FD transmission.

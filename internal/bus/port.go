@@ -36,9 +36,9 @@ type Port struct {
 	name     string
 	recv     Receiver
 	fdRecv   FDReceiver
-	txq      []can.Frame
-	rawq     []rawTx
-	fdq      []can.FDFrame
+	txq      ring[can.Frame]
+	rawq     ring[rawTx]
+	fdq      ring[can.FDFrame]
 	detached bool
 
 	state NodeState
@@ -106,7 +106,7 @@ func (p *Port) Stats() PortStats { return p.stats }
 func (p *Port) SetReceiver(r Receiver) { p.recv = r }
 
 // QueueLen returns the number of frames waiting in the transmit queue.
-func (p *Port) QueueLen() int { return len(p.txq) }
+func (p *Port) QueueLen() int { return p.txq.len() }
 
 // Send queues a frame for transmission. The frame is validated first. It
 // contends for the bus under standard CAN arbitration: the lowest pending
@@ -124,11 +124,11 @@ func (p *Port) Send(f can.Frame) error {
 		p.noteDrop()
 		return fmt.Errorf("send on %s: %w", p.name, err)
 	}
-	if len(p.txq) >= p.bus.queueCap {
+	if p.txq.len() >= p.bus.queueCap {
 		p.noteDrop()
 		return fmt.Errorf("send on %s: %w", p.name, ErrTxQueueFull)
 	}
-	p.txq = append(p.txq, f)
+	p.txq.push(f)
 	p.bus.tryStart()
 	return nil
 }
@@ -166,9 +166,9 @@ func (p *Port) cancelRecovery() {
 // Detach removes the node from the bus. Pending transmissions are dropped.
 func (p *Port) Detach() {
 	p.detached = true
-	p.txq = nil
-	p.rawq = nil
-	p.fdq = nil
+	p.txq.clear()
+	p.rawq.clear()
+	p.fdq.clear()
 	p.cancelRecovery()
 }
 
@@ -223,9 +223,9 @@ func (p *Port) updateState() {
 	case p.tec >= busOffThreshold:
 		if p.state != BusOff {
 			p.state = BusOff
-			p.txq = nil // controller drops its mailboxes on bus-off
-			p.rawq = nil
-			p.fdq = nil
+			p.txq.clear() // controller drops its mailboxes on bus-off
+			p.rawq.clear()
+			p.fdq.clear()
 			p.stats.BusOffs++
 			if p.autoRecover {
 				p.bus.beginRecovery(p)

@@ -42,13 +42,13 @@ func (p *Port) SendRaw(bits []byte, done func(RawResult)) error {
 		p.noteDrop()
 		return ErrBusOff
 	}
-	if len(p.rawq) >= p.bus.queueCap {
+	if p.rawq.len() >= p.bus.queueCap {
 		p.noteDrop()
 		return ErrTxQueueFull
 	}
 	seq := make([]byte, len(bits))
 	copy(seq, bits)
-	p.rawq = append(p.rawq, rawTx{bits: seq, done: done})
+	p.rawq.push(rawTx{bits: seq, done: done})
 	p.bus.tryStart()
 	return nil
 }
@@ -75,12 +75,12 @@ func rawArbID(bits []byte) can.ID {
 
 // startRaw begins a raw transmission for the winning port.
 func (b *Bus) startRaw(winner *Port) {
-	tx := winner.rawq[0]
-	winner.rawq = winner.rawq[1:]
+	tx := winner.rawq.pop()
 	b.busy = true
 	bits := len(tx.bits) + can.InterframeSpace
 	dur := time.Duration(bits) * time.Second / time.Duration(b.bitrate)
-	b.sched.After(dur, func() { b.completeRaw(winner, tx, dur) })
+	b.pend.kind, b.pend.port, b.pend.raw, b.pend.dur = txRaw, winner, tx, dur
+	b.sched.AfterEvent(dur, b.completeEvent)
 }
 
 // completeRaw finishes a raw transmission: decode, then deliver or signal

@@ -1,0 +1,67 @@
+package bus
+
+// ring is a FIFO over a power-of-two circular buffer, used for the per-port
+// transmit queues. The previous implementation front-sliced an ordinary
+// slice (`q = q[1:]` on dequeue), which permanently discards capacity and
+// forces append to reallocate on nearly every enqueue once the queue has
+// cycled — the second-largest allocation source on the frame hot path. A
+// ring reuses its storage forever: after warm-up, enqueue and dequeue are
+// allocation-free. Capacity grows geometrically and is bounded in practice
+// by the bus queueCap, which every Send checks before pushing.
+type ring[T any] struct {
+	buf  []T // power-of-two length, or nil before first push
+	head int // index of the front element
+	n    int // number of queued elements
+}
+
+// len returns the number of queued elements.
+func (r *ring[T]) len() int { return r.n }
+
+// front returns the element at the head of the queue. It panics (index out
+// of range) when the ring is empty, matching the old q[0] behaviour.
+func (r *ring[T]) front() T { return r.buf[r.head] }
+
+// push appends v at the tail.
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+// pop removes and returns the front element, zeroing its slot so the ring
+// does not retain references (raw transmissions hold bit slices and
+// callbacks).
+func (r *ring[T]) pop() T {
+	v := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// clear drops every queued element, zeroing the occupied slots but keeping
+// the storage for reuse (Detach and bus-off drop mailboxes this way).
+func (r *ring[T]) clear() {
+	var zero T
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)&(len(r.buf)-1)] = zero
+	}
+	r.head, r.n = 0, 0
+}
+
+// grow doubles the buffer (first allocation: 16 slots), unwrapping the
+// queued elements to the front of the new storage.
+func (r *ring[T]) grow() {
+	newCap := 16
+	if len(r.buf) > 0 {
+		newCap = len(r.buf) * 2
+	}
+	buf := make([]T, newCap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = buf, 0
+}

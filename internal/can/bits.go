@@ -72,7 +72,13 @@ func RawBits(f Frame) []byte {
 // bits, a bit of opposite polarity is inserted. The stuff bit itself counts
 // toward the next run.
 func Stuff(bits []byte) []byte {
-	out := make([]byte, 0, len(bits)+len(bits)/5)
+	return AppendStuff(make([]byte, 0, len(bits)+len(bits)/5), bits)
+}
+
+// AppendStuff appends the stuffed form of bits to dst and returns the
+// extended slice. With a pre-sized dst it performs no allocation; Stuff is
+// AppendStuff into a fresh slice.
+func AppendStuff(dst, bits []byte) []byte {
 	run := 0
 	var last byte = 2 // sentinel: no previous bit
 	for _, b := range bits {
@@ -82,15 +88,15 @@ func Stuff(bits []byte) []byte {
 			run = 1
 			last = b
 		}
-		out = append(out, b)
+		dst = append(dst, b)
 		if run == 5 {
 			stuffed := last ^ 1
-			out = append(out, stuffed)
+			dst = append(dst, stuffed)
 			last = stuffed
 			run = 1
 		}
 	}
-	return out
+	return dst
 }
 
 // Unstuff removes stuffing from a bit sequence produced by Stuff. It returns
@@ -129,18 +135,17 @@ func Unstuff(bits []byte) ([]byte, error) {
 	return out, nil
 }
 
-// WireBits returns the total number of bits the frame occupies on the wire,
-// including stuffing and the fixed-form trailer but excluding interframe
-// space. This drives the bus transmission-latency model.
-//
-// It is the hottest function in the simulator (once per transmitted
-// frame), so it avoids the slice-building Stuff/RawBits path: the raw bits
-// go into a fixed stack buffer and the CRC runs byte-at-a-time off a
-// table — zero allocations, no data-dependent branch per input bit.
-func WireBits(f Frame) int {
-	// Build the raw sequence into a fixed stack buffer:
-	// header(19) + data(<=64) + crc(15) <= 98 bits.
-	var bits [98]byte
+// maxRawFrameBits bounds the unstuffed raw sequence of a standard frame:
+// header(19) + data(<=64) + crc(15).
+const maxRawFrameBits = 98
+
+// rawFrameBits fills buf with the unstuffed raw sequence of f — header,
+// data, CRC-15 — and returns the bit count. It is the shared scratch-buffer
+// builder behind the allocation-free paths (WireBits, AppendRawBits,
+// AppendEncodeBits): the caller provides a fixed stack array, and the CRC
+// runs byte-at-a-time off a table (the bit-serial update costs one
+// data-dependent branch per input bit).
+func rawFrameBits(bits *[maxRawFrameBits]byte, f Frame) int {
 	n := 0
 	bits[n] = 0 // SOF
 	n++
@@ -174,9 +179,6 @@ func WireBits(f Frame) int {
 			}
 		}
 	}
-	// CRC over header+data, eight bits per table step (the bit-serial
-	// update costs one data-dependent branch per bit), then append the 15
-	// CRC bits.
 	var crc uint16
 	i := 0
 	for ; i+8 <= n; i += 8 {
@@ -192,12 +194,26 @@ func WireBits(f Frame) int {
 		bits[n] = byte(crc >> uint(i) & 1)
 		n++
 	}
-	// Count stuff bits; a stuff bit counts toward the next run with
-	// inverted polarity.
+	return n
+}
+
+// AppendRawBits appends the unstuffed raw sequence of f (header + data +
+// CRC-15) to dst and returns the extended slice. It is the scratch-buffer
+// fast path equivalent of RawBits: byte-identical output, zero allocations
+// when dst has capacity.
+func AppendRawBits(dst []byte, f Frame) []byte {
+	var bits [maxRawFrameBits]byte
+	n := rawFrameBits(&bits, f)
+	return append(dst, bits[:n]...)
+}
+
+// countStuffBits returns how many stuff bits Stuff would insert into bits;
+// a stuff bit counts toward the next run with inverted polarity.
+func countStuffBits(bits []byte) int {
 	stuffed := 0
 	run := 0
 	var last byte = 2
-	for _, b := range bits[:n] {
+	for _, b := range bits {
 		if b == last {
 			run++
 		} else {
@@ -210,7 +226,21 @@ func WireBits(f Frame) int {
 			run = 1
 		}
 	}
-	return n + stuffed + trailerBits
+	return stuffed
+}
+
+// WireBits returns the total number of bits the frame occupies on the wire,
+// including stuffing and the fixed-form trailer but excluding interframe
+// space. This drives the bus transmission-latency model.
+//
+// It is the hottest function in the simulator (once per transmitted frame),
+// so it avoids the slice-building Stuff/RawBits path: the raw bits go into
+// a fixed stack buffer via rawFrameBits and only the stuff bits are
+// counted — zero allocations.
+func WireBits(f Frame) int {
+	var bits [maxRawFrameBits]byte
+	n := rawFrameBits(&bits, f)
+	return n + countStuffBits(bits[:n]) + trailerBits
 }
 
 // crc15Table drives the byte-at-a-time CRC-15 update in WireBits:

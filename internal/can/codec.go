@@ -80,6 +80,18 @@ func Unmarshal(buf []byte) (Frame, int, error) {
 // (header + data + CRC, stuffed), without the fixed-form trailer.
 func EncodeBits(f Frame) []byte { return Stuff(RawBits(f)) }
 
+// AppendEncodeBits appends the stuffed physical bit sequence of f to dst
+// and returns the extended slice: the scratch-buffer fast path equivalent
+// of EncodeBits (byte-identical output) for callers that re-encode frames
+// per tick, such as the bit-level fuzz mode. The raw sequence is built in a
+// fixed stack buffer, so with a pre-sized dst the call performs no
+// allocation.
+func AppendEncodeBits(dst []byte, f Frame) []byte {
+	var bits [maxRawFrameBits]byte
+	n := rawFrameBits(&bits, f)
+	return AppendStuff(dst, bits[:n])
+}
+
 // DecodeBits reconstructs a frame from a stuffed bit sequence produced by
 // EncodeBits, verifying the CRC-15.
 func DecodeBits(stuffed []byte) (Frame, error) {

@@ -185,36 +185,63 @@ func fdPhaseBits(f FDFrame) (arb, data int) {
 	return fdArbitrationBits, data
 }
 
-// fdDynamicStuffEstimate counts dynamic stuff bits over the header and
-// payload region (FD dynamic stuffing stops at the stuff-count field).
-func fdDynamicStuffEstimate(f FDFrame) int {
-	// Build the stuffed region's bits: header flags + DLC + data.
-	bits := make([]byte, 0, 24+int(f.Len)*8)
-	bits = append(bits, 0) // SOF
+// fdStuffRegionMax bounds the dynamically stuffed region of an FD frame:
+// SOF(1) + ID(11) + RRS/IDE/FDF/res(4) + BRS(1) + ESI(1) + DLC(4) = 22
+// header bits (rounded to 24 for slack) plus the maximum payload.
+const fdStuffRegionMax = 24 + MaxFDDataLen*8
+
+// fdStuffRegionBits fills buf with the dynamically stuffed region of f —
+// header flags + DLC + data — and returns the bit count. Like rawFrameBits
+// for classic frames, the caller provides a fixed stack array so the
+// per-frame FD wire-time math allocates nothing.
+func fdStuffRegionBits(bits *[fdStuffRegionMax]byte, f FDFrame) int {
+	n := 0
+	bits[n] = 0 // SOF
+	n++
 	for i := 10; i >= 0; i-- {
-		bits = append(bits, byte(uint16(f.ID)>>uint(i)&1))
+		bits[n] = byte(uint16(f.ID) >> uint(i) & 1)
+		n++
 	}
-	bits = append(bits, 0, 0, 1, 0) // RRS, IDE, FDF=1, res
+	bits[n] = 0 // RRS
+	n++
+	bits[n] = 0 // IDE
+	n++
+	bits[n] = 1 // FDF
+	n++
+	bits[n] = 0 // res
+	n++
 	if f.BRS {
-		bits = append(bits, 1)
+		bits[n] = 1
 	} else {
-		bits = append(bits, 0)
+		bits[n] = 0
 	}
+	n++
 	if f.ESI {
-		bits = append(bits, 1)
+		bits[n] = 1
 	} else {
-		bits = append(bits, 0)
+		bits[n] = 0
 	}
+	n++
 	dlc, _ := FDLengthToDLC(int(f.Len))
 	for i := 3; i >= 0; i-- {
-		bits = append(bits, dlc>>uint(i)&1)
+		bits[n] = dlc >> uint(i) & 1
+		n++
 	}
 	for _, by := range f.Data[:f.Len] {
 		for i := 7; i >= 0; i-- {
-			bits = append(bits, by>>uint(i)&1)
+			bits[n] = by >> uint(i) & 1
+			n++
 		}
 	}
-	return len(Stuff(bits)) - len(bits)
+	return n
+}
+
+// fdDynamicStuffEstimate counts dynamic stuff bits over the header and
+// payload region (FD dynamic stuffing stops at the stuff-count field).
+func fdDynamicStuffEstimate(f FDFrame) int {
+	var bits [fdStuffRegionMax]byte
+	n := fdStuffRegionBits(&bits, f)
+	return countStuffBits(bits[:n])
 }
 
 // FDWireTime returns the on-wire duration of an FD frame given the nominal
@@ -243,20 +270,26 @@ func FDCRC(f FDFrame) (crc uint32, width int) {
 		width = 21
 		poly = crc21Poly
 	}
-	bits := make([]byte, 0, 24+int(f.Len)*8)
+	// ID(11) + DLC(4) + payload bits, built in a fixed stack buffer so
+	// per-frame CRC computation allocates nothing.
+	var bits [15 + MaxFDDataLen*8]byte
+	n := 0
 	for i := 10; i >= 0; i-- {
-		bits = append(bits, byte(uint16(f.ID)>>uint(i)&1))
+		bits[n] = byte(uint16(f.ID) >> uint(i) & 1)
+		n++
 	}
 	dlc, _ := FDLengthToDLC(int(f.Len))
 	for i := 3; i >= 0; i-- {
-		bits = append(bits, dlc>>uint(i)&1)
+		bits[n] = dlc >> uint(i) & 1
+		n++
 	}
 	for _, by := range f.Data[:f.Len] {
 		for i := 7; i >= 0; i-- {
-			bits = append(bits, by>>uint(i)&1)
+			bits[n] = by >> uint(i) & 1
+			n++
 		}
 	}
-	return crcFD(bits, poly, width), width
+	return crcFD(bits[:n], poly, width), width
 }
 
 // MarshalFD encodes an FD frame in a compact binary record:

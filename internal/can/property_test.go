@@ -5,6 +5,29 @@ import (
 	"testing"
 )
 
+// Micro-benchmarks for the hot-path codec functions; cmd/benchperf mirrors
+// these workloads when emitting the BENCH_*.json trajectory.
+
+func BenchmarkStuff(b *testing.B) {
+	bits := RawBits(MustNew(0x215, []byte{0x20, 0x5F, 1, 0, 0, 1, 0x20}))
+	dst := make([]byte, 0, len(bits)+len(bits)/5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = AppendStuff(dst[:0], bits)
+	}
+}
+
+func BenchmarkAppendEncodeBits(b *testing.B) {
+	f := MustNew(0x215, []byte{0x20, 0x5F, 1, 0, 0, 1, 0x20})
+	dst := make([]byte, 0, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = AppendEncodeBits(dst[:0], f)
+	}
+}
+
 // randomWireFrame draws one valid frame: random in-range identifier,
 // random DLC, random payload, and — unlike randomFrame in frame_test.go —
 // the occasional remote frame.
@@ -41,6 +64,160 @@ func TestMarshalUnmarshalRoundTripProperty(t *testing.T) {
 		}
 		if !got.Equal(f) || got.Remote != f.Remote || got.Len != f.Len {
 			t.Fatalf("frame %d: round trip %v -> %v", i, f, got)
+		}
+	}
+}
+
+// randomFDWireFrame draws one valid FD frame: random identifier, a random
+// representable DLC size, random payload and flags.
+func randomFDWireFrame(rng *rand.Rand) FDFrame {
+	var f FDFrame
+	f.ID = ID(rng.Intn(MaxID + 1))
+	f.Len = uint8(fdLengths[rng.Intn(len(fdLengths))])
+	for i := 0; i < int(f.Len); i++ {
+		f.Data[i] = byte(rng.Intn(256))
+	}
+	f.BRS = rng.Intn(2) == 0
+	f.ESI = rng.Intn(8) == 0
+	return f
+}
+
+// bitsEqual compares two bit slices, treating nil and empty as equal.
+func bitsEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWireBitsStuffRelationProperty pins the defining relation of the
+// zero-alloc wire-length fast path: for every frame, WireBits must equal
+// the length of the slice-building Stuff(RawBits()) construction plus the
+// fixed-form trailer.
+func TestWireBitsStuffRelationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		f := randomWireFrame(rng)
+		want := len(Stuff(RawBits(f))) + trailerBits
+		if got := WireBits(f); got != want {
+			t.Fatalf("frame %d (%v): WireBits = %d, want len(Stuff(RawBits))+trailer = %d",
+				i, f, got, want)
+		}
+	}
+}
+
+// TestAppendFastPathsDifferentialProperty asserts every AppendX fast path
+// is byte-identical to its slice-building original over a seeded sample of
+// the frame space, including when appending after a non-empty prefix.
+func TestAppendFastPathsDifferentialProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	prefix := []byte{1, 0, 1}
+	for i := 0; i < 1000; i++ {
+		f := randomWireFrame(rng)
+
+		raw := RawBits(f)
+		if got := AppendRawBits(nil, f); !bitsEqual(got, raw) {
+			t.Fatalf("frame %d (%v): AppendRawBits != RawBits\n got %v\nwant %v", i, f, got, raw)
+		}
+		if got := AppendRawBits(prefix, f); !bitsEqual(got[:3], prefix) || !bitsEqual(got[3:], raw) {
+			t.Fatalf("frame %d (%v): AppendRawBits with prefix diverged", i, f)
+		}
+
+		stuffed := Stuff(raw)
+		if got := AppendStuff(nil, raw); !bitsEqual(got, stuffed) {
+			t.Fatalf("frame %d (%v): AppendStuff != Stuff\n got %v\nwant %v", i, f, got, stuffed)
+		}
+
+		enc := EncodeBits(f)
+		if got := AppendEncodeBits(nil, f); !bitsEqual(got, enc) {
+			t.Fatalf("frame %d (%v): AppendEncodeBits != EncodeBits\n got %v\nwant %v", i, f, got, enc)
+		}
+		if got := AppendEncodeBits(prefix, f); !bitsEqual(got[:3], prefix) || !bitsEqual(got[3:], enc) {
+			t.Fatalf("frame %d (%v): AppendEncodeBits with prefix diverged", i, f)
+		}
+	}
+}
+
+// fdStuffRegionReference builds the FD dynamically stuffed region the
+// slice-building way, mirroring the original fdDynamicStuffEstimate
+// construction; it is the reference the scratch-buffer builder is tested
+// against.
+func fdStuffRegionReference(f FDFrame) []byte {
+	bits := make([]byte, 0, 24+int(f.Len)*8)
+	bits = append(bits, 0) // SOF
+	for i := 10; i >= 0; i-- {
+		bits = append(bits, byte(uint16(f.ID)>>uint(i)&1))
+	}
+	bits = append(bits, 0, 0, 1, 0) // RRS, IDE, FDF=1, res
+	if f.BRS {
+		bits = append(bits, 1)
+	} else {
+		bits = append(bits, 0)
+	}
+	if f.ESI {
+		bits = append(bits, 1)
+	} else {
+		bits = append(bits, 0)
+	}
+	dlc, _ := FDLengthToDLC(int(f.Len))
+	for i := 3; i >= 0; i-- {
+		bits = append(bits, dlc>>uint(i)&1)
+	}
+	for _, by := range f.Data[:f.Len] {
+		for i := 7; i >= 0; i-- {
+			bits = append(bits, by>>uint(i)&1)
+		}
+	}
+	return bits
+}
+
+// TestFDFastPathsDifferentialProperty asserts the FD scratch-buffer paths
+// match their slice-building references: the stuff-region builder is
+// byte-identical, the dynamic stuff estimate equals len(Stuff(region)) -
+// len(region), and FDCRC equals the CRC of the slice-built covered region.
+func TestFDFastPathsDifferentialProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		f := randomFDWireFrame(rng)
+
+		ref := fdStuffRegionReference(f)
+		var buf [fdStuffRegionMax]byte
+		n := fdStuffRegionBits(&buf, f)
+		if !bitsEqual(buf[:n], ref) {
+			t.Fatalf("frame %d (%v): fdStuffRegionBits diverged from reference", i, f)
+		}
+
+		wantStuff := len(Stuff(ref)) - len(ref)
+		if got := fdDynamicStuffEstimate(f); got != wantStuff {
+			t.Fatalf("frame %d (%v): dynamic stuff estimate = %d, want %d", i, f, got, wantStuff)
+		}
+
+		crcRef := make([]byte, 0, 15+int(f.Len)*8)
+		for b := 10; b >= 0; b-- {
+			crcRef = append(crcRef, byte(uint16(f.ID)>>uint(b)&1))
+		}
+		dlc, _ := FDLengthToDLC(int(f.Len))
+		for b := 3; b >= 0; b-- {
+			crcRef = append(crcRef, dlc>>uint(b)&1)
+		}
+		for _, by := range f.Data[:f.Len] {
+			for b := 7; b >= 0; b-- {
+				crcRef = append(crcRef, by>>uint(b)&1)
+			}
+		}
+		wantWidth, wantPoly := 17, uint32(crc17Poly)
+		if f.Len > 16 {
+			wantWidth, wantPoly = 21, crc21Poly
+		}
+		wantCRC := crcFD(crcRef, wantPoly, wantWidth)
+		if crc, width := FDCRC(f); crc != wantCRC || width != wantWidth {
+			t.Fatalf("frame %d (%v): FDCRC = (%#x, %d), want (%#x, %d)",
+				i, f, crc, width, wantCRC, wantWidth)
 		}
 	}
 }

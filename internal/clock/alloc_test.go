@@ -1,0 +1,51 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+// The scheduler is the hot core of the simulator: one event per transmitted
+// frame. These tests turn the zero-allocation design (pooled event nodes,
+// hand-rolled heap, handle-free AtEvent/AfterEvent) into failing tests
+// rather than benchmark footnotes.
+
+// TestScheduleFireZeroAlloc pins the steady-state schedule/fire cycle at
+// zero heap allocations: once the node pool and heap storage are warm,
+// AfterEvent plus Step must not allocate.
+func TestScheduleFireZeroAlloc(t *testing.T) {
+	s := New()
+	fn := func() {}
+	for i := 0; i < 16; i++ { // warm the free list and heap storage
+		s.AfterEvent(time.Millisecond, fn)
+	}
+	for s.Step() {
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.AfterEvent(time.Millisecond, fn)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state AfterEvent+Step allocates %v per cycle, want 0", allocs)
+	}
+}
+
+// TestEveryReArmZeroAlloc pins the periodic-timer re-arm at zero heap
+// allocations: after the initial tick closure, each subsequent tick reuses
+// the recycled pool node.
+func TestEveryReArmZeroAlloc(t *testing.T) {
+	s := New()
+	ticks := 0
+	tmr := s.Every(time.Millisecond, func() { ticks++ })
+	s.Step() // first tick: warm the pool
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Step()
+	})
+	tmr.Stop()
+	if allocs != 0 {
+		t.Fatalf("periodic re-arm allocates %v per tick, want 0", allocs)
+	}
+	if ticks < 1000 {
+		t.Fatalf("ticks = %d, want >= 1000", ticks)
+	}
+}

@@ -10,10 +10,18 @@
 // Determinism: events scheduled for the same instant fire in the order they
 // were scheduled (a monotonically increasing sequence number breaks ties).
 // Given identical seeds, an entire experiment replays bit-for-bit.
+//
+// The scheduler is the single hottest component of the simulator — every
+// frame transmission schedules at least one event — so the event queue is
+// built for a zero-allocation steady state: event nodes are pooled on a
+// free list (a fired node is recycled for the next schedule), the binary
+// heap is hand-rolled over the pooled nodes (no container/heap interface
+// boxing, no per-node index maintenance), and the AtEvent/AfterEvent
+// entry points skip the cancellation handle entirely for callers that
+// never stop their events.
 package clock
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -21,52 +29,23 @@ import (
 // Event is a callback scheduled to run at a virtual instant.
 type Event func()
 
-// item is a scheduled event in the priority queue.
+// item is a scheduled event node. Nodes are pooled: once an event fires
+// (or a cancelled node is drained) the node returns to the scheduler's
+// free list and its generation is bumped, so a stale Timer handle can
+// detect that its event is gone without the node keeping a heap index.
 type item struct {
-	at    time.Duration // virtual time since scheduler start
-	seq   uint64        // tie-break: FIFO among events at the same instant
-	fn    Event
-	index int  // heap index, maintained by the heap interface
-	dead  bool // cancelled
-}
-
-// eventQueue implements heap.Interface ordered by (at, seq).
-type eventQueue []*item
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	it := x.(*item)
-	it.index = len(*q)
-	*q = append(*q, it)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	it.index = -1
-	*q = old[:n-1]
-	return it
+	at   time.Duration // virtual time since scheduler start
+	seq  uint64        // tie-break: FIFO among events at the same instant
+	fn   Event
+	gen  uint32 // incremented on recycle; Timer handles capture it
+	dead bool   // cancelled; drained lazily
+	next *item  // free-list link while recycled
 }
 
 // Timer is a handle to a scheduled event that can be stopped.
 type Timer struct {
 	it      *item
+	gen     uint32
 	stopped bool // set by Stop; periodic timers consult it before re-arming
 }
 
@@ -79,8 +58,8 @@ func (t *Timer) Stop() bool {
 		return false
 	}
 	t.stopped = true
-	if t.it.dead || t.it.index == -1 {
-		return false
+	if t.it.gen != t.gen || t.it.dead {
+		return false // already fired (node recycled) or already stopped
 	}
 	t.it.dead = true
 	return true
@@ -94,34 +73,55 @@ func (t *Timer) Stop() bool {
 type Scheduler struct {
 	now     time.Duration
 	seq     uint64
-	queue   eventQueue
+	queue   []*item // binary min-heap ordered by (at, seq)
+	free    *item   // recycled nodes
 	running bool
 	stopped bool
 }
 
 // New returns a Scheduler positioned at virtual time zero.
 func New() *Scheduler {
-	s := &Scheduler{}
-	heap.Init(&s.queue)
-	return s
+	return &Scheduler{}
 }
 
 // Now returns the current virtual time (elapsed since scheduler start).
 func (s *Scheduler) Now() time.Duration { return s.now }
 
-// At schedules fn to run at the absolute virtual instant at. Scheduling in
-// the past (before Now) panics: it would mean a causality bug in the caller.
-func (s *Scheduler) At(at time.Duration, fn Event) *Timer {
+// schedule enqueues fn at the absolute instant at on a pooled node.
+func (s *Scheduler) schedule(at time.Duration, fn Event) *item {
 	if at < s.now {
 		panic(fmt.Sprintf("clock: scheduling event at %v before now %v", at, s.now))
 	}
 	if fn == nil {
 		panic("clock: nil event")
 	}
-	it := &item{at: at, seq: s.seq, fn: fn}
+	it := s.free
+	if it != nil {
+		s.free = it.next
+		it.next = nil
+		it.dead = false
+	} else {
+		it = &item{}
+	}
+	it.at, it.seq, it.fn = at, s.seq, fn
 	s.seq++
-	heap.Push(&s.queue, it)
-	return &Timer{it: it}
+	s.push(it)
+	return it
+}
+
+// recycle returns a drained node to the free list, invalidating handles.
+func (s *Scheduler) recycle(it *item) {
+	it.gen++
+	it.fn = nil
+	it.next = s.free
+	s.free = it
+}
+
+// At schedules fn to run at the absolute virtual instant at. Scheduling in
+// the past (before Now) panics: it would mean a causality bug in the caller.
+func (s *Scheduler) At(at time.Duration, fn Event) *Timer {
+	it := s.schedule(at, fn)
+	return &Timer{it: it, gen: it.gen}
 }
 
 // After schedules fn to run d after the current instant.
@@ -132,25 +132,43 @@ func (s *Scheduler) After(d time.Duration, fn Event) *Timer {
 	return s.At(s.now+d, fn)
 }
 
+// AtEvent schedules fn at the absolute instant at without returning a
+// cancellation handle. It is the allocation-free fast path for the
+// per-frame simulation loop: the pooled event node is the only state, so
+// a steady-state schedule/fire cycle performs zero heap allocations.
+func (s *Scheduler) AtEvent(at time.Duration, fn Event) {
+	s.schedule(at, fn)
+}
+
+// AfterEvent schedules fn to run d after the current instant without
+// returning a cancellation handle (see AtEvent).
+func (s *Scheduler) AfterEvent(d time.Duration, fn Event) {
+	if d < 0 {
+		d = 0
+	}
+	s.schedule(s.now+d, fn)
+}
+
 // Every schedules fn to run every interval, starting interval from now, until
 // the returned Timer is stopped. The interval must be positive.
 func (s *Scheduler) Every(interval time.Duration, fn Event) *Timer {
 	if interval <= 0 {
 		panic("clock: Every interval must be positive")
 	}
-	// The periodic timer re-arms itself; the caller's Timer handle is
-	// updated in place so Stop always cancels the live underlying item.
+	// The periodic timer re-arms itself on the same pooled node family; the
+	// caller's Timer handle is updated in place so Stop always cancels the
+	// live underlying node. Steady-state re-arming allocates nothing.
 	t := &Timer{}
 	var tick Event
 	tick = func() {
 		fn()
 		if !t.stopped {
-			inner := s.After(interval, tick)
-			t.it = inner.it
+			it := s.schedule(s.now+interval, tick)
+			t.it, t.gen = it, it.gen
 		}
 	}
-	first := s.After(interval, tick)
-	t.it = first.it
+	it := s.schedule(s.now+interval, tick)
+	t.it, t.gen = it, it.gen
 	return t
 }
 
@@ -162,12 +180,17 @@ func (s *Scheduler) Pending() int { return len(s.queue) }
 // false when the queue is empty.
 func (s *Scheduler) Step() bool {
 	for len(s.queue) > 0 {
-		it := heap.Pop(&s.queue).(*item)
+		it := s.pop()
 		if it.dead {
+			s.recycle(it)
 			continue
 		}
 		s.now = it.at
-		it.fn()
+		fn := it.fn
+		// Recycle before running so a self-re-arming event (Every) reuses
+		// its own node instead of growing the pool.
+		s.recycle(it)
+		fn()
 		return true
 	}
 	return false
@@ -183,15 +206,18 @@ func (s *Scheduler) RunUntil(deadline time.Duration) {
 	for !s.stopped && len(s.queue) > 0 {
 		next := s.queue[0]
 		if next.dead {
-			heap.Pop(&s.queue)
+			s.pop()
+			s.recycle(next)
 			continue
 		}
 		if next.at > deadline {
 			break
 		}
-		heap.Pop(&s.queue)
+		s.pop()
 		s.now = next.at
-		next.fn()
+		fn := next.fn
+		s.recycle(next)
+		fn()
 	}
 	if !s.stopped && s.now < deadline {
 		s.now = deadline
@@ -215,3 +241,63 @@ func (s *Scheduler) Run() {
 // Stop halts RunUntil/RunFor/Run after the currently executing event
 // returns. Pending events remain queued.
 func (s *Scheduler) Stop() { s.stopped = true }
+
+// --- Binary heap over pooled nodes ------------------------------------------
+//
+// A hand-rolled sift keeps the hot path free of container/heap's interface
+// dispatch and of per-node index bookkeeping (cancellation is a dead flag
+// drained lazily, so nodes never need to know their position).
+
+// less orders nodes by (at, seq); seq is unique, so the order is total and
+// identical to the previous container/heap implementation — replacing the
+// heap cannot change event order.
+func less(a, b *item) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends it and restores the heap property.
+func (s *Scheduler) push(it *item) {
+	s.queue = append(s.queue, it)
+	q := s.queue
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum node.
+func (s *Scheduler) pop() *item {
+	q := s.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	s.queue = q[:n]
+	q = s.queue
+	// Sift the relocated last element down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && less(q[right], q[left]) {
+			child = right
+		}
+		if !less(q[child], q[i]) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	return top
+}

@@ -51,6 +51,12 @@ type BitFuzzer struct {
 
 	stats BitFuzzStats
 	timer *clock.Timer
+
+	// Per-tick reuse: the encode scratch buffer (SendRaw copies the bits it
+	// queues, so reusing it across ticks is safe) and the result callback,
+	// bound once instead of closed over per injection.
+	scratch  []byte
+	onResult func(bus.RawResult)
 }
 
 // NewBitFuzzer creates a bit-level fuzzer on a port.
@@ -64,12 +70,20 @@ func NewBitFuzzer(sched *clock.Scheduler, port *bus.Port, cfg BitFuzzConfig) *Bi
 	if cfg.Interval < MinInterval {
 		cfg.Interval = MinInterval
 	}
-	return &BitFuzzer{
+	bf := &BitFuzzer{
 		sched: sched,
 		port:  port,
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
+	bf.onResult = func(res bus.RawResult) {
+		if res == bus.RawDelivered {
+			bf.stats.Delivered++
+		} else {
+			bf.stats.ErrorFrames++
+		}
+	}
+	return bf
 }
 
 // Stats returns a snapshot of the outcome counters.
@@ -96,18 +110,12 @@ func (bf *BitFuzzer) InjectOne() { bf.injectOne() }
 
 func (bf *BitFuzzer) injectOne() {
 	base := bf.cfg.Corpus[bf.rng.Intn(len(bf.cfg.Corpus))]
-	bits := can.EncodeBits(base)
+	bf.scratch = can.AppendEncodeBits(bf.scratch[:0], base)
+	bits := bf.scratch
 	for i := 0; i < bf.cfg.FlipBits; i++ {
 		bits[bf.rng.Intn(len(bits))] ^= 1
 	}
-	err := bf.port.SendRaw(bits, func(res bus.RawResult) {
-		if res == bus.RawDelivered {
-			bf.stats.Delivered++
-		} else {
-			bf.stats.ErrorFrames++
-		}
-	})
-	if err != nil {
+	if err := bf.port.SendRaw(bits, bf.onResult); err != nil {
 		bf.stats.Rejected++
 		return
 	}

@@ -110,32 +110,50 @@ const (
 	CauseOther          = "other"
 )
 
-// sendErrorCauses lists every cause label classifySendError can return, for
-// eager counter registration.
+// Cause indices into sendErrorCauses and the per-cause counter arrays. The
+// send path classifies to a small integer so error accounting indexes two
+// fixed arrays instead of hashing a string into two maps per rejection.
+const (
+	causeIdxQueueFull = iota
+	causeIdxBusOff
+	causeIdxDetached
+	causeIdxRetryExhausted
+	causeIdxWatchdogReset
+	causeIdxOther
+	numSendErrorCauses
+)
+
+// sendErrorCauses lists every cause label classifySendError can return,
+// ordered to match the causeIdx constants, for eager counter registration.
 var sendErrorCauses = []string{
 	CauseQueueFull, CauseBusOff, CauseDetached,
 	CauseRetryExhausted, CauseWatchdogReset, CauseOther,
 }
 
-// classifySendError maps a send-path error to its cause label. The
+// classifySendErrorIndex maps a send-path error to its cause index. The
 // resilience sentinels are checked first: a frame abandoned after exhausted
 // retries or a watchdog reset must not be re-bucketed by whatever transient
 // error happened to be last.
-func classifySendError(err error) string {
+func classifySendErrorIndex(err error) int {
 	switch {
 	case errors.Is(err, ErrRetryExhausted):
-		return CauseRetryExhausted
+		return causeIdxRetryExhausted
 	case errors.Is(err, ErrWatchdogReset):
-		return CauseWatchdogReset
+		return causeIdxWatchdogReset
 	case errors.Is(err, bus.ErrTxQueueFull):
-		return CauseQueueFull
+		return causeIdxQueueFull
 	case errors.Is(err, bus.ErrBusOff):
-		return CauseBusOff
+		return causeIdxBusOff
 	case errors.Is(err, bus.ErrDetached):
-		return CauseDetached
+		return causeIdxDetached
 	default:
-		return CauseOther
+		return causeIdxOther
 	}
+}
+
+// classifySendError maps a send-path error to its cause label.
+func classifySendError(err error) string {
+	return sendErrorCauses[classifySendErrorIndex(err)]
 }
 
 // Campaign drives one fuzz test: a generator paced by the timing loop,
@@ -153,7 +171,7 @@ type Campaign struct {
 
 	framesSent  uint64
 	sendErrors  uint64
-	errsByCause map[string]uint64
+	errsByCause [numSendErrorCauses]uint64
 	started     time.Duration
 	running     bool
 	timer       *clock.Timer
@@ -174,7 +192,7 @@ type Campaign struct {
 	// Telemetry handles; nil (no-op) unless WithTelemetry was given.
 	tel       *telemetry.Telemetry
 	mSent     *telemetry.Counter
-	mErrCause map[string]*telemetry.Counter
+	mErrCause [numSendErrorCauses]*telemetry.Counter
 	mFindings *telemetry.Counter
 	mResets   *telemetry.Counter
 	gDistinct *telemetry.Gauge
@@ -190,11 +208,10 @@ func NewCampaign(sched *clock.Scheduler, port *bus.Port, cfg Config, opts ...Opt
 		return nil, err
 	}
 	c := &Campaign{
-		sched:       sched,
-		port:        port,
-		gen:         gen,
-		window:      16,
-		errsByCause: make(map[string]uint64),
+		sched:  sched,
+		port:   port,
+		gen:    gen,
+		window: 16,
 	}
 	for _, o := range opts {
 		o(c)
@@ -207,9 +224,8 @@ func NewCampaign(sched *clock.Scheduler, port *bus.Port, cfg Config, opts ...Opt
 		c.mResets = reg.Counter("campaign_resets_total", "System resets performed after findings.")
 		c.gDistinct = reg.Gauge("campaign_distinct_ids", "Distinct identifiers fuzzed (coverage numerator).")
 		c.gByteMean = reg.Gauge("campaign_sent_byte_mean", "Mean payload byte value of sent frames (Fig 5 integrity; ~127.5 when healthy).")
-		c.mErrCause = make(map[string]*telemetry.Counter, len(sendErrorCauses))
-		for _, cause := range sendErrorCauses {
-			c.mErrCause[cause] = reg.Counter("campaign_send_errors_total",
+		for i, cause := range sendErrorCauses {
+			c.mErrCause[i] = reg.Counter("campaign_send_errors_total",
 				"Rejected transmissions, by cause.", telemetry.Label{Key: "cause", Value: cause})
 		}
 	}
@@ -241,9 +257,11 @@ func (c *Campaign) SendErrors() uint64 { return c.sendErrors }
 // SendErrorsByCause returns a copy of the rejected-transmission counts
 // keyed by cause (CauseQueueFull, CauseBusOff, CauseDetached, CauseOther).
 func (c *Campaign) SendErrorsByCause() map[string]uint64 {
-	out := make(map[string]uint64, len(c.errsByCause))
-	for k, v := range c.errsByCause {
-		out[k] = v
+	out := make(map[string]uint64, numSendErrorCauses)
+	for i, cause := range sendErrorCauses {
+		if c.errsByCause[i] != 0 {
+			out[cause] = c.errsByCause[i]
+		}
 	}
 	return out
 }
@@ -416,10 +434,10 @@ func (c *Campaign) sendOne() {
 // noteSendError accounts one abandoned transmission by cause.
 func (c *Campaign) noteSendError(err error) {
 	c.sendErrors++
-	cause := classifySendError(err)
-	c.errsByCause[cause]++
+	idx := classifySendErrorIndex(err)
+	c.errsByCause[idx]++
 	if c.tel != nil {
-		c.mErrCause[cause].Inc()
+		c.mErrCause[idx].Inc()
 	}
 }
 

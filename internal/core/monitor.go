@@ -14,8 +14,16 @@ import (
 type Monitor struct {
 	sentMeans     analysis.ByteMeans
 	observedMeans analysis.ByteMeans
-	sentByID      map[can.ID]uint64
-	observedByID  map[can.ID]uint64
+
+	// Per-identifier counters are dense arrays, not maps: the 11-bit ID
+	// space is only 2048 entries (16 KiB per direction), and NoteSent runs
+	// once per transmitted frame — the map hash + growth was the last
+	// allocation source on the steady-state TX path. Distinct-ID tallies
+	// are maintained incrementally for the same reason.
+	sentByID         [can.MaxID + 1]uint64
+	observedByID     [can.MaxID + 1]uint64
+	distinctSent     int
+	distinctObserved int
 
 	recent []can.Frame
 	next   int
@@ -28,15 +36,16 @@ func NewMonitor(window int) *Monitor {
 		window = 32
 	}
 	return &Monitor{
-		sentByID:     make(map[can.ID]uint64),
-		observedByID: make(map[can.ID]uint64),
-		recent:       make([]can.Frame, window),
+		recent: make([]can.Frame, window),
 	}
 }
 
 // NoteSent records a transmitted fuzz frame.
 func (m *Monitor) NoteSent(f can.Frame) {
 	m.sentMeans.Add(f)
+	if m.sentByID[f.ID] == 0 {
+		m.distinctSent++
+	}
 	m.sentByID[f.ID]++
 	m.recent[m.next] = f
 	m.next++
@@ -49,6 +58,9 @@ func (m *Monitor) NoteSent(f can.Frame) {
 // NoteObserved records a frame seen on the bus from other nodes.
 func (m *Monitor) NoteObserved(msg bus.Message) {
 	m.observedMeans.Add(msg.Frame)
+	if m.observedByID[msg.Frame.ID] == 0 {
+		m.distinctObserved++
+	}
 	m.observedByID[msg.Frame.ID]++
 }
 
@@ -65,10 +77,10 @@ func (m *Monitor) SentCount(id can.ID) uint64 { return m.sentByID[id] }
 // the identifier-coverage numerator. With the full 2048-ID space at 1 ms
 // pacing, complete ID coverage arrives within a few virtual seconds even
 // though value coverage never will (§V combinatorics).
-func (m *Monitor) DistinctIDsSent() int { return len(m.sentByID) }
+func (m *Monitor) DistinctIDsSent() int { return m.distinctSent }
 
 // ObservedIDs returns the number of distinct identifiers observed.
-func (m *Monitor) ObservedIDs() int { return len(m.observedByID) }
+func (m *Monitor) ObservedIDs() int { return m.distinctObserved }
 
 // Recent returns the retained window of sent frames, oldest first.
 func (m *Monitor) Recent() []can.Frame {

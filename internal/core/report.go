@@ -113,8 +113,8 @@ func (c *Campaign) BuildReport() Report {
 		OverallByteMean: c.mon.SentMeans().OverallMean(),
 		ByteMeanSpread:  c.mon.SentMeans().Spread(),
 	}
-	if len(c.errsByCause) > 0 {
-		r.SendErrorsByCause = c.SendErrorsByCause()
+	if m := c.SendErrorsByCause(); len(m) > 0 {
+		r.SendErrorsByCause = m
 	}
 	if cs, ok := c.src.(CorpusStats); ok {
 		r.CorpusSize = cs.CorpusSize()

@@ -40,9 +40,15 @@ type Probe struct {
 type EngineOption func(*Engine)
 
 // WithProbes registers state probes. Probe features are keyed by name, so
-// registration order does not affect which behaviours count as novel.
+// registration order does not affect which behaviours count as novel. Name
+// hashes are computed once here rather than on every harvest tick.
 func WithProbes(probes ...Probe) EngineOption {
-	return func(e *Engine) { e.probes = append(e.probes, probes...) }
+	return func(e *Engine) {
+		for _, p := range probes {
+			e.probes = append(e.probes, p)
+			e.probeHash = append(e.probeHash, hashName(p.Name))
+		}
+	}
 }
 
 // WithTelemetry exports the engine's corpus_size gauge and
@@ -91,8 +97,9 @@ type Engine struct {
 	nov  noveltyMap
 	corp *corpus
 
-	probes  []Probe
-	pending []uint64
+	probes    []Probe
+	probeHash []uint64 // hashName of each probe, cached at registration
+	pending   []uint64
 
 	lastSent  can.Frame
 	lastValid bool
@@ -115,9 +122,10 @@ func NewEngine(cfg core.Config, opts ...EngineOption) (*Engine, error) {
 		return nil, fmt.Errorf("guided: %w", err)
 	}
 	e := &Engine{
-		cfg:  gen.Config(), // defaults applied
-		rng:  faults.DeriveRNG(cfg.Seed, rngStream),
-		corp: newCorpus(),
+		cfg:     gen.Config(), // defaults applied
+		rng:     faults.DeriveRNG(cfg.Seed, rngStream),
+		corp:    newCorpus(),
+		pending: make([]uint64, 0, maxPendingFeatures),
 	}
 	for _, o := range opts {
 		o(e)
@@ -170,8 +178,8 @@ func (e *Engine) harvest() uint64 {
 		}
 	}
 	e.pending = e.pending[:0]
-	for _, p := range e.probes {
-		h := hashFeature(featProbe, hashName(p.Name), bucketize(p.Fn()))
+	for i, p := range e.probes {
+		h := hashFeature(featProbe, e.probeHash[i], bucketize(p.Fn()))
 		if e.nov.observe(h) {
 			novel++
 		}

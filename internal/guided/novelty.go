@@ -16,7 +16,11 @@
 // trials shard cleanly, and corpora merge deterministically.
 package guided
 
-import "repro/internal/faults"
+import (
+	"math/bits"
+
+	"repro/internal/faults"
+)
 
 // mapBits is the novelty-map size in bits: 64 Ki entries (8 KiB), the
 // AFL-style compromise between collision rate and cache footprint. The map
@@ -43,9 +47,7 @@ func (n *noveltyMap) observe(feature uint64) bool {
 func (n *noveltyMap) count() int {
 	total := 0
 	for _, w := range n.bits {
-		for ; w != 0; w &= w - 1 {
-			total++
-		}
+		total += bits.OnesCount64(w)
 	}
 	return total
 }
@@ -57,15 +59,15 @@ const (
 	featProbe    = 0x50524F42 // "PROB": ECU state probe moved to a new bucket
 )
 
-// hashFeature composes a feature hash from its parts with the same
+// hashFeature composes a feature hash from its two parts with the same
 // splitmix64 mixer the seed derivation uses: fold each part in, mix, so
-// (kind, a, b) and (kind, b, a) land on unrelated bits.
-func hashFeature(kind uint64, parts ...uint64) uint64 {
+// (kind, a, b) and (kind, b, a) land on unrelated bits. The arity is fixed
+// — every feature is a (kind, a, b) triple — so the per-frame Observe path
+// never builds a variadic argument slice.
+func hashFeature(kind, a, b uint64) uint64 {
 	h := faults.SplitMix64(kind)
-	for _, p := range parts {
-		h = faults.SplitMix64(h ^ p)
-	}
-	return h
+	h = faults.SplitMix64(h ^ a)
+	return faults.SplitMix64(h ^ b)
 }
 
 // hashName hashes a probe name (FNV-1a, then mixed); probe features are
