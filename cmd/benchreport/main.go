@@ -5,9 +5,13 @@
 // Usage:
 //
 //	benchreport [-quick] [-runs 12] [-seed 100]
+//	benchreport -trend [-trend-dir .]
 //
 // -quick trims the expensive experiments (Table V and the ablations run
 // fewer repetitions) so the whole report finishes in well under a minute.
+// -trend skips the experiments entirely and instead renders the committed
+// BENCH_*.json performance snapshots (from cmd/benchperf) as markdown
+// trend tables: frames/sec, allocs/op and ns/op per benchmark over time.
 package main
 
 import (
@@ -36,8 +40,13 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "fewer repetitions for the slow experiments")
 	runs := fs.Int("runs", 12, "Table V runs per variant (paper: 12)")
 	seed := fs.Int64("seed", 100, "base seed")
+	trend := fs.Bool("trend", false, "render the committed BENCH_*.json snapshots as markdown trend tables instead")
+	trendDir := fs.String("trend-dir", ".", "directory holding the BENCH_*.json snapshots")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *trend {
+		return runTrend(os.Stdout, *trendDir)
 	}
 	if *quick && *runs > 3 {
 		*runs = 3

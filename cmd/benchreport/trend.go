@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The -trend mode renders the committed BENCH_*.json snapshots (written by
+// cmd/benchperf) as markdown trend tables — frames/sec and allocs/op per
+// benchmark over time — so performance history is readable straight from
+// the repo without re-running anything.
+
+// benchResult mirrors cmd/benchperf's Result (duplicated rather than
+// imported: main packages cannot import each other, and the JSON schema is
+// the stable contract between the two tools).
+type benchResult struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"nsPerOp"`
+	AllocsPerOp  int64   `json:"allocsPerOp"`
+	BytesPerOp   int64   `json:"bytesPerOp"`
+	FramesPerSec float64 `json:"framesPerSec,omitempty"`
+}
+
+// benchFile mirrors cmd/benchperf's File.
+type benchFile struct {
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"goVersion"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Quick      bool          `json:"quick"`
+	Results    []benchResult `json:"results"`
+}
+
+// loadBenchFiles reads every BENCH_*.json under dir, sorted by filename
+// (the date-stamped naming makes that chronological).
+func loadBenchFiles(dir string) ([]benchFile, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var files []benchFile
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var f benchFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if f.Date == "" {
+			// Fall back to the filename stamp so an old snapshot without the
+			// field still lands in the right column.
+			f.Date = strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "BENCH_"), ".json")
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// runTrend renders the markdown trend report to w.
+func runTrend(w io.Writer, dir string) error {
+	files, err := loadBenchFiles(dir)
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no BENCH_*.json snapshots under %s (run cmd/benchperf first)", dir)
+	}
+
+	// Benchmark rows in first-seen order, so new benchmarks append at the
+	// bottom instead of reshuffling the table.
+	var names []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, r := range f.Results {
+			if !seen[r.Name] {
+				seen[r.Name] = true
+				names = append(names, r.Name)
+			}
+		}
+	}
+	lookup := func(f benchFile, name string) (benchResult, bool) {
+		for _, r := range f.Results {
+			if r.Name == name {
+				return r, true
+			}
+		}
+		return benchResult{}, false
+	}
+
+	fmt.Fprintf(w, "# Benchmark trend (%d snapshots)\n", len(files))
+
+	fmt.Fprintf(w, "\n## Throughput (frames/sec)\n\n")
+	writeTrendTable(w, files, names, func(r benchResult) (string, bool) {
+		if r.FramesPerSec <= 0 {
+			return "", false
+		}
+		return fmt.Sprintf("%.0f", r.FramesPerSec), true
+	}, lookup)
+
+	fmt.Fprintf(w, "\n## Allocations (allocs/op)\n\n")
+	writeTrendTable(w, files, names, func(r benchResult) (string, bool) {
+		return fmt.Sprintf("%d", r.AllocsPerOp), true
+	}, lookup)
+
+	fmt.Fprintf(w, "\n## Latency (ns/op)\n\n")
+	writeTrendTable(w, files, names, func(r benchResult) (string, bool) {
+		return fmt.Sprintf("%.0f", r.NsPerOp), true
+	}, lookup)
+	return nil
+}
+
+// writeTrendTable emits one markdown table: benchmarks down, snapshot dates
+// across, cell values picked by the metric function (second return false
+// means the metric does not apply to that benchmark). Rows where no
+// snapshot has the metric are dropped.
+func writeTrendTable(w io.Writer, files []benchFile, names []string,
+	metric func(benchResult) (string, bool),
+	lookup func(benchFile, string) (benchResult, bool)) {
+	header := "| Benchmark |"
+	rule := "| --- |"
+	for _, f := range files {
+		label := f.Date
+		if f.Quick {
+			label += " (quick)"
+		}
+		header += " " + label + " |"
+		rule += " ---: |"
+	}
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, rule)
+	for _, name := range names {
+		row := "| " + name + " |"
+		any := false
+		for _, f := range files {
+			cell := ""
+			if r, ok := lookup(f, name); ok {
+				if v, applies := metric(r); applies {
+					cell = v
+					any = true
+				}
+			}
+			row += " " + cell + " |"
+		}
+		if any {
+			fmt.Fprintln(w, row)
+		}
+	}
+}

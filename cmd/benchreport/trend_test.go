@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTrendFixture(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTrend(t *testing.T) {
+	dir := t.TempDir()
+	writeTrendFixture(t, dir, "BENCH_2026-01-01.json", `{
+		"date": "2026-01-01", "goVersion": "go1.24.0", "gomaxprocs": 1,
+		"results": [
+			{"name": "Campaign", "nsPerOp": 1000, "allocsPerOp": 200, "bytesPerOp": 6000, "framesPerSec": 900000},
+			{"name": "Fleet", "nsPerOp": 5000000, "allocsPerOp": 80000, "bytesPerOp": 1000000}
+		]
+	}`)
+	writeTrendFixture(t, dir, "BENCH_2026-02-01.json", `{
+		"date": "2026-02-01", "goVersion": "go1.24.0", "gomaxprocs": 1,
+		"results": [
+			{"name": "Campaign", "nsPerOp": 800, "allocsPerOp": 150, "bytesPerOp": 5000, "framesPerSec": 1200000},
+			{"name": "Fleet", "nsPerOp": 4000000, "allocsPerOp": 79000, "bytesPerOp": 900000},
+			{"name": "GuidedStep", "nsPerOp": 700, "allocsPerOp": 2, "bytesPerOp": 64}
+		]
+	}`)
+
+	var out strings.Builder
+	if err := runTrend(&out, dir); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+
+	for _, want := range []string{
+		"# Benchmark trend (2 snapshots)",
+		"## Throughput (frames/sec)",
+		"## Allocations (allocs/op)",
+		"## Latency (ns/op)",
+		"| Benchmark | 2026-01-01 | 2026-02-01 |",
+		"| Campaign | 900000 | 1200000 |",
+		"| Campaign | 200 | 150 |",
+		"| Fleet | 80000 | 79000 |",
+		// GuidedStep only exists in the second snapshot: empty first cell.
+		"| GuidedStep |  | 2 |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("trend output missing %q\n---\n%s", want, got)
+		}
+	}
+	// Fleet has no framesPerSec, so it must not appear in the throughput
+	// table; it must still appear in the allocs table (asserted above).
+	throughput := got[strings.Index(got, "## Throughput"):strings.Index(got, "## Allocations")]
+	if strings.Contains(throughput, "Fleet") {
+		t.Errorf("throughput table should omit Fleet (no framesPerSec):\n%s", throughput)
+	}
+}
+
+func TestRunTrendEmptyDir(t *testing.T) {
+	var out strings.Builder
+	if err := runTrend(&out, t.TempDir()); err == nil {
+		t.Fatal("runTrend on an empty dir succeeded, want error")
+	}
+}
+
+func TestRunTrendOnRepoSnapshots(t *testing.T) {
+	// The committed snapshots at the repo root must always render.
+	var out strings.Builder
+	if err := runTrend(&out, "../.."); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "| Campaign |") {
+		t.Errorf("repo snapshot trend lacks the Campaign row:\n%s", out.String())
+	}
+}

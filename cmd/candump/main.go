@@ -23,7 +23,8 @@ import (
 	"repro/internal/vehicle"
 )
 
-// logger is the shared structured stderr logger of the tool.
+// logger is the shared structured stderr logger of the tool; run replaces
+// it once the -log-level/-log-format flags are parsed.
 var logger = telemetry.NewCLILogger(os.Stderr, "candump", slog.LevelInfo)
 
 func main() {
@@ -41,9 +42,15 @@ func run(args []string, stdout io.Writer) error {
 	limit := fs.Int("n", 0, "stop after n frames (0 = unlimited)")
 	out := fs.String("o", "", "write log to file instead of stdout")
 	idsOnly := fs.Bool("ids", false, "print only the distinct identifiers observed")
+	logFlags := telemetry.RegisterLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	l, err := logFlags.Logger(os.Stderr, "candump")
+	if err != nil {
+		return err
+	}
+	logger = l
 
 	which := vehicle.OBDBody
 	iface := "body0"

@@ -13,10 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
@@ -32,16 +34,18 @@ import (
 	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/guided"
+	"repro/internal/observatory"
 	"repro/internal/oracle"
-	"repro/internal/signal"
 	"repro/internal/telemetry"
 	"repro/internal/testbench"
 	"repro/internal/vehicle"
 
 	busPkg "repro/internal/bus"
+	sigPkg "repro/internal/signal"
 )
 
-// logger is the shared structured stderr logger of the tool.
+// logger is the shared structured stderr logger of the tool; run replaces
+// it once the -log-level/-log-format flags are parsed.
 var logger = telemetry.NewCLILogger(os.Stderr, "canfuzz", slog.LevelInfo)
 
 func main() {
@@ -83,9 +87,17 @@ func run(args []string) error {
 	corpusOut := fs.String("corpus-out", "", "guided mode: write the evolved corpus here (fleet: the merged corpus)")
 	minimize := fs.Bool("minimize", false, "minimize the first finding's trigger window to a minimal reproducer after the run")
 	minimizeOut := fs.String("minimize-out", "", "write the minimized reproducer as a canreplay-compatible capture log (implies -minimize)")
+	eventsFile := fs.String("events", "", "fleet mode: stream the campaign event log (JSONL) to this file")
+	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof on the -metrics endpoint")
+	logFlags := telemetry.RegisterLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	l, err := logFlags.Logger(os.Stderr, "canfuzz")
+	if err != nil {
+		return err
+	}
+	logger = l
 	if *minimizeOut != "" {
 		*minimize = true
 	}
@@ -104,13 +116,19 @@ func run(args []string) error {
 		switch {
 		case *chaosSpec != "":
 			return fmt.Errorf("-chaos is not supported in fleet mode (-trials > 1): fault plans attach to one world")
-		case *metricsAddr != "" || *traceFile != "" || *metricsHold != 0:
-			return fmt.Errorf("-metrics/-trace/-metrics-hold are not supported in fleet mode (-trials > 1); the fleet report embeds a merged telemetry snapshot")
+		case *traceFile != "":
+			return fmt.Errorf("-trace is not supported in fleet mode (-trials > 1): a Chrome trace captures one world's event stream")
 		case *mode == "bits":
 			return fmt.Errorf("-mode bits is not supported in fleet mode (-trials > 1)")
 		case *minimize:
 			return fmt.Errorf("-minimize is not supported in fleet mode (-trials > 1): minimize the single-run reproduction of one trial instead")
 		}
+	}
+	if *eventsFile != "" && *trials <= 1 {
+		return fmt.Errorf("-events requires fleet mode (-trials > 1): the event log streams per-trial records")
+	}
+	if *pprofFlag && *metricsAddr == "" {
+		return fmt.Errorf("-pprof requires -metrics: profiles are served on the metrics endpoint")
 	}
 	if *minimize && *chaosSpec != "" {
 		return fmt.Errorf("-minimize is not supported with -chaos: replay worlds are rebuilt without the fault plan")
@@ -177,11 +195,18 @@ func run(args []string) error {
 	}
 
 	// The telemetry plane is created only when observability is requested;
-	// otherwise every hook stays nil and the hot path is unchanged.
+	// otherwise every hook stays nil and the hot path is unchanged. In
+	// fleet mode it is the campaign-level plane behind the observatory
+	// handler, not a per-world instrument.
 	var tel *telemetry.Telemetry
 	if *metricsAddr != "" || *traceFile != "" {
 		tel = telemetry.New(0)
 	}
+
+	// SIGINT cancels holds and drains the HTTP endpoint instead of killing
+	// the process mid-write.
+	ctx, cancelSig := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancelSig()
 
 	if *mode != "guided" && (*corpusIn != "" || *corpusOut != "") {
 		return fmt.Errorf("-corpus-in/-corpus-out require -mode guided")
@@ -206,7 +231,7 @@ func run(args []string) error {
 		if *minimize {
 			return fmt.Errorf("-minimize is not supported in bits mode")
 		}
-		return runBitsMode(*seed, *dur, *interval, *mutateBits, corpus,
+		return runBitsMode(ctx, *seed, *dur, *interval, *mutateBits, corpus,
 			tel, *metricsAddr, *traceFile, *metricsHold)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
@@ -258,19 +283,44 @@ func run(args []string) error {
 	}
 
 	if *trials > 1 {
-		return runFleet(spec, cfg, *trials, *workers, *dur, *failFast, *jsonOut, *corpusOut)
+		return runFleet(ctx, spec, cfg, fleetRunOpts{
+			trials:      *trials,
+			workers:     *workers,
+			maxPerTrial: *dur,
+			failFast:    *failFast,
+			jsonOut:     *jsonOut,
+			corpusOut:   *corpusOut,
+			eventsFile:  *eventsFile,
+			metricsAddr: *metricsAddr,
+			metricsHold: *metricsHold,
+			pprof:       *pprofFlag,
+			tel:         tel,
+		})
 	}
 
-	world, inj, err := newWorld(spec, cfg, tel, plan)
+	// A single run is a one-trial campaign: the same observatory handler
+	// serves it, with fuzzer introspection wired when the engine is guided.
+	var intr *guided.Introspection
+	if *metricsAddr != "" && cfg.Mode == core.ModeGuided {
+		intr = guided.NewIntrospection()
+	}
+
+	buildStart := time.Now()
+	world, inj, err := newWorld(spec, cfg, tel, plan, intr)
 	if err != nil {
 		return err
 	}
+	buildWall := time.Since(buildStart)
 	sched, campaign := world.Sched, world.Campaign
 
 	logger.Info("fuzzing", "target", *target, "space", cfg.SpaceSize(),
 		"interval", campaign.Generator().Config().Interval, "seed", *seed)
 
-	stopServing, err := serveTelemetry(tel, *metricsAddr)
+	var handler *observatory.Observatory
+	if *metricsAddr != "" {
+		handler = observatory.New(observatory.Config{Fuzz: intr, Telemetry: tel})
+	}
+	stopServing, err := serveObservatory(handler, *metricsAddr, *pprofFlag)
 	if err != nil {
 		return err
 	}
@@ -284,14 +334,16 @@ func run(args []string) error {
 			"recover", *recovery)
 	}
 
+	runStart := time.Now()
 	campaign.Start()
 	sched.RunUntil(sched.Now() + *dur)
 	campaign.Stop()
+	runWall := time.Since(runStart)
 	if inj != nil {
 		inj.Stop()
 	}
 
-	if err := finishTelemetry(tel, *traceFile, *metricsHold); err != nil {
+	if err := finishTelemetry(ctx, tel, *traceFile, *metricsHold); err != nil {
 		return err
 	}
 
@@ -302,12 +354,19 @@ func run(args []string) error {
 	}
 
 	var minimized *core.MinimizedTrigger
+	var minimizeWall time.Duration
 	if *minimize {
 		var err error
+		minimizeStart := time.Now()
 		if minimized, err = runMinimize(spec, cfg, campaign, *minimizeOut); err != nil {
 			return err
 		}
+		minimizeWall = time.Since(minimizeStart)
 	}
+	logger.Info("phase wall time",
+		"build", buildWall.Round(time.Microsecond),
+		"run", runWall.Round(time.Microsecond),
+		"minimize", minimizeWall.Round(time.Microsecond))
 
 	rep := campaign.BuildReport()
 	rep.Minimized = minimized
@@ -367,7 +426,7 @@ func runMinimize(spec targetSpec, cfg core.Config, campaign *core.Campaign, outF
 	interval := campaign.Generator().Config().Interval
 	m := &guided.Minimizer{
 		Factory: func(fleet.TrialSpec) (*fleet.World, error) {
-			w, _, err := newWorld(spec, cfg, nil, nil)
+			w, _, err := newWorld(spec, cfg, nil, nil, nil)
 			return w, err
 		},
 		Seed:     cfg.Seed,
@@ -430,8 +489,9 @@ type targetSpec struct {
 // target's oracles. The single-campaign path calls it once with the
 // telemetry plane and chaos plan; the fleet calls it once per trial with
 // both nil, which is what keeps trials independent and the hot path
-// uninstrumented.
-func newWorld(spec targetSpec, cfg core.Config, tel *telemetry.Telemetry, plan *faults.Plan) (*fleet.World, *faults.Injector, error) {
+// uninstrumented. A non-nil intr registers the world's guided engine (if
+// any) with the fuzzer-introspection plane behind /fuzz.json.
+func newWorld(spec targetSpec, cfg core.Config, tel *telemetry.Telemetry, plan *faults.Plan, intr *guided.Introspection) (*fleet.World, *faults.Injector, error) {
 	sched := clock.New()
 	var opts []core.Option
 	if spec.stop {
@@ -517,7 +577,7 @@ func newWorld(spec targetSpec, cfg core.Config, tel *telemetry.Telemetry, plan *
 		if err != nil {
 			return nil, nil, err
 		}
-		campaign.AddOracle(&oracle.SignalRange{DB: signal.VehicleDB()})
+		campaign.AddOracle(&oracle.SignalRange{DB: sigPkg.VehicleDB()})
 		campaign.AddOracle(oracle.Physical("bcm-unlock", 10*time.Millisecond,
 			v.BCM.Unlocked, false, "doors unlocked"))
 		probes = []guided.Probe{
@@ -541,6 +601,9 @@ func newWorld(spec targetSpec, cfg core.Config, tel *telemetry.Telemetry, plan *
 		if tel != nil {
 			engOpts = append(engOpts, guided.WithTelemetry(tel))
 		}
+		if intr != nil {
+			engOpts = append(engOpts, guided.WithIntrospection(intr))
+		}
 		if len(spec.guidedSeed) > 0 {
 			engOpts = append(engOpts, guided.WithSeedFrames(spec.guidedSeed))
 		}
@@ -554,43 +617,106 @@ func newWorld(spec targetSpec, cfg core.Config, tel *telemetry.Telemetry, plan *
 	return world, inj, nil
 }
 
+// fleetRunOpts carries the fleet flags, including the observability
+// surface (-events, -metrics, -metrics-hold, -pprof).
+type fleetRunOpts struct {
+	trials, workers int
+	maxPerTrial     time.Duration
+	failFast        bool
+	jsonOut         bool
+	corpusOut       string
+	eventsFile      string
+	metricsAddr     string
+	metricsHold     time.Duration
+	pprof           bool
+	tel             *telemetry.Telemetry
+}
+
 // runFleet executes -trials independent campaigns on the worker pool and
 // prints the deterministic fleet report (JSON with -json, a summary
-// otherwise).
-func runFleet(spec targetSpec, cfg core.Config, trials, workers int, maxPerTrial time.Duration, failFast, jsonOut bool, corpusOut string) error {
-	logEvery := trials / 10
+// otherwise). With -events or -metrics the campaign observatory rides
+// along: a streaming JSONL event log and/or the live HTTP campaign API.
+func runFleet(ctx context.Context, spec targetSpec, cfg core.Config, o fleetRunOpts) error {
+	logEvery := o.trials / 10
 	if logEvery < 1 {
 		logEvery = 1
 	}
-	logger.Info("fleet fuzzing", "target", spec.target, "trials", trials,
-		"workers", workers, "base_seed", cfg.Seed, "max_per_trial", maxPerTrial)
+
+	// Event sink: file-backed with -events, ring-only (for /events tailing)
+	// when just the HTTP API is up.
+	var sink *observatory.Sink
+	var eventsOut *os.File
+	if o.eventsFile != "" {
+		f, err := os.Create(o.eventsFile)
+		if err != nil {
+			return err
+		}
+		eventsOut = f
+		defer f.Close()
+		sink = observatory.NewSink(f)
+	} else if o.metricsAddr != "" {
+		sink = observatory.NewSink(nil)
+	}
+	var intr *guided.Introspection
+	if o.metricsAddr != "" && cfg.Mode == core.ModeGuided {
+		intr = guided.NewIntrospection()
+	}
+	obs := observatory.New(observatory.Config{Sink: sink, Fuzz: intr, Telemetry: o.tel})
+
+	stopServing, err := serveObservatory(obs, o.metricsAddr, o.pprof)
+	if err != nil {
+		return err
+	}
+	defer stopServing()
+
+	logger.Info("fleet fuzzing", "target", spec.target, "trials", o.trials,
+		"workers", o.workers, "base_seed", cfg.Seed, "max_per_trial", o.maxPerTrial)
 	rep, err := fleet.Run(fleet.Config{
-		Trials:      trials,
-		Workers:     workers,
+		Trials:      o.trials,
+		Workers:     o.workers,
 		BaseSeed:    cfg.Seed,
-		MaxPerTrial: maxPerTrial,
-		FailFast:    failFast,
+		MaxPerTrial: o.maxPerTrial,
+		FailFast:    o.failFast,
 		Logger:      logger,
 		LogEvery:    logEvery,
+		Observer:    obs,
 	}, func(ts fleet.TrialSpec) (*fleet.World, error) {
 		tcfg := cfg
 		tcfg.Seed = ts.Seed
-		w, _, err := newWorld(spec, tcfg, nil, nil)
+		w, _, err := newWorld(spec, tcfg, nil, nil, intr)
 		return w, err
 	})
 	if err != nil {
 		return err
 	}
-	if corpusOut != "" {
-		if err := writeCorpusFile(corpusOut, rep.MergedCorpus); err != nil {
+	if serr := sink.Err(); serr != nil {
+		return fmt.Errorf("event log %s: %w", o.eventsFile, serr)
+	}
+	if eventsOut != nil {
+		if err := eventsOut.Sync(); err != nil {
+			return fmt.Errorf("event log %s: %w", o.eventsFile, err)
+		}
+		logger.Info("event log written", "file", o.eventsFile, "events", sink.Count())
+	}
+	if o.corpusOut != "" {
+		if err := writeCorpusFile(o.corpusOut, rep.MergedCorpus); err != nil {
 			return err
 		}
 	}
-	if jsonOut {
+	if o.metricsHold > 0 {
+		logger.Info("holding metrics endpoint", "for", o.metricsHold)
+		telemetry.Hold(ctx, o.metricsHold)
+	}
+	logger.Info("phase wall time",
+		"build", rep.BuildWall.Round(time.Microsecond),
+		"run", rep.RunWall.Round(time.Microsecond))
+	if o.jsonOut {
 		return rep.WriteJSON(os.Stdout)
 	}
 	fmt.Printf("fleet: %d trials (%d findings, %d timeouts, %d panics, %d skipped) over %v total virtual time\n",
 		rep.Trials, rep.FoundFindings, rep.TimedOut, rep.Panics, rep.Skipped, rep.VirtualTimeTotal)
+	fmt.Printf("phase wall time: build %v, run %v\n",
+		rep.BuildWall.Round(time.Millisecond), rep.RunWall.Round(time.Millisecond))
 	fmt.Printf("sent %d frames (%d rejected) across the fleet\n", rep.FramesSent, rep.SendErrors)
 	if ttf := rep.TimeToFinding; ttf != nil {
 		fmt.Printf("time to finding: mean %v, median %v, p95 %v, min %v, max %v (%d samples)\n",
@@ -631,7 +757,7 @@ func armChaos(inj *faults.Injector, recovery bool, b *busPkg.Bus, ecus map[strin
 // runBitsMode runs the data-link-layer fuzzer against a bench-mounted
 // victim ECU and reports the protocol-level damage: error-frame counts and
 // the victim's fault-confinement state.
-func runBitsMode(seed int64, dur, interval time.Duration, flipBits int, corpus []can.Frame,
+func runBitsMode(ctx context.Context, seed int64, dur, interval time.Duration, flipBits int, corpus []can.Frame,
 	tel *telemetry.Telemetry, metricsAddr, traceFile string, metricsHold time.Duration) error {
 	sched := clock.New()
 	b := busPkg.New(sched, busPkg.WithName("bench"))
@@ -648,7 +774,11 @@ func runBitsMode(seed int64, dur, interval time.Duration, flipBits int, corpus [
 		Interval: interval,
 	})
 
-	stopServing, err := serveTelemetry(tel, metricsAddr)
+	var obs *observatory.Observatory
+	if tel != nil && metricsAddr != "" {
+		obs = observatory.New(observatory.Config{Telemetry: tel})
+	}
+	stopServing, err := serveObservatory(obs, metricsAddr, false)
 	if err != nil {
 		return err
 	}
@@ -660,7 +790,7 @@ func runBitsMode(seed int64, dur, interval time.Duration, flipBits int, corpus [
 	sched.RunUntil(sched.Now() + dur)
 	bf.Stop()
 
-	if err := finishTelemetry(tel, traceFile, metricsHold); err != nil {
+	if err := finishTelemetry(ctx, tel, traceFile, metricsHold); err != nil {
 		return err
 	}
 
@@ -673,25 +803,31 @@ func runBitsMode(seed int64, dur, interval time.Duration, flipBits int, corpus [
 	return nil
 }
 
-// serveTelemetry starts the live introspection endpoint when an address is
-// given. The returned function shuts the server down; it is always safe to
+// serveObservatory starts the campaign HTTP endpoint when an address is
+// given, mounting the observatory routes on top of the telemetry ones. The
+// returned function drains the server gracefully; it is always safe to
 // call.
-func serveTelemetry(tel *telemetry.Telemetry, addr string) (func(), error) {
-	if tel == nil || addr == "" {
+func serveObservatory(obs *observatory.Observatory, addr string, pprofOn bool) (func(), error) {
+	if obs == nil || addr == "" {
 		return func() {}, nil
 	}
-	srv, bound, err := telemetry.Serve(addr, tel)
+	h := obs.Handler(observatory.HandlerConfig{Pprof: pprofOn})
+	srv, bound, err := telemetry.ServeHandler(addr, h)
 	if err != nil {
 		return nil, fmt.Errorf("metrics endpoint: %w", err)
 	}
-	logger.Info("metrics endpoint up", "addr", bound,
-		"routes", "/metrics /metrics.json /trace.json /healthz")
-	return func() { srv.Close() }, nil
+	routes := "/campaign.json /events /fuzz.json /metrics /metrics.json /trace.json /healthz"
+	if pprofOn {
+		routes += " /debug/pprof/"
+	}
+	logger.Info("metrics endpoint up", "addr", bound, "routes", routes)
+	return func() { telemetry.Shutdown(srv, time.Second) }, nil
 }
 
 // finishTelemetry writes the Chrome trace file if requested and holds the
-// metrics endpoint open for scraping after the virtual run ends.
-func finishTelemetry(tel *telemetry.Telemetry, traceFile string, hold time.Duration) error {
+// metrics endpoint open for scraping after the virtual run ends; SIGINT
+// (via ctx) ends the hold early.
+func finishTelemetry(ctx context.Context, tel *telemetry.Telemetry, traceFile string, hold time.Duration) error {
 	if tel == nil {
 		return nil
 	}
@@ -711,7 +847,7 @@ func finishTelemetry(tel *telemetry.Telemetry, traceFile string, hold time.Durat
 	}
 	if hold > 0 {
 		logger.Info("holding metrics endpoint", "for", hold)
-		time.Sleep(hold)
+		telemetry.Hold(ctx, hold)
 	}
 	return nil
 }

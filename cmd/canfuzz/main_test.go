@@ -1,7 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -152,10 +156,13 @@ func TestRunFlagValidation(t *testing.T) {
 		{"-workers", "-1"},
 		{"-interval", "100us"},
 		{"-trials", "2", "-chaos", "seed=1;jam(at=1s)"},
-		{"-trials", "2", "-metrics", "localhost:0"},
 		{"-trials", "2", "-trace", "/tmp/t.json"},
 		{"-trials", "2", "-mode", "bits"},
 		{"-trials", "2", "-minimize"},
+		{"-events", "/tmp/e.jsonl"},
+		{"-pprof"},
+		{"-log-level", "loud"},
+		{"-log-format", "xml"},
 		{"-minimize", "-chaos", "seed=1;jam(at=1s)"},
 		{"-mode", "bits", "-minimize"},
 		{"-mode", "random", "-corpus-out", "/tmp/c.corpus"},
@@ -255,5 +262,51 @@ func TestRunMinimizeNoFindingIsNotAnError(t *testing.T) {
 		"-seed", "1", "-minimize"})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunFleetEventsLog(t *testing.T) {
+	// The acceptance run: a fleet with -events streams schema-valid JSONL
+	// whose *sorted* content is byte-identical across worker counts.
+	dir := t.TempDir()
+	runWith := func(workers int, file string) []string {
+		t.Helper()
+		path := dir + "/" + file
+		err := run([]string{"-target", "bench", "-ids", "215", "-trials", "8",
+			"-workers", strconv.Itoa(workers), "-dur", "30m", "-seed", "9",
+			"-events", path, "-metrics", "localhost:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+		sort.Strings(lines)
+		return lines
+	}
+	seq := runWith(1, "seq.jsonl")
+	par := runWith(runtime.NumCPU(), "par.jsonl")
+	if len(seq) != len(par) {
+		t.Fatalf("event counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("sorted event logs differ at line %d:\nseq: %s\npar: %s", i, seq[i], par[i])
+		}
+	}
+	starts := 0
+	for _, line := range seq {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		if ev["type"] == "trial_start" {
+			starts++
+		}
+	}
+	if starts != 8 {
+		t.Fatalf("got %d trial_start events, want 8", starts)
 	}
 }

@@ -27,7 +27,8 @@ import (
 	busPkg "repro/internal/bus"
 )
 
-// logger is the shared structured stderr logger of the tool.
+// logger is the shared structured stderr logger of the tool; run replaces
+// it once the -log-level/-log-format flags are parsed.
 var logger = telemetry.NewCLILogger(os.Stderr, "canreplay", slog.LevelInfo)
 
 func main() {
@@ -42,9 +43,15 @@ func run(args []string, stdout io.Writer) error {
 	logFile := fs.String("log", "", "candump-format log to replay")
 	target := fs.String("target", "bench", "replay target: bench or vehicle")
 	demo := fs.Bool("demo", false, "self-contained demo: record a legitimate unlock, replay it")
+	logFlags := telemetry.RegisterLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	l, err := logFlags.Logger(os.Stderr, "canreplay")
+	if err != nil {
+		return err
+	}
+	logger = l
 
 	if *demo {
 		return runDemo(stdout)

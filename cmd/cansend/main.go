@@ -25,7 +25,8 @@ import (
 	"repro/internal/testbench"
 )
 
-// logger is the shared structured stderr logger of the tool.
+// logger is the shared structured stderr logger of the tool; run replaces
+// it once the -log-level/-log-format flags are parsed.
 var logger = telemetry.NewCLILogger(os.Stderr, "cansend", slog.LevelInfo)
 
 func main() {
@@ -40,9 +41,15 @@ func run(args []string) error {
 	cmd := fs.String("cmd", "", "app command: lock or unlock")
 	rawID := fs.String("id", "", "raw injection: hex identifier (e.g. 215)")
 	rawData := fs.String("data", "", "raw injection: hex payload (e.g. 205F01000001 20)")
+	logFlags := telemetry.RegisterLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	l, err := logFlags.Logger(os.Stderr, "cansend")
+	if err != nil {
+		return err
+	}
+	logger = l
 
 	sched := clock.New()
 	bench := testbench.New(sched, testbench.Config{AckUnlock: true})

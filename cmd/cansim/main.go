@@ -8,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/bus"
@@ -21,7 +23,8 @@ import (
 	"repro/internal/vehicle"
 )
 
-// logger is the shared structured stderr logger of the tool.
+// logger is the shared structured stderr logger of the tool; run replaces
+// it once the -log-level/-log-format flags are parsed.
 var logger = telemetry.NewCLILogger(os.Stderr, "cansim", slog.LevelInfo)
 
 func main() {
@@ -40,9 +43,15 @@ func run(args []string) error {
 	throttle := fs.Float64("throttle", 0, "drive with this accelerator position (0-100%)")
 	metricsAddr := fs.String("metrics", "", "serve /metrics, /healthz and /trace.json on this address")
 	metricsHold := fs.Duration("metrics-hold", 0, "keep the metrics endpoint up this long (wall time) after the simulation ends")
+	logFlags := telemetry.RegisterLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	l, err := logFlags.Logger(os.Stderr, "cansim")
+	if err != nil {
+		return err
+	}
+	logger = l
 
 	which := vehicle.OBDBody
 	switch *busName {
@@ -62,7 +71,7 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("metrics endpoint: %w", err)
 		}
-		defer srv.Close()
+		defer telemetry.Shutdown(srv, time.Second)
 		logger.Info("metrics endpoint up", "addr", bound,
 			"routes", "/metrics /metrics.json /trace.json /healthz")
 	}
@@ -98,8 +107,12 @@ func run(args []string) error {
 	if *metricsAddr != "" && *metricsHold > 0 {
 		// Virtual time outruns wall time by orders of magnitude, so without
 		// a hold the endpoint would vanish before anyone could scrape it.
+		// SIGINT ends the hold early; the deferred Shutdown then drains
+		// in-flight scrapes instead of cutting them off.
+		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer cancel()
 		logger.Info("holding metrics endpoint", "for", *metricsHold)
-		time.Sleep(*metricsHold)
+		telemetry.Hold(ctx, *metricsHold)
 	}
 	return nil
 }

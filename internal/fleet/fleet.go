@@ -65,6 +65,29 @@ type TrialSpec struct {
 // RNG state, because trials run concurrently.
 type TargetFactory func(spec TrialSpec) (*World, error)
 
+// Observer receives fleet lifecycle callbacks while the campaign runs —
+// the hook the observatory layer (and the future coordinator/worker
+// service) builds on. TrialStarted and TrialFinished are invoked from
+// worker goroutines, concurrently; implementations must be safe for
+// concurrent use and must not block, or they stall the pool. A nil
+// Observer in the Config disables all callbacks at the cost of one branch
+// per trial.
+//
+// Callbacks carry only per-trial data that is a pure function of
+// (BaseSeed, trial index), so an observer that records content — not
+// arrival order — stays deterministic across worker counts.
+type Observer interface {
+	// CampaignStarted fires once before the first trial is dispatched,
+	// with the validated configuration and the effective pool width.
+	CampaignStarted(cfg Config, workers int)
+	// TrialStarted fires when a worker picks up the trial.
+	TrialStarted(spec TrialSpec)
+	// TrialFinished fires after the trial's result is recorded.
+	TrialFinished(res TrialResult)
+	// CampaignDone fires once, after aggregation, with the final report.
+	CampaignDone(rep *Report)
+}
+
 // Config tunes a fleet run.
 type Config struct {
 	// Trials is the number of independent campaigns (required, >= 1).
@@ -86,6 +109,9 @@ type Config struct {
 	// LogEvery emits one progress line per this many completed trials
 	// (default 10 when a Logger is set).
 	LogEvery int
+	// Observer, when non-nil, receives lifecycle callbacks (trial start
+	// and end, campaign start and end) from the worker goroutines.
+	Observer Observer
 }
 
 // Validation errors.
@@ -126,6 +152,11 @@ func Run(cfg Config, factory TargetFactory) (*Report, error) {
 		seeds[i] = faults.DeriveSeed(cfg.BaseSeed, i)
 	}
 
+	obs := cfg.Observer
+	if obs != nil {
+		obs.CampaignStarted(cfg, workers)
+	}
+
 	var (
 		wg        sync.WaitGroup
 		completed atomic.Int64
@@ -157,8 +188,15 @@ func Run(cfg Config, factory TargetFactory) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				res := runTrial(TrialSpec{Index: i, Seed: seeds[i]}, cfg.MaxPerTrial, factory)
+				spec := TrialSpec{Index: i, Seed: seeds[i]}
+				if obs != nil {
+					obs.TrialStarted(spec)
+				}
+				res := runTrial(spec, cfg.MaxPerTrial, factory)
 				results[i] = res
+				if obs != nil {
+					obs.TrialFinished(res)
+				}
 				if res.Findings > 0 {
 					findings.Add(int64(res.Findings))
 					if cfg.FailFast {
@@ -190,12 +228,18 @@ func Run(cfg Config, factory TargetFactory) (*Report, error) {
 		Results:     results,
 	}
 	rep.aggregate()
+	if obs != nil {
+		obs.CampaignDone(rep)
+	}
 	return rep, nil
 }
 
 // runTrial builds and runs one world. A panic anywhere inside — factory or
 // simulation — is contained and classified; the named return keeps the
-// partial result fields gathered before the panic.
+// partial result fields gathered before the panic. Wall-clock phase
+// durations (world build vs campaign run) are recorded on the result for
+// the live progress view but excluded from its JSON, which must stay a
+// pure function of the seed.
 func runTrial(spec TrialSpec, maxPerTrial time.Duration, factory TargetFactory) (res TrialResult) {
 	res = TrialResult{Trial: spec.Index, Seed: spec.Seed}
 	defer func() {
@@ -204,7 +248,9 @@ func runTrial(spec TrialSpec, maxPerTrial time.Duration, factory TargetFactory) 
 			res.PanicValue = fmt.Sprint(r)
 		}
 	}()
+	buildStart := time.Now()
 	w, err := factory(spec)
+	res.BuildWall = time.Since(buildStart)
 	if err != nil {
 		res.Status = StatusError
 		res.Err = err.Error()
@@ -220,7 +266,9 @@ func runTrial(spec TrialSpec, maxPerTrial time.Duration, factory TargetFactory) 
 		res.Err = errWorldFields.Error()
 		return res
 	}
+	runStart := time.Now()
 	finding, ok := w.Campaign.RunUntilFinding(maxPerTrial)
+	res.RunWall = time.Since(runStart)
 	res.VirtualElapsed = w.Sched.Now()
 	if w.Corpus != nil {
 		res.Corpus = w.Corpus()

@@ -255,3 +255,90 @@ func TestFleetProgressLogging(t *testing.T) {
 		t.Fatalf("progress log lacks throughput: %q", out)
 	}
 }
+
+// faultyUnlockFactory is unlockFactory with a bus-level fault plan armed
+// in every trial world: the chaos campaign run at fleet scale.
+func faultyUnlockFactory(check bcm.CheckMode, planSpec string) fleet.TargetFactory {
+	return func(spec fleet.TrialSpec) (*fleet.World, error) {
+		exp, err := testbench.NewUnlockExperiment(testbench.Config{Check: check},
+			core.Config{Seed: spec.Seed, TargetIDs: []can.ID{signal.IDBodyCommand}})
+		if err != nil {
+			return nil, err
+		}
+		plan, err := faults.ParsePlan(planSpec)
+		if err != nil {
+			return nil, err
+		}
+		inj := faults.New(exp.Bench.Scheduler(), plan)
+		inj.AttachBus(exp.Bench.Bus)
+		if err := inj.Start(); err != nil {
+			return nil, err
+		}
+		return &fleet.World{Sched: exp.Bench.Scheduler(), Campaign: exp.Campaign}, nil
+	}
+}
+
+func TestFleetFaultPlanDeterminismAndAssociativity(t *testing.T) {
+	// The merged telemetry snapshot (and the whole report) must stay
+	// byte-identical across worker counts even when every trial world runs
+	// a fault plan: injected chaos is part of each trial's deterministic
+	// simulation, not a source of cross-trial nondeterminism.
+	// The targeted unlock lands within ~400 virtual ms, so the corrupting
+	// window opens immediately and outlasts the clean time-to-finding,
+	// forcing every trial through the chaos.
+	const planSpec = "seed=1;corrupt(p=1,at=1ms,for=5s);drop(p=0.5,at=5s,for=2s)"
+	cfg := fleet.Config{Trials: 8, BaseSeed: 21, MaxPerTrial: 30 * time.Minute}
+
+	cfg.Workers = 1
+	seq := mustRun(t, cfg, faultyUnlockFactory(bcm.CheckByteOnly, planSpec))
+	cfg.Workers = runtime.NumCPU()
+	par := mustRun(t, cfg, faultyUnlockFactory(bcm.CheckByteOnly, planSpec))
+
+	var a, b bytes.Buffer
+	if err := seq.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("faulted fleet report differs between workers=1 and workers=%d:\n--- seq ---\n%s\n--- par ---\n%s",
+			runtime.NumCPU(), a.String(), b.String())
+	}
+	if seq.Telemetry == nil || !bytes.Equal(seq.Telemetry, par.Telemetry) {
+		t.Fatal("merged telemetry snapshots differ across worker counts under a fault plan")
+	}
+
+	// Associativity: the merged counters are the fold of the per-trial
+	// results, independent of merge order.
+	var frames, sendErrors uint64
+	var virtual time.Duration
+	findings := 0
+	for _, tr := range seq.Results {
+		frames += tr.FramesSent
+		sendErrors += tr.SendErrors
+		virtual += tr.VirtualElapsed
+		if tr.Status == fleet.StatusFinding {
+			findings++
+		}
+	}
+	if frames != seq.FramesSent || sendErrors != seq.SendErrors {
+		t.Errorf("merged counters not the per-trial sum: frames %d vs %d, sendErrors %d vs %d",
+			seq.FramesSent, frames, seq.SendErrors, sendErrors)
+	}
+	if virtual != seq.VirtualTimeTotal {
+		t.Errorf("virtual total %v != per-trial sum %v", seq.VirtualTimeTotal, virtual)
+	}
+	if findings != seq.FoundFindings {
+		t.Errorf("finding count %d != per-trial fold %d", seq.FoundFindings, findings)
+	}
+
+	// The plan must actually bite: a corrupting window delays the unlock,
+	// so the faulted fleet cannot match a fault-free fleet frame for frame.
+	clean := mustRun(t, fleet.Config{
+		Trials: 8, BaseSeed: 21, Workers: 2, MaxPerTrial: 30 * time.Minute,
+	}, unlockFactory(bcm.CheckByteOnly))
+	if clean.FramesSent == seq.FramesSent {
+		t.Errorf("fault plan had no observable effect: both fleets sent %d frames", clean.FramesSent)
+	}
+}

@@ -1,0 +1,241 @@
+package fleet
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Progress is the live, lock-free view of a running fleet campaign. It
+// implements Observer: workers feed it through atomic stores and adds, so
+// sampling it from an HTTP handler (or any other goroutine) never stalls
+// the pool. Everything it reports is either monotonic (counters) or a
+// consistent-enough snapshot for a dashboard — it is deliberately *not*
+// part of the deterministic report, because wall-clock rates and ETAs
+// depend on the machine.
+//
+// A nil *Progress is a valid no-op observer target: every method checks
+// the receiver, matching the telemetry package's nil-safe hook style.
+type Progress struct {
+	total   atomic.Int64
+	workers atomic.Int64
+
+	started atomic.Int64 // trials dispatched to a worker
+	done    atomic.Int64 // trials finished (any status)
+
+	findings atomic.Int64 // trials that ended in StatusFinding
+	timeouts atomic.Int64
+	panics   atomic.Int64
+	errors   atomic.Int64
+	skipped  atomic.Int64 // known only at campaign end (fail-fast)
+
+	findingsTotal atomic.Int64 // oracle firings summed over trials
+
+	framesSent atomic.Uint64
+	sendErrors atomic.Uint64
+
+	virtualNanos    atomic.Int64 // summed per-trial virtual time
+	maxVirtualNanos atomic.Int64 // deepest single trial
+
+	buildWallNanos atomic.Int64
+	runWallNanos   atomic.Int64
+
+	startWallNanos atomic.Int64 // unix nanos at CampaignStarted
+	doneFlag       atomic.Bool
+
+	// Time-to-finding histogram so far: cumulative-style buckets over
+	// timeToFindingBoundsSeconds plus +Inf, filled as finding trials land.
+	ttfBuckets [len(timeToFindingBoundsSeconds) + 1]atomic.Uint64
+	ttfCount   atomic.Uint64
+	ttfSum     atomic.Int64 // summed nanos, for the running mean
+}
+
+// NewProgress returns an empty tracker; wire it in via Config.Observer
+// (directly, or wrapped by a composite observer that forwards to it).
+func NewProgress() *Progress { return &Progress{} }
+
+// CampaignStarted implements Observer.
+func (p *Progress) CampaignStarted(cfg Config, workers int) {
+	if p == nil {
+		return
+	}
+	p.total.Store(int64(cfg.Trials))
+	p.workers.Store(int64(workers))
+	p.startWallNanos.Store(time.Now().UnixNano())
+}
+
+// TrialStarted implements Observer.
+func (p *Progress) TrialStarted(TrialSpec) {
+	if p == nil {
+		return
+	}
+	p.started.Add(1)
+}
+
+// TrialFinished implements Observer.
+func (p *Progress) TrialFinished(res TrialResult) {
+	if p == nil {
+		return
+	}
+	switch res.Status {
+	case StatusFinding:
+		p.findings.Add(1)
+		p.ttfCount.Add(1)
+		p.ttfSum.Add(int64(res.TimeToFinding))
+		p.ttfBuckets[ttfBucketIndex(res.TimeToFinding)].Add(1)
+	case StatusTimeout:
+		p.timeouts.Add(1)
+	case StatusPanic:
+		p.panics.Add(1)
+	case StatusError:
+		p.errors.Add(1)
+	}
+	p.findingsTotal.Add(int64(res.Findings))
+	p.framesSent.Add(res.FramesSent)
+	p.sendErrors.Add(res.SendErrors)
+	p.virtualNanos.Add(int64(res.VirtualElapsed))
+	storeMax(&p.maxVirtualNanos, int64(res.VirtualElapsed))
+	p.buildWallNanos.Add(int64(res.BuildWall))
+	p.runWallNanos.Add(int64(res.RunWall))
+	p.done.Add(1)
+}
+
+// CampaignDone implements Observer.
+func (p *Progress) CampaignDone(rep *Report) {
+	if p == nil {
+		return
+	}
+	p.skipped.Store(int64(rep.Skipped))
+	p.doneFlag.Store(true)
+}
+
+// ttfBucketIndex maps a time-to-finding onto its histogram bucket (the
+// last index is +Inf).
+func ttfBucketIndex(d time.Duration) int {
+	secs := d.Seconds()
+	for i, le := range timeToFindingBoundsSeconds {
+		if secs <= le {
+			return i
+		}
+	}
+	return len(timeToFindingBoundsSeconds)
+}
+
+// storeMax lifts v into the atomic if it exceeds the current value.
+func storeMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ProgressBucket is one non-cumulative bin of the live time-to-finding
+// histogram; LeSeconds <= 0 marks the +Inf bucket.
+type ProgressBucket struct {
+	LeSeconds float64 `json:"leSeconds"`
+	Count     uint64  `json:"count"`
+}
+
+// ProgressSnapshot is one consistent-enough sample of a running campaign —
+// the /campaign.json document. Counter fields may lag each other by a
+// trial under concurrent updates; rates and the ETA are wall-clock derived
+// and therefore machine-dependent by design.
+type ProgressSnapshot struct {
+	TrialsTotal int  `json:"trialsTotal"`
+	TrialsDone  int  `json:"trialsDone"`
+	InFlight    int  `json:"inFlight"`
+	Workers     int  `json:"workers"`
+	Done        bool `json:"done"`
+
+	// Per-outcome counters over finished trials.
+	Findings int `json:"findings"`
+	Timeouts int `json:"timeouts"`
+	Panics   int `json:"panics"`
+	Errors   int `json:"errors"`
+	Skipped  int `json:"skipped"`
+
+	// FindingsTotal counts oracle firings (a trial can have several).
+	FindingsTotal int `json:"findingsTotal"`
+
+	// Per-world counters summed across finished trials.
+	FramesSent uint64 `json:"framesSent"`
+	SendErrors uint64 `json:"sendErrors"`
+
+	VirtualNanosTotal int64 `json:"virtualNanosTotal"`
+	MaxVirtualNanos   int64 `json:"maxVirtualNanos"`
+
+	// Wall-clock derived throughput: campaign execution speed as the
+	// operator experiences it.
+	WallSeconds  float64 `json:"wallSeconds"`
+	ExecPerSec   float64 `json:"execPerSec"` // fuzz frames per wall second
+	TrialsPerSec float64 `json:"trialsPerSec"`
+	EtaSeconds   float64 `json:"etaSeconds"` // 0 when unknown or done
+
+	// Phase wall-time breakdown summed over finished trials.
+	BuildWallSeconds float64 `json:"buildWallSeconds"`
+	RunWallSeconds   float64 `json:"runWallSeconds"`
+
+	// Time-to-finding distribution so far.
+	TimeToFindingCount       uint64           `json:"timeToFindingCount"`
+	TimeToFindingMeanSeconds float64          `json:"timeToFindingMeanSeconds"`
+	TimeToFindingHistogram   []ProgressBucket `json:"timeToFindingHistogram,omitempty"`
+}
+
+// Snapshot samples the tracker. Safe to call at any time from any
+// goroutine, including while workers are mid-trial; nil returns a zero
+// snapshot.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	var s ProgressSnapshot
+	if p == nil {
+		return s
+	}
+	s.TrialsTotal = int(p.total.Load())
+	s.TrialsDone = int(p.done.Load())
+	s.InFlight = int(p.started.Load()) - s.TrialsDone
+	if s.InFlight < 0 {
+		s.InFlight = 0
+	}
+	s.Workers = int(p.workers.Load())
+	s.Done = p.doneFlag.Load()
+	s.Findings = int(p.findings.Load())
+	s.Timeouts = int(p.timeouts.Load())
+	s.Panics = int(p.panics.Load())
+	s.Errors = int(p.errors.Load())
+	s.Skipped = int(p.skipped.Load())
+	s.FindingsTotal = int(p.findingsTotal.Load())
+	s.FramesSent = p.framesSent.Load()
+	s.SendErrors = p.sendErrors.Load()
+	s.VirtualNanosTotal = p.virtualNanos.Load()
+	s.MaxVirtualNanos = p.maxVirtualNanos.Load()
+	s.BuildWallSeconds = time.Duration(p.buildWallNanos.Load()).Seconds()
+	s.RunWallSeconds = time.Duration(p.runWallNanos.Load()).Seconds()
+
+	if start := p.startWallNanos.Load(); start > 0 {
+		s.WallSeconds = time.Since(time.Unix(0, start)).Seconds()
+	}
+	if s.WallSeconds > 0 {
+		s.ExecPerSec = float64(s.FramesSent) / s.WallSeconds
+		s.TrialsPerSec = float64(s.TrialsDone) / s.WallSeconds
+	}
+	if !s.Done && s.TrialsDone > 0 && s.TrialsPerSec > 0 {
+		remaining := s.TrialsTotal - s.TrialsDone - s.Skipped
+		if remaining > 0 {
+			s.EtaSeconds = float64(remaining) / s.TrialsPerSec
+		}
+	}
+
+	if n := p.ttfCount.Load(); n > 0 {
+		s.TimeToFindingCount = n
+		s.TimeToFindingMeanSeconds = time.Duration(p.ttfSum.Load() / int64(n)).Seconds()
+		s.TimeToFindingHistogram = make([]ProgressBucket, 0, len(p.ttfBuckets))
+		for i := range p.ttfBuckets {
+			b := ProgressBucket{Count: p.ttfBuckets[i].Load()}
+			if i < len(timeToFindingBoundsSeconds) {
+				b.LeSeconds = timeToFindingBoundsSeconds[i]
+			}
+			s.TimeToFindingHistogram = append(s.TimeToFindingHistogram, b)
+		}
+	}
+	return s
+}

@@ -62,6 +62,13 @@ type TrialResult struct {
 	PanicValue string `json:"panicValue,omitempty"`
 	// Err is the factory error (StatusError only).
 	Err string `json:"error,omitempty"`
+
+	// BuildWall and RunWall are the wall-clock durations of the trial's
+	// world-construction and campaign-run phases. They feed the live
+	// progress view and the report's phase breakdown but are excluded from
+	// the JSON: serialised results must be a pure function of the seed.
+	BuildWall time.Duration `json:"-"`
+	RunWall   time.Duration `json:"-"`
 }
 
 // AggregatedFinding is one deduplicated finding across the fleet, keyed by
@@ -154,6 +161,13 @@ type Report struct {
 	// Telemetry is the merged fleet telemetry snapshot (the
 	// telemetry.Registry JSON document).
 	Telemetry json.RawMessage `json:"telemetry,omitempty"`
+
+	// BuildWall and RunWall sum the per-trial phase wall times — the
+	// build/run breakdown of where the fleet actually spent CPU. Like
+	// Workers they are execution details, excluded from the JSON so the
+	// report stays byte-identical across machines and worker counts.
+	BuildWall time.Duration `json:"-"`
+	RunWall   time.Duration `json:"-"`
 }
 
 // WriteJSON writes the report as indented JSON.
@@ -166,9 +180,13 @@ func (r *Report) WriteJSON(w io.Writer) error {
 // histogramBins is the bin count for the time-to-finding histogram.
 const histogramBins = 10
 
+// ttfBounds is the number of time-to-finding histogram bounds (Progress
+// sizes its atomic bucket array from it at compile time).
+const ttfBounds = 10
+
 // timeToFindingBoundsSeconds are the telemetry histogram bucket bounds for
 // fleet_time_to_finding_seconds; Table V times span seconds to an hour.
-var timeToFindingBoundsSeconds = []float64{1, 5, 10, 30, 60, 120, 300, 600, 1800, 3600}
+var timeToFindingBoundsSeconds = [ttfBounds]float64{1, 5, 10, 30, 60, 120, 300, 600, 1800, 3600}
 
 // aggregate folds the per-trial results (already in index order) into the
 // report: status counts, summed counters, deduplicated findings, the
@@ -186,7 +204,7 @@ func (r *Report) aggregate() {
 	mErrs := reg.Counter("fleet_send_errors_total", "Rejected transmissions across the fleet.")
 	mFindings := reg.Counter("fleet_findings_total", "Oracle firings across the fleet.")
 	hTTF := reg.Histogram("fleet_time_to_finding_seconds",
-		"Virtual time to first finding per finding trial.", timeToFindingBoundsSeconds)
+		"Virtual time to first finding per finding trial.", timeToFindingBoundsSeconds[:])
 
 	var times []time.Duration
 	dedup := map[string]*AggregatedFinding{}
@@ -232,6 +250,8 @@ func (r *Report) aggregate() {
 		r.FramesSent += tr.FramesSent
 		r.SendErrors += tr.SendErrors
 		r.VirtualTimeTotal += tr.VirtualElapsed
+		r.BuildWall += tr.BuildWall
+		r.RunWall += tr.RunWall
 		mFindings.Add(uint64(tr.Findings))
 		if tr.VirtualElapsed > maxVirtual {
 			maxVirtual = tr.VirtualElapsed

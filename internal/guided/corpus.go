@@ -89,6 +89,16 @@ func (c *corpus) pick(rng *rand.Rand) can.Frame {
 	return c.entries[len(c.entries)-1].frame
 }
 
+// energies appends every entry's energy to dst (insertion order) and
+// returns the extended slice. Callers pass a reused buffer so periodic
+// introspection snapshots do not allocate once the buffer has grown.
+func (c *corpus) energies(dst []uint64) []uint64 {
+	for _, e := range c.entries {
+		dst = append(dst, e.energy)
+	}
+	return dst
+}
+
 // frames returns the corpus in serialized "ID#HEXDATA" form, insertion
 // order.
 func (c *corpus) frames() []string {

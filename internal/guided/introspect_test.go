@@ -1,0 +1,93 @@
+package guided_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bcm"
+	"repro/internal/can"
+	"repro/internal/core"
+	"repro/internal/guided"
+	"repro/internal/signal"
+	"repro/internal/testbench"
+)
+
+func TestIntrospectionNil(t *testing.T) {
+	var intr *guided.Introspection
+	if intr.Register() != nil {
+		t.Error("nil Introspection.Register should return a nil slot")
+	}
+	if s := intr.Snapshot(); s.Engines != 0 || s.Execs != 0 {
+		t.Errorf("nil Introspection.Snapshot not zero: %+v", s)
+	}
+}
+
+func TestIntrospectionTracksGuidedRun(t *testing.T) {
+	intr := guided.NewIntrospection()
+	exp, err := testbench.NewGuidedUnlockExperiment(testbench.Config{Check: bcm.CheckByteOnly},
+		core.Config{Seed: 9, TargetIDs: []can.ID{signal.IDBodyCommand}},
+		guided.WithIntrospection(intr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := exp.Run(30 * time.Minute); !ok {
+		t.Fatal("guided unlock did not land within the budget")
+	}
+
+	s := intr.Snapshot()
+	if s.Engines != 1 {
+		t.Fatalf("engines = %d, want 1", s.Engines)
+	}
+	if s.NoveltyHits != exp.Engine.NoveltyHits() {
+		t.Errorf("noveltyHits = %d, want %d", s.NoveltyHits, exp.Engine.NoveltyHits())
+	}
+	if s.Mutations != exp.Engine.Mutations() || s.Explorations != exp.Engine.Explorations() {
+		t.Errorf("mutations/explorations = %d/%d, want %d/%d",
+			s.Mutations, s.Explorations, exp.Engine.Mutations(), exp.Engine.Explorations())
+	}
+	if s.Mutations+s.Explorations != s.Execs {
+		t.Errorf("mutations %d + explorations %d != execs %d", s.Mutations, s.Explorations, s.Execs)
+	}
+	if s.MutateRatio <= 0 || s.MutateRatio >= 1 {
+		t.Errorf("mutateRatio = %v, want strictly between 0 and 1 (explore 1-in-8)", s.MutateRatio)
+	}
+	if s.NoveltyBitsSet <= 0 || s.NoveltySaturation <= 0 || s.NoveltySaturation > 1 {
+		t.Errorf("novelty saturation implausible: bits=%d saturation=%v", s.NoveltyBitsSet, s.NoveltySaturation)
+	}
+	if s.CorpusSize <= 0 {
+		t.Errorf("corpusSize = %d, want > 0 after a feedback run", s.CorpusSize)
+	}
+	if s.ExecsSinceNoveltyMin != exp.Engine.ExecsSinceNovelty() {
+		t.Errorf("execsSinceNoveltyMin = %d, want %d", s.ExecsSinceNoveltyMin, exp.Engine.ExecsSinceNovelty())
+	}
+	// The engine runs thousands of ticks past energyPublishEvery, so the
+	// amortised energy snapshot must have been published.
+	if s.Energy.Sum == 0 || s.Energy.Max == 0 {
+		t.Errorf("energy quantiles empty: %+v", s.Energy)
+	}
+	if s.Energy.P25 > s.Energy.P50 || s.Energy.P50 > s.Energy.P90 || s.Energy.P90 > s.Energy.Max {
+		t.Errorf("energy quantiles not monotonic: %+v", s.Energy)
+	}
+}
+
+func TestIntrospectionAggregatesEngines(t *testing.T) {
+	intr := guided.NewIntrospection()
+	var want uint64
+	for seed := int64(1); seed <= 3; seed++ {
+		exp, err := testbench.NewGuidedUnlockExperiment(testbench.Config{Check: bcm.CheckByteOnly},
+			core.Config{Seed: seed, TargetIDs: []can.ID{signal.IDBodyCommand}},
+			guided.WithIntrospection(intr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp.Run(30 * time.Minute)
+		want += exp.Engine.Mutations() + exp.Engine.Explorations()
+	}
+	s := intr.Snapshot()
+	if s.Engines != 3 {
+		t.Fatalf("engines = %d, want 3", s.Engines)
+	}
+	if s.Execs != want {
+		t.Errorf("aggregated execs = %d, want the per-engine sum %d", s.Execs, want)
+	}
+}

@@ -1,0 +1,195 @@
+// Package observatory is the campaign-scale observability layer on top of
+// the fleet orchestrator and the guided engine: a streaming JSONL event
+// log, a live HTTP campaign API (/campaign.json, /events, /fuzz.json) and
+// optional pprof wiring — the running fleet stops being a black box
+// between "start" and "final report".
+//
+// The paper's quantitative result (Table V) is a distribution over
+// thousands of trials; watching it converge live requires exactly what a
+// distributed campaign service requires: machine-readable per-trial
+// evidence streaming out of the orchestrator while it runs. The event log
+// is therefore designed as a wire format first — every line is
+// deterministic in content (stable field order, virtual-time stamps,
+// (trial, seq) sequencing metadata) so the *sorted* log is byte-identical
+// at any worker count, and a coordinator can replay, dedupe or resume a
+// campaign from it. The live API reads atomically published state
+// (fleet.Progress, guided.Introspection) and never stalls a worker.
+package observatory
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/guided"
+	"repro/internal/telemetry"
+)
+
+// Config assembles an Observatory.
+type Config struct {
+	// Sink, when non-nil, receives the campaign event stream.
+	Sink *Sink
+	// CheckpointEvery emits a campaign checkpoint event per this many
+	// completed trials (default 10; only meaningful with a Sink).
+	CheckpointEvery int
+	// Fuzz, when non-nil, is the guided-engine introspection plane served
+	// at /fuzz.json.
+	Fuzz *guided.Introspection
+	// Telemetry, when non-nil, is the metrics plane whose routes
+	// (/metrics, /metrics.json, /trace.json, /healthz) the observatory
+	// handler also serves, refreshed with campaign-level gauges on every
+	// scrape.
+	Telemetry *telemetry.Telemetry
+}
+
+// Observatory implements fleet.Observer: it maintains the live Progress
+// tracker, streams events into the sink, and serves the whole bundle over
+// HTTP via Handler. All callback work is atomic-counter updates plus (when
+// an event log is attached) one marshalled line, so observing a fleet does
+// not serialise it.
+type Observatory struct {
+	progress *fleet.Progress
+	sink     *Sink
+	fuzz     *guided.Introspection
+	tel      *telemetry.Telemetry
+
+	checkpointEvery int64
+	completions     atomic.Int64
+	trialsTotal     atomic.Int64
+
+	// Campaign-level gauges refreshed on scrape (nil without telemetry).
+	gTrialsDone, gTrialsTotal, gFindings, gFrames *telemetry.Gauge
+	gCorpus, gNoveltyBits, gExecsSinceNovelty     *telemetry.Gauge
+}
+
+// New assembles an observatory. Every Config field is optional; the zero
+// Config yields a progress tracker with no event log, no fuzz view and no
+// metrics plane.
+func New(cfg Config) *Observatory {
+	o := &Observatory{
+		progress:        fleet.NewProgress(),
+		sink:            cfg.Sink,
+		fuzz:            cfg.Fuzz,
+		tel:             cfg.Telemetry,
+		checkpointEvery: int64(cfg.CheckpointEvery),
+	}
+	if o.checkpointEvery <= 0 {
+		o.checkpointEvery = 10
+	}
+	if o.tel != nil {
+		reg := o.tel.Registry
+		o.gTrialsDone = reg.Gauge("campaign_trials_done", "Fleet trials finished so far.")
+		o.gTrialsTotal = reg.Gauge("campaign_trials_total", "Fleet trials configured.")
+		o.gFindings = reg.Gauge("campaign_finding_trials", "Trials that ended in a finding.")
+		o.gFrames = reg.Gauge("campaign_frames_sent", "Fuzz frames transmitted across finished trials.")
+		o.gCorpus = reg.Gauge("fuzz_corpus_size", "Corpus entries summed over guided engines.")
+		o.gNoveltyBits = reg.Gauge("fuzz_novelty_bits_set", "Novelty-map bits set, summed over guided engines.")
+		o.gExecsSinceNovelty = reg.Gauge("fuzz_execs_since_novelty", "Smallest per-engine staleness (execs since novelty).")
+	}
+	return o
+}
+
+// Progress returns the live tracker behind /campaign.json.
+func (o *Observatory) Progress() *fleet.Progress { return o.progress }
+
+// Sink returns the event sink (nil when no event log is attached).
+func (o *Observatory) Sink() *Sink { return o.sink }
+
+// Fuzz returns the guided introspection plane (may be nil).
+func (o *Observatory) Fuzz() *guided.Introspection { return o.fuzz }
+
+// CampaignStarted implements fleet.Observer.
+func (o *Observatory) CampaignStarted(cfg fleet.Config, workers int) {
+	o.trialsTotal.Store(int64(cfg.Trials))
+	o.progress.CampaignStarted(cfg, workers)
+}
+
+// TrialStarted implements fleet.Observer.
+func (o *Observatory) TrialStarted(spec fleet.TrialSpec) {
+	o.progress.TrialStarted(spec)
+	o.sink.Emit(Event{Type: EventTrialStart, Trial: spec.Index, Seq: 0, Seed: spec.Seed})
+}
+
+// TrialFinished implements fleet.Observer: update the tracker, then stream
+// the trial's events — finding (if any), trial_end, corpus_merge (if the
+// trial evolved a corpus) — followed by a campaign checkpoint at every
+// CheckpointEvery-th completion. Per-trial event content is a pure
+// function of the trial result; the checkpoint carries only the completed
+// count, which is worker-count independent too.
+func (o *Observatory) TrialFinished(res fleet.TrialResult) {
+	o.progress.TrialFinished(res)
+	if o.sink != nil {
+		seq := 1
+		if res.Status == fleet.StatusFinding {
+			o.sink.Emit(Event{
+				Type: EventFinding, Trial: res.Trial, Seq: seq,
+				VirtualNanos: int64(res.TimeToFinding),
+				Oracle:       res.Oracle, Detail: res.Detail, TriggerID: res.TriggerID,
+			})
+			seq++
+		}
+		o.sink.Emit(Event{
+			Type: EventTrialEnd, Trial: res.Trial, Seq: seq,
+			Status:       res.Status,
+			VirtualNanos: int64(res.VirtualElapsed),
+			Frames:       res.FramesSent,
+			SendErrors:   res.SendErrors,
+			Findings:     res.Findings,
+		})
+		if n := len(res.Corpus); n > 0 {
+			o.sink.Emit(Event{
+				Type: EventCorpusMerge, Trial: res.Trial, Seq: seq + 1,
+				Frames: uint64(n),
+			})
+		}
+	}
+	n := o.completions.Add(1)
+	total := int(o.trialsTotal.Load())
+	if n%o.checkpointEvery == 0 || int(n) == total {
+		o.sink.Emit(Event{
+			Type: EventCheckpoint, Trial: -1, Seq: int(n),
+			Completed: int(n), Total: total,
+		})
+	}
+}
+
+// CampaignDone implements fleet.Observer. With fail-fast skips the final
+// per-count checkpoint never fires, so a closing checkpoint is emitted
+// here instead.
+func (o *Observatory) CampaignDone(rep *fleet.Report) {
+	o.progress.CampaignDone(rep)
+	n := o.completions.Load()
+	total := int(o.trialsTotal.Load())
+	if int(n) != total && n%o.checkpointEvery != 0 {
+		o.sink.Emit(Event{
+			Type: EventCheckpoint, Trial: -1, Seq: int(n),
+			Completed: int(n), Total: total,
+		})
+	}
+}
+
+// syncMetrics refreshes the campaign-level gauges from the live trackers;
+// the HTTP handler calls it before serving any metrics route, so a scrape
+// always sees current values without any per-trial push cost.
+func (o *Observatory) syncMetrics() {
+	if o.tel == nil {
+		return
+	}
+	ps := o.progress.Snapshot()
+	if ps.MaxVirtualNanos > 0 {
+		// Fleet mode: no single world advances the registry clock, so the
+		// deepest trial stands in for campaign virtual progress. Single-run
+		// campaigns advance it themselves; leave their clock alone.
+		o.tel.Advance(time.Duration(ps.MaxVirtualNanos))
+	}
+	o.gTrialsDone.Set(float64(ps.TrialsDone))
+	o.gTrialsTotal.Set(float64(ps.TrialsTotal))
+	o.gFindings.Set(float64(ps.Findings))
+	o.gFrames.Set(float64(ps.FramesSent))
+	if o.fuzz != nil {
+		fs := o.fuzz.Snapshot()
+		o.gCorpus.Set(float64(fs.CorpusSize))
+		o.gNoveltyBits.Set(float64(fs.NoveltyBitsSet))
+		o.gExecsSinceNovelty.Set(float64(fs.ExecsSinceNoveltyMin))
+	}
+}

@@ -1,0 +1,401 @@
+// External test package: the fleet factories here use testbench, which
+// imports internal/guided, which imports fleet — the same cycle the fleet
+// suite avoids.
+package observatory_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bcm"
+	"repro/internal/can"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/guided"
+	"repro/internal/observatory"
+	"repro/internal/signal"
+	"repro/internal/telemetry"
+	"repro/internal/testbench"
+)
+
+// unlockFactory builds the Table V bench world per trial, targeted so each
+// trial unlocks within virtual seconds.
+func unlockFactory(spec fleet.TrialSpec) (*fleet.World, error) {
+	exp, err := testbench.NewUnlockExperiment(testbench.Config{Check: bcm.CheckByteOnly},
+		core.Config{Seed: spec.Seed, TargetIDs: []can.ID{signal.IDBodyCommand}})
+	if err != nil {
+		return nil, err
+	}
+	return &fleet.World{Sched: exp.Bench.Scheduler(), Campaign: exp.Campaign}, nil
+}
+
+// guidedFactory is unlockFactory with the coverage-guided engine, wired to
+// the introspection plane.
+func guidedFactory(intr *guided.Introspection) fleet.TargetFactory {
+	return func(spec fleet.TrialSpec) (*fleet.World, error) {
+		exp, err := testbench.NewGuidedUnlockExperiment(testbench.Config{Check: bcm.CheckByteOnly},
+			core.Config{Seed: spec.Seed, TargetIDs: []can.ID{signal.IDBodyCommand}},
+			guided.WithIntrospection(intr))
+		if err != nil {
+			return nil, err
+		}
+		return &fleet.World{
+			Sched: exp.Bench.Scheduler(), Campaign: exp.Campaign,
+			Corpus: exp.Engine.CorpusFrames,
+		}, nil
+	}
+}
+
+// runObserved runs a small unlock fleet with a file-less sink attached and
+// returns the sink plus the observatory.
+func runObserved(t *testing.T, trials, workers int, buf *bytes.Buffer) (*observatory.Observatory, *fleet.Report) {
+	t.Helper()
+	sink := observatory.NewSink(buf)
+	obs := observatory.New(observatory.Config{Sink: sink, CheckpointEvery: 2})
+	rep, err := fleet.Run(fleet.Config{
+		Trials: trials, Workers: workers, BaseSeed: 11,
+		MaxPerTrial: 30 * time.Minute, Observer: obs,
+	}, unlockFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return obs, rep
+}
+
+func sortedLines(t *testing.T, buf *bytes.Buffer) []string {
+	t.Helper()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	sort.Strings(lines)
+	return lines
+}
+
+func TestEventLogSortedDeterminism(t *testing.T) {
+	// The tentpole acceptance property: the sorted event log is
+	// byte-identical at workers=1 and workers=NumCPU. Emission order is
+	// scheduling-dependent; content is not.
+	var seq, par bytes.Buffer
+	runObserved(t, 8, 1, &seq)
+	runObserved(t, 8, runtime.NumCPU(), &par)
+
+	a, b := sortedLines(t, &seq), sortedLines(t, &par)
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: workers=1 got %d, workers=%d got %d",
+			len(a), runtime.NumCPU(), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sorted event log differs at line %d:\nseq: %s\npar: %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEventLogSchema(t *testing.T) {
+	var buf bytes.Buffer
+	const trials = 8
+	runObserved(t, trials, 2, &buf)
+
+	starts, ends, findings, checkpoints := 0, 0, 0, 0
+	var lastCheckpoint struct{ Completed, Total int }
+	for _, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line is not valid JSON: %s: %v", line, err)
+		}
+		typ, _ := ev["type"].(string)
+		for _, key := range []string{"type", "trial", "seq"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event lacks %q: %s", key, line)
+			}
+		}
+		switch typ {
+		case observatory.EventTrialStart:
+			starts++
+			if _, ok := ev["seed"]; !ok {
+				t.Fatalf("trial_start lacks seed: %s", line)
+			}
+		case observatory.EventTrialEnd:
+			ends++
+			for _, key := range []string{"status", "vtimeNanos", "frames", "sendErrors", "findings"} {
+				if _, ok := ev[key]; !ok {
+					t.Fatalf("trial_end lacks %q: %s", key, line)
+				}
+			}
+		case observatory.EventFinding:
+			findings++
+			for _, key := range []string{"vtimeNanos", "oracle", "detail", "triggerId"} {
+				if _, ok := ev[key]; !ok {
+					t.Fatalf("finding lacks %q: %s", key, line)
+				}
+			}
+		case observatory.EventCorpusMerge:
+			if _, ok := ev["frames"]; !ok {
+				t.Fatalf("corpus_merge lacks frames: %s", line)
+			}
+		case observatory.EventCheckpoint:
+			checkpoints++
+			lastCheckpoint.Completed = int(ev["completed"].(float64))
+			lastCheckpoint.Total = int(ev["total"].(float64))
+			if ev["trial"].(float64) != -1 {
+				t.Fatalf("checkpoint trial should be -1: %s", line)
+			}
+		default:
+			t.Fatalf("unknown event type %q: %s", typ, line)
+		}
+	}
+	if starts != trials || ends != trials {
+		t.Errorf("got %d trial_start / %d trial_end events, want %d each", starts, ends, trials)
+	}
+	if findings == 0 {
+		t.Error("targeted unlock fleet produced no finding events")
+	}
+	if checkpoints != trials/2 {
+		t.Errorf("got %d checkpoints with CheckpointEvery=2 over %d trials, want %d",
+			checkpoints, trials, trials/2)
+	}
+	if lastCheckpoint.Completed != trials || lastCheckpoint.Total != trials {
+		t.Errorf("final checkpoint %+v, want completed=total=%d", lastCheckpoint, trials)
+	}
+}
+
+func TestProgressSnapshotAfterRun(t *testing.T) {
+	var buf bytes.Buffer
+	obs, rep := runObserved(t, 6, 2, &buf)
+	ps := obs.Progress().Snapshot()
+	if !ps.Done {
+		t.Error("progress not marked done after CampaignDone")
+	}
+	if ps.TrialsDone != 6 || ps.TrialsTotal != 6 {
+		t.Errorf("trialsDone/trialsTotal = %d/%d, want 6/6", ps.TrialsDone, ps.TrialsTotal)
+	}
+	if ps.Findings != rep.FoundFindings {
+		t.Errorf("progress findings %d != report %d", ps.Findings, rep.FoundFindings)
+	}
+	if ps.FramesSent != rep.FramesSent {
+		t.Errorf("progress framesSent %d != report %d", ps.FramesSent, rep.FramesSent)
+	}
+	if ps.VirtualNanosTotal != int64(rep.VirtualTimeTotal) {
+		t.Errorf("progress virtual total %d != report %d", ps.VirtualNanosTotal, rep.VirtualTimeTotal)
+	}
+	if rep.FoundFindings > 0 {
+		if ps.TimeToFindingCount == 0 || len(ps.TimeToFindingHistogram) == 0 {
+			t.Error("time-to-finding histogram empty despite findings")
+		}
+		var total uint64
+		for _, b := range ps.TimeToFindingHistogram {
+			total += b.Count
+		}
+		if total != ps.TimeToFindingCount {
+			t.Errorf("histogram counts sum to %d, want %d", total, ps.TimeToFindingCount)
+		}
+	}
+	if ps.BuildWallSeconds <= 0 || ps.RunWallSeconds <= 0 {
+		t.Errorf("phase wall breakdown not populated: build=%v run=%v",
+			ps.BuildWallSeconds, ps.RunWallSeconds)
+	}
+	if rep.BuildWall <= 0 || rep.RunWall <= 0 {
+		t.Errorf("report phase walls not populated: build=%v run=%v", rep.BuildWall, rep.RunWall)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	tel := telemetry.New(0)
+	intr := guided.NewIntrospection()
+	sink := observatory.NewSink(nil)
+	obs := observatory.New(observatory.Config{Sink: sink, Fuzz: intr, Telemetry: tel})
+	rep, err := fleet.Run(fleet.Config{
+		Trials: 4, Workers: 2, BaseSeed: 3,
+		MaxPerTrial: 30 * time.Minute, Observer: obs,
+	}, guidedFactory(intr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(obs.Handler(observatory.HandlerConfig{}))
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body bytes.Buffer
+		if _, err := body.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp, body.Bytes()
+	}
+
+	resp, body := get("/campaign.json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/campaign.json: status %d", resp.StatusCode)
+	}
+	var ps fleet.ProgressSnapshot
+	if err := json.Unmarshal(body, &ps); err != nil {
+		t.Fatalf("/campaign.json is not a ProgressSnapshot: %v\n%s", err, body)
+	}
+	if ps.TrialsDone != 4 || !ps.Done {
+		t.Errorf("/campaign.json trialsDone=%d done=%v, want 4/true", ps.TrialsDone, ps.Done)
+	}
+
+	resp, body = get("/fuzz.json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/fuzz.json: status %d", resp.StatusCode)
+	}
+	var fs guided.FuzzSnapshot
+	if err := json.Unmarshal(body, &fs); err != nil {
+		t.Fatalf("/fuzz.json is not a FuzzSnapshot: %v\n%s", err, body)
+	}
+	if fs.Engines != 4 {
+		t.Errorf("/fuzz.json engines=%d, want 4 (one per trial)", fs.Engines)
+	}
+	if fs.Execs == 0 || fs.NoveltyBitsSet == 0 {
+		t.Errorf("/fuzz.json shows no activity: %+v", fs)
+	}
+	if fs.CorpusSize == 0 {
+		t.Errorf("/fuzz.json corpusSize=0 after guided unlock runs")
+	}
+
+	resp, body = get("/events?since=0")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/events: status %d", resp.StatusCode)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(body), "\n"), "\n")
+	if uint64(len(lines)) != sink.Count() {
+		t.Errorf("/events returned %d lines, sink holds %d", len(lines), sink.Count())
+	}
+	if next := resp.Header.Get("X-Events-Next"); next == "" || next == "0" {
+		t.Errorf("X-Events-Next = %q, want the stream length", next)
+	}
+
+	// Tail from the end: no lines, cursor unchanged.
+	resp, body = get("/events?since=" + resp.Header.Get("X-Events-Next"))
+	if len(bytes.TrimSpace(body)) != 0 {
+		t.Errorf("tailing past the end returned lines: %s", body)
+	}
+
+	resp, body = get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	for _, metric := range []string{"campaign_trials_done", "campaign_trials_total", "fuzz_corpus_size"} {
+		if !strings.Contains(string(body), metric) {
+			t.Errorf("/metrics lacks %s", metric)
+		}
+	}
+
+	if resp, _ = get("/debug/pprof/cmdline"); resp.StatusCode == http.StatusOK {
+		t.Error("pprof served without HandlerConfig.Pprof")
+	}
+	_ = rep
+}
+
+func TestHTTPPprofEnabled(t *testing.T) {
+	obs := observatory.New(observatory.Config{})
+	srv := httptest.NewServer(obs.Handler(observatory.HandlerConfig{Pprof: true}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline with Pprof on: status %d", resp.StatusCode)
+	}
+}
+
+func TestEventsLongPoll(t *testing.T) {
+	sink := observatory.NewSink(nil)
+	obs := observatory.New(observatory.Config{Sink: sink})
+	srv := httptest.NewServer(obs.Handler(observatory.HandlerConfig{}))
+	defer srv.Close()
+
+	done := make(chan string, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/events?since=0&waitMs=5000")
+		if err != nil {
+			done <- "error: " + err.Error()
+			return
+		}
+		var body bytes.Buffer
+		_, _ = body.ReadFrom(resp.Body)
+		resp.Body.Close()
+		done <- body.String()
+	}()
+
+	// Give the poller a moment to register its waiter, then emit.
+	time.Sleep(50 * time.Millisecond)
+	sink.Emit(observatory.Event{Type: observatory.EventCheckpoint, Trial: -1, Seq: 1, Completed: 1, Total: 2})
+
+	select {
+	case body := <-done:
+		if !strings.Contains(body, `"type":"checkpoint"`) {
+			t.Errorf("long-poll body = %q, want the checkpoint event", body)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("long-poll never returned after an emit")
+	}
+}
+
+func TestSinkRingAndCursors(t *testing.T) {
+	var nilSink *observatory.Sink
+	nilSink.Emit(observatory.Event{Type: observatory.EventCheckpoint})
+	if nilSink.Count() != 0 || nilSink.Err() != nil {
+		t.Error("nil sink is not a silent no-op")
+	}
+	lines, next, from := nilSink.Since(0, 10)
+	if lines != nil || next != 0 || from != 0 {
+		t.Error("nil sink Since not empty")
+	}
+
+	sink := observatory.NewSink(nil)
+	for i := 0; i < 10; i++ {
+		sink.Emit(observatory.Event{Type: observatory.EventCheckpoint, Trial: -1, Seq: i, Completed: i, Total: 10})
+	}
+	lines, next, from = sink.Since(4, 3)
+	if len(lines) != 3 || from != 4 || next != 7 {
+		t.Errorf("Since(4,3) = %d lines, from %d, next %d; want 3, 4, 7", len(lines), from, next)
+	}
+	if !strings.Contains(string(lines[0]), `"completed":4`) {
+		t.Errorf("Since(4,3) first line = %s, want completed 4", lines[0])
+	}
+	// A cursor past the end clamps.
+	lines, next, _ = sink.Since(99, 10)
+	if len(lines) != 0 || next != 10 {
+		t.Errorf("Since past end = %d lines, next %d; want 0, 10", len(lines), next)
+	}
+	// Changed is pre-closed when the cursor is already behind.
+	select {
+	case <-sink.Changed(0):
+	default:
+		t.Error("Changed(0) not ready with 10 lines emitted")
+	}
+}
+
+func TestObservatoryNilSinkFleet(t *testing.T) {
+	// An observatory with no sink is still a valid observer (progress
+	// only) — the -metrics-without--events path.
+	obs := observatory.New(observatory.Config{})
+	if _, err := fleet.Run(fleet.Config{
+		Trials: 2, Workers: 2, BaseSeed: 5,
+		MaxPerTrial: 30 * time.Minute, Observer: obs,
+	}, unlockFactory); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Progress().Snapshot().TrialsDone; got != 2 {
+		t.Errorf("trialsDone = %d, want 2", got)
+	}
+	if obs.Sink() != nil {
+		t.Error("Sink() should be nil when none was configured")
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -41,13 +42,48 @@ func Handler(t *Telemetry) http.Handler {
 
 // Serve starts the introspection endpoint on addr (e.g. "localhost:9900";
 // a ":0" port picks a free one). It returns the server and its bound
-// address; the caller shuts it down with server.Close.
+// address; the caller shuts it down with Shutdown (graceful) or
+// server.Close (abrupt).
 func Serve(addr string, t *Telemetry) (*http.Server, string, error) {
+	return ServeHandler(addr, Handler(t))
+}
+
+// ServeHandler is Serve for an arbitrary handler — the observatory mounts
+// its extended mux through it.
+func ServeHandler(addr string, h http.Handler) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(t)}
+	srv := &http.Server{Handler: h}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr().String(), nil
+}
+
+// Shutdown drains the server gracefully: in-flight scrapes get up to grace
+// to finish, then the server is closed hard. Safe on a nil server.
+func Shutdown(srv *http.Server, grace time.Duration) {
+	if srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		_ = srv.Close()
+	}
+}
+
+// Hold blocks for d or until ctx is cancelled — the -metrics-hold wait,
+// interruptible by SIGINT when the caller wires signal.NotifyContext.
+// d <= 0 returns immediately.
+func Hold(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }

@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"flag"
+	"fmt"
 	"io"
 	"log/slog"
 )
@@ -15,7 +17,11 @@ import (
 // w, tagged with the tool name. The wall-clock time attribute is removed:
 // runs are deterministic in virtual time and log output should be too.
 func NewCLILogger(w io.Writer, tool string, level slog.Level) *slog.Logger {
-	h := slog.NewTextHandler(w, &slog.HandlerOptions{
+	return newLogger(w, tool, level, false)
+}
+
+func newLogger(w io.Writer, tool string, level slog.Level, jsonFormat bool) *slog.Logger {
+	opts := &slog.HandlerOptions{
 		Level: level,
 		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
 			if a.Key == slog.TimeKey && len(groups) == 0 {
@@ -23,6 +29,54 @@ func NewCLILogger(w io.Writer, tool string, level slog.Level) *slog.Logger {
 			}
 			return a
 		},
-	})
+	}
+	var h slog.Handler
+	if jsonFormat {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
 	return slog.New(h).With("tool", tool)
+}
+
+// LogFlags is the shared -log-level / -log-format flag pair every cmd/
+// tool registers, so log control is spelled identically across the
+// toolbox.
+type LogFlags struct {
+	Level  string
+	Format string
+}
+
+// RegisterLogFlags adds -log-level and -log-format to fs and returns the
+// destination struct; call Logger after fs.Parse.
+func RegisterLogFlags(fs *flag.FlagSet) *LogFlags {
+	lf := &LogFlags{}
+	fs.StringVar(&lf.Level, "log-level", "info", "log level: debug, info, warn, error")
+	fs.StringVar(&lf.Format, "log-format", "text", "log format: text or json")
+	return lf
+}
+
+// Logger builds the tool logger from the parsed flags. Unknown level or
+// format values are an error so typos fail fast instead of logging at a
+// surprise level.
+func (lf *LogFlags) Logger(w io.Writer, tool string) (*slog.Logger, error) {
+	var level slog.Level
+	switch lf.Level {
+	case "debug":
+		level = slog.LevelDebug
+	case "info":
+		level = slog.LevelInfo
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", lf.Level)
+	}
+	switch lf.Format {
+	case "text", "json":
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", lf.Format)
+	}
+	return newLogger(w, tool, level, lf.Format == "json"), nil
 }
