@@ -1,0 +1,286 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/bcm"
+	"repro/internal/campaignd"
+	"repro/internal/can"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/observatory"
+	"repro/internal/retry"
+	"repro/internal/telemetry"
+)
+
+// Distributed campaign mode: `canfuzz -coordinator :9990 -events j.jsonl
+// -trials N ...` runs the lease-based coordinator, and any number of
+// `canfuzz -worker http://host:9990` processes execute its trials. The
+// coordinator's event log doubles as its crash journal: restarting it with
+// -resume picks the campaign up where the log ends. DESIGN §12 has the
+// full protocol.
+
+// parseCheckMode maps the -bcm-check flag (and the spec's BCMCheck field)
+// onto the bench parser mode.
+func parseCheckMode(s string) (bcm.CheckMode, error) {
+	switch s {
+	case "", "byte":
+		return bcm.CheckByteOnly, nil
+	case "length":
+		return bcm.CheckByteAndLength, nil
+	case "twobytes":
+		return bcm.CheckTwoBytes, nil
+	default:
+		return 0, fmt.Errorf("unknown bcm-check %q", s)
+	}
+}
+
+// rejectWorkerFlags refuses flag combinations that contradict worker mode:
+// the campaign definition comes from the coordinator, so every local
+// campaign flag is a footgun that would silently be ignored.
+func rejectWorkerFlags(fs *flag.FlagSet) error {
+	allowed := map[string]bool{
+		"worker": true, "worker-name": true,
+		"log-level": true, "log-format": true,
+	}
+	var bad []string
+	fs.Visit(func(f *flag.Flag) {
+		if !allowed[f.Name] {
+			bad = append(bad, "-"+f.Name)
+		}
+	})
+	if len(bad) > 0 {
+		return fmt.Errorf("worker mode takes its campaign from the coordinator; drop %s",
+			strings.Join(bad, ", "))
+	}
+	return nil
+}
+
+// specWorld maps a fetched campaign spec onto the CLI's world-construction
+// inputs: the targetSpec newWorld consumes plus the base generator config
+// (per-trial seeds are substituted by the factory).
+func specWorld(spec campaignd.CampaignSpec) (targetSpec, core.Config, error) {
+	checkMode, err := parseCheckMode(spec.BCMCheck)
+	if err != nil {
+		return targetSpec{}, core.Config{}, err
+	}
+	cfg, err := spec.Config.ToConfig()
+	if err != nil {
+		return targetSpec{}, core.Config{}, fmt.Errorf("spec config: %w", err)
+	}
+	var guidedSeed []can.Frame
+	for _, line := range spec.GuidedSeed {
+		f, err := core.ParseCorpusFrame(line)
+		if err != nil {
+			return targetSpec{}, core.Config{}, fmt.Errorf("spec guided seed %q: %w", line, err)
+		}
+		guidedSeed = append(guidedSeed, f)
+	}
+	busName := spec.Bus
+	if busName == "" {
+		busName = "body"
+	}
+	ts := targetSpec{
+		target:     spec.Target,
+		busName:    busName,
+		check:      checkMode,
+		stop:       spec.StopOnFinding,
+		recovery:   spec.Recovery,
+		guidedSeed: guidedSeed,
+	}
+	return ts, cfg, nil
+}
+
+// runWorker is `canfuzz -worker URL`: fetch the spec, then lease, execute
+// and submit trials until the coordinator says done. Every trial runs
+// through fleet.RunTrial on a world built by the same newWorld the
+// in-process fleet uses, so results are byte-identical to local execution.
+func runWorker(coordURL, name string) error {
+	ctx, cancelSig := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancelSig()
+	if name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	client := &campaignd.Client{Base: coordURL}
+
+	// The coordinator may still be starting (or resuming): fetch the spec
+	// with the same patience the worker loop applies to every other call.
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	var spec campaignd.CampaignSpec
+	err := retry.Do(ctx, campaignd.DefaultTransportRetry, campaignd.DefaultTransportAttempts, rng,
+		func() error {
+			s, serr := client.Spec()
+			if serr == nil {
+				spec = s
+			}
+			return serr
+		})
+	if err != nil {
+		return fmt.Errorf("worker %s: fetch spec from %s: %w", name, coordURL, err)
+	}
+	ts, cfg, err := specWorld(spec)
+	if err != nil {
+		return err
+	}
+	logger.Info("worker joined campaign", "name", name, "coordinator", coordURL,
+		"target", spec.Target, "trials", spec.Trials, "base_seed", spec.BaseSeed)
+
+	w := &campaignd.Worker{
+		Client:  client,
+		Name:    name,
+		Factory: func(tsp fleet.TrialSpec) (*fleet.World, error) {
+			tcfg := cfg
+			tcfg.Seed = tsp.Seed
+			world, _, werr := newWorld(ts, tcfg, nil, nil, nil)
+			return world, werr
+		},
+		FleetCfg: spec.FleetConfig(),
+		Logger:   logger,
+	}
+	return w.Run(ctx)
+}
+
+// coordinatorOpts carries the coordinator-mode flags.
+type coordinatorOpts struct {
+	addr       string
+	leaseTTL   time.Duration
+	resume     bool
+	eventsFile string
+	corpusOut  string
+	jsonOut    bool
+	pprof      bool
+}
+
+// runCoordinator is `canfuzz -coordinator ADDR`: serve the campaign API
+// plus the full observatory on one address, journal every accepted result
+// to the -events file, and print the final report — byte-identical to what
+// `fleet.Run` would have produced in-process, at any worker topology.
+func runCoordinator(ctx context.Context, wireSpec campaignd.CampaignSpec, o coordinatorOpts) error {
+	var resumed map[int]fleet.TrialResult
+	var journal *os.File
+	if o.resume {
+		data, err := os.ReadFile(o.eventsFile)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		j, err := campaignd.LoadJournal(bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("resume %s: %w", o.eventsFile, err)
+		}
+		if err := j.Compatible(wireSpec); err != nil {
+			return fmt.Errorf("resume %s: %w", o.eventsFile, err)
+		}
+		resumed = j.Results
+		// Drop a torn tail line (a crash mid-append) before appending new
+		// events after it.
+		keep := 0
+		if idx := bytes.LastIndexByte(data, '\n'); idx >= 0 {
+			keep = idx + 1
+		}
+		journal, err = os.OpenFile(o.eventsFile, os.O_RDWR, 0o644)
+		if err != nil {
+			return err
+		}
+		if keep < len(data) {
+			logger.Warn("journal has a torn tail line; truncating",
+				"file", o.eventsFile, "dropped_bytes", len(data)-keep)
+			if err := journal.Truncate(int64(keep)); err != nil {
+				journal.Close()
+				return fmt.Errorf("resume %s: truncate torn tail: %w", o.eventsFile, err)
+			}
+		}
+		if _, err := journal.Seek(0, io.SeekEnd); err != nil {
+			journal.Close()
+			return err
+		}
+		logger.Info("resuming campaign from journal", "file", o.eventsFile,
+			"completed", len(resumed), "remaining", wireSpec.Trials-len(resumed))
+	} else {
+		f, err := os.Create(o.eventsFile)
+		if err != nil {
+			return err
+		}
+		journal = f
+	}
+
+	sink := observatory.NewSink(journal)
+	obs := observatory.New(observatory.Config{Sink: sink, Telemetry: telemetry.New(0)})
+	coord, err := campaignd.New(campaignd.Config{
+		Spec:     wireSpec,
+		LeaseTTL: o.leaseTTL,
+		Sink:     sink,
+		Progress: obs.Progress(),
+		Logger:   logger,
+		Resumed:  resumed,
+		Seed:     wireSpec.BaseSeed,
+	})
+	if err != nil {
+		journal.Close()
+		return err
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/campaignd/", coord.Handler())
+	mux.Handle("/", obs.Handler(observatory.HandlerConfig{Pprof: o.pprof}))
+	srv, bound, err := telemetry.ServeHandler(o.addr, mux, func() { _ = sink.Close() })
+	if err != nil {
+		journal.Close()
+		return fmt.Errorf("coordinator endpoint: %w", err)
+	}
+	logger.Info("coordinator up", "addr", bound, "trials", wireSpec.Trials,
+		"lease_ttl", o.leaseTTL, "journal", o.eventsFile,
+		"routes", "/campaignd/{spec,lease,heartbeat,result,status} /campaign.json /events /metrics")
+
+	rep, werr := coord.Wait(ctx)
+	// Stay answerable until every polling worker has heard "done" (bounded
+	// by the lease TTL — a crashed worker never comes back to ask).
+	coord.Drain(ctx, o.leaseTTL)
+	telemetry.Shutdown(srv, time.Second)
+	if werr != nil {
+		journal.Close()
+		return fmt.Errorf("coordinator interrupted: %w", werr)
+	}
+
+	// Satellite of the journal design: a silently broken event log must
+	// fail the run loudly — a journal that lost writes cannot be resumed
+	// from, which the operator needs to know *now*, not at the next crash.
+	if serr := sink.Err(); serr != nil {
+		journal.Close()
+		return fmt.Errorf("event log %s: %w", o.eventsFile, serr)
+	}
+	if err := journal.Sync(); err != nil {
+		journal.Close()
+		return fmt.Errorf("event log %s: %w", o.eventsFile, err)
+	}
+	if err := journal.Close(); err != nil {
+		return fmt.Errorf("event log %s: close: %w", o.eventsFile, err)
+	}
+	st := coord.Snapshot()
+	logger.Info("campaign complete", "trials", st.Trials, "resumed", st.Resumed,
+		"lease_expiries", st.Expiries, "duplicate_results", st.Duplicates,
+		"events", sink.Count())
+	if o.corpusOut != "" && len(rep.MergedCorpus) > 0 {
+		if err := writeCorpusFile(o.corpusOut, rep.MergedCorpus); err != nil {
+			return err
+		}
+	}
+	if o.jsonOut {
+		return rep.WriteJSON(os.Stdout)
+	}
+	printFleetReport(rep)
+	return nil
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/bcm"
+	"repro/internal/campaignd"
 	"repro/internal/can"
 	"repro/internal/capture"
 	"repro/internal/clock"
@@ -89,6 +90,12 @@ func run(args []string) error {
 	minimizeOut := fs.String("minimize-out", "", "write the minimized reproducer as a canreplay-compatible capture log (implies -minimize)")
 	eventsFile := fs.String("events", "", "fleet mode: stream the campaign event log (JSONL) to this file")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof on the -metrics endpoint")
+	trialTimeout := fs.Duration("trial-timeout", 0, "fleet mode: wall-clock budget per trial (0 = none); a hung trial is cancelled and counted stalled")
+	coordAddr := fs.String("coordinator", "", "serve a distributed campaign coordinator on this address (requires -events and -trials > 1)")
+	resume := fs.Bool("resume", false, "coordinator mode: resume a crashed campaign from the -events journal")
+	leaseTTL := fs.Duration("lease-ttl", campaignd.DefaultLeaseTTL, "coordinator mode: worker lease deadline before a trial is re-dispatched")
+	workerURL := fs.String("worker", "", "run as a campaign worker for the coordinator at this URL (e.g. http://host:9990)")
+	workerName := fs.String("worker-name", "", "worker mode: name reported to the coordinator (default hostname-pid)")
 	logFlags := telemetry.RegisterLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +107,18 @@ func run(args []string) error {
 	logger = l
 	if *minimizeOut != "" {
 		*minimize = true
+	}
+
+	// Worker mode is a different program: the campaign definition comes
+	// from the coordinator, so any local campaign flag is rejected.
+	if *workerURL != "" {
+		if *coordAddr != "" {
+			return fmt.Errorf("-worker and -coordinator are mutually exclusive")
+		}
+		if err := rejectWorkerFlags(fs); err != nil {
+			return err
+		}
+		return runWorker(*workerURL, *workerName)
 	}
 
 	// Flag validation: loud errors instead of silent misbehaviour.
@@ -127,7 +146,25 @@ func run(args []string) error {
 	if *eventsFile != "" && *trials <= 1 {
 		return fmt.Errorf("-events requires fleet mode (-trials > 1): the event log streams per-trial records")
 	}
-	if *pprofFlag && *metricsAddr == "" {
+	if *trialTimeout < 0 {
+		return fmt.Errorf("-trial-timeout must be >= 0, got %v", *trialTimeout)
+	}
+	if *resume && *coordAddr == "" {
+		return fmt.Errorf("-resume requires -coordinator: it reloads the coordinator's -events journal")
+	}
+	if *coordAddr != "" {
+		switch {
+		case *trials <= 1:
+			return fmt.Errorf("-coordinator requires fleet mode (-trials > 1)")
+		case *eventsFile == "":
+			return fmt.Errorf("-coordinator requires -events: the event log is the campaign's durable journal")
+		case *failFast:
+			return fmt.Errorf("-fail-fast is not supported with -coordinator: early stop would make the report depend on worker timing")
+		case *metricsAddr != "":
+			return fmt.Errorf("-metrics is redundant with -coordinator: the coordinator address serves the observatory routes too")
+		}
+	}
+	if *pprofFlag && *metricsAddr == "" && *coordAddr == "" {
 		return fmt.Errorf("-pprof requires -metrics: profiles are served on the metrics endpoint")
 	}
 	if *minimize && *chaosSpec != "" {
@@ -252,15 +289,9 @@ func run(args []string) error {
 		}
 	}
 
-	checkMode := bcm.CheckByteOnly
-	switch *check {
-	case "byte":
-	case "length":
-		checkMode = bcm.CheckByteAndLength
-	case "twobytes":
-		checkMode = bcm.CheckTwoBytes
-	default:
-		return fmt.Errorf("unknown bcm-check %q", *check)
+	checkMode, err := parseCheckMode(*check)
+	if err != nil {
+		return err
 	}
 	spec := targetSpec{
 		target:     *target,
@@ -282,19 +313,50 @@ func run(args []string) error {
 		plan = &p
 	}
 
+	if *coordAddr != "" {
+		// The wire spec is the complete campaign definition: workers rebuild
+		// identical worlds from it, and the journal embeds it so -resume can
+		// prove it is continuing the same campaign.
+		wireSpec := campaignd.CampaignSpec{
+			Target:            spec.target,
+			Bus:               spec.busName,
+			BCMCheck:          *check,
+			StopOnFinding:     spec.stop,
+			Recovery:          spec.recovery,
+			Trials:            *trials,
+			BaseSeed:          cfg.Seed,
+			MaxPerTrialNanos:  int64(*dur),
+			TrialTimeoutNanos: int64(*trialTimeout),
+			Config:            cfg.ToJSON(),
+		}
+		for _, f := range spec.guidedSeed {
+			wireSpec.GuidedSeed = append(wireSpec.GuidedSeed, core.FormatCorpusFrame(f))
+		}
+		return runCoordinator(ctx, wireSpec, coordinatorOpts{
+			addr:       *coordAddr,
+			leaseTTL:   *leaseTTL,
+			resume:     *resume,
+			eventsFile: *eventsFile,
+			corpusOut:  *corpusOut,
+			jsonOut:    *jsonOut,
+			pprof:      *pprofFlag,
+		})
+	}
+
 	if *trials > 1 {
 		return runFleet(ctx, spec, cfg, fleetRunOpts{
-			trials:      *trials,
-			workers:     *workers,
-			maxPerTrial: *dur,
-			failFast:    *failFast,
-			jsonOut:     *jsonOut,
-			corpusOut:   *corpusOut,
-			eventsFile:  *eventsFile,
-			metricsAddr: *metricsAddr,
-			metricsHold: *metricsHold,
-			pprof:       *pprofFlag,
-			tel:         tel,
+			trials:       *trials,
+			workers:      *workers,
+			maxPerTrial:  *dur,
+			trialTimeout: *trialTimeout,
+			failFast:     *failFast,
+			jsonOut:      *jsonOut,
+			corpusOut:    *corpusOut,
+			eventsFile:   *eventsFile,
+			metricsAddr:  *metricsAddr,
+			metricsHold:  *metricsHold,
+			pprof:        *pprofFlag,
+			tel:          tel,
 		})
 	}
 
@@ -622,6 +684,7 @@ func newWorld(spec targetSpec, cfg core.Config, tel *telemetry.Telemetry, plan *
 type fleetRunOpts struct {
 	trials, workers int
 	maxPerTrial     time.Duration
+	trialTimeout    time.Duration
 	failFast        bool
 	jsonOut         bool
 	corpusOut       string
@@ -652,7 +715,14 @@ func runFleet(ctx context.Context, spec targetSpec, cfg core.Config, o fleetRunO
 			return err
 		}
 		eventsOut = f
-		defer f.Close()
+		defer func() {
+			// The success path closes (and nils) eventsOut explicitly so a
+			// write error surfaces as a non-zero exit; this only covers the
+			// early-error returns above it.
+			if eventsOut != nil {
+				eventsOut.Close()
+			}
+		}()
 		sink = observatory.NewSink(f)
 	} else if o.metricsAddr != "" {
 		sink = observatory.NewSink(nil)
@@ -672,14 +742,15 @@ func runFleet(ctx context.Context, spec targetSpec, cfg core.Config, o fleetRunO
 	logger.Info("fleet fuzzing", "target", spec.target, "trials", o.trials,
 		"workers", o.workers, "base_seed", cfg.Seed, "max_per_trial", o.maxPerTrial)
 	rep, err := fleet.Run(fleet.Config{
-		Trials:      o.trials,
-		Workers:     o.workers,
-		BaseSeed:    cfg.Seed,
-		MaxPerTrial: o.maxPerTrial,
-		FailFast:    o.failFast,
-		Logger:      logger,
-		LogEvery:    logEvery,
-		Observer:    obs,
+		Trials:       o.trials,
+		Workers:      o.workers,
+		BaseSeed:     cfg.Seed,
+		MaxPerTrial:  o.maxPerTrial,
+		TrialTimeout: o.trialTimeout,
+		FailFast:     o.failFast,
+		Logger:       logger,
+		LogEvery:     logEvery,
+		Observer:     obs,
 	}, func(ts fleet.TrialSpec) (*fleet.World, error) {
 		tcfg := cfg
 		tcfg.Seed = ts.Seed
@@ -689,12 +760,19 @@ func runFleet(ctx context.Context, spec targetSpec, cfg core.Config, o fleetRunO
 	if err != nil {
 		return err
 	}
+	// An event log that silently lost writes is worse than no log: surface
+	// any sink error, sync-to-disk error or close error as a failed run.
 	if serr := sink.Err(); serr != nil {
 		return fmt.Errorf("event log %s: %w", o.eventsFile, serr)
 	}
 	if eventsOut != nil {
 		if err := eventsOut.Sync(); err != nil {
 			return fmt.Errorf("event log %s: %w", o.eventsFile, err)
+		}
+		f := eventsOut
+		eventsOut = nil // the deferred close must not double-close
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("event log %s: close: %w", o.eventsFile, err)
 		}
 		logger.Info("event log written", "file", o.eventsFile, "events", sink.Count())
 	}
@@ -713,10 +791,19 @@ func runFleet(ctx context.Context, spec targetSpec, cfg core.Config, o fleetRunO
 	if o.jsonOut {
 		return rep.WriteJSON(os.Stdout)
 	}
-	fmt.Printf("fleet: %d trials (%d findings, %d timeouts, %d panics, %d skipped) over %v total virtual time\n",
-		rep.Trials, rep.FoundFindings, rep.TimedOut, rep.Panics, rep.Skipped, rep.VirtualTimeTotal)
 	fmt.Printf("phase wall time: build %v, run %v\n",
 		rep.BuildWall.Round(time.Millisecond), rep.RunWall.Round(time.Millisecond))
+	printFleetReport(rep)
+	return nil
+}
+
+// printFleetReport prints the human-readable campaign summary shared by the
+// in-process fleet and the distributed coordinator. It sticks to the
+// deterministic report fields, so both paths describe the same campaign the
+// same way.
+func printFleetReport(rep *fleet.Report) {
+	fmt.Printf("fleet: %d trials (%d findings, %d timeouts, %d stalled, %d panics, %d skipped) over %v total virtual time\n",
+		rep.Trials, rep.FoundFindings, rep.TimedOut, rep.Stalled, rep.Panics, rep.Skipped, rep.VirtualTimeTotal)
 	fmt.Printf("sent %d frames (%d rejected) across the fleet\n", rep.FramesSent, rep.SendErrors)
 	if ttf := rep.TimeToFinding; ttf != nil {
 		fmt.Printf("time to finding: mean %v, median %v, p95 %v, min %v, max %v (%d samples)\n",
@@ -732,7 +819,6 @@ func runFleet(ctx context.Context, spec targetSpec, cfg core.Config, o fleetRunO
 	if rep.FoundFindings == 0 {
 		fmt.Println("no findings (remember: not triggering anything does not mean no flaws exist)")
 	}
-	return nil
 }
 
 // armChaos wires the fault injector and the recovery policy into one

@@ -1,0 +1,481 @@
+// External test package, like the fleet suite: the trial factories use
+// testbench, which imports guided, which imports fleet.
+package campaignd_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"net/http/httptest"
+
+	"repro/internal/bcm"
+	"repro/internal/campaignd"
+	"repro/internal/can"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/observatory"
+	"repro/internal/signal"
+	"repro/internal/testbench"
+)
+
+// unlockFactory builds the Table V bench world per trial.
+func unlockFactory(spec fleet.TrialSpec) (*fleet.World, error) {
+	exp, err := testbench.NewUnlockExperiment(testbench.Config{Check: bcm.CheckByteOnly},
+		core.Config{Seed: spec.Seed, TargetIDs: []can.ID{signal.IDBodyCommand}})
+	if err != nil {
+		return nil, err
+	}
+	return &fleet.World{Sched: exp.Bench.Scheduler(), Campaign: exp.Campaign}, nil
+}
+
+// testSpec is the campaign every test here shards.
+func testSpec(trials int) campaignd.CampaignSpec {
+	return campaignd.CampaignSpec{
+		Target:           "bench",
+		BCMCheck:         "byte",
+		Trials:           trials,
+		BaseSeed:         11,
+		MaxPerTrialNanos: int64(30 * time.Minute),
+	}
+}
+
+// inProcessGolden runs the same campaign through fleet.Run at workers=1
+// and returns its serialised report — the byte-identity reference.
+func inProcessGolden(t *testing.T, spec campaignd.CampaignSpec) []byte {
+	t.Helper()
+	cfg := spec.FleetConfig()
+	cfg.Workers = 1
+	rep, err := fleet.Run(cfg, unlockFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func reportBytes(t *testing.T, rep *fleet.Report) []byte {
+	t.Helper()
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestDistributedReportMatchesInProcess(t *testing.T) {
+	spec := testSpec(6)
+	golden := inProcessGolden(t, spec)
+
+	var journal bytes.Buffer
+	sink := observatory.NewSink(&journal)
+	coord, err := campaignd.New(campaignd.Config{Spec: spec, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for _, name := range []string{"w1", "w2", "w3"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			w := &campaignd.Worker{
+				Client:   &campaignd.Client{Base: srv.URL},
+				Name:     name,
+				Factory:  unlockFactory,
+				FleetCfg: spec.FleetConfig(),
+			}
+			if err := w.Run(context.Background()); err != nil {
+				t.Errorf("worker %s: %v", name, err)
+			}
+		}(name)
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportBytes(t, rep); !bytes.Equal(got, golden) {
+		t.Fatalf("distributed report differs from in-process run:\n--- dist ---\n%s\n--- golden ---\n%s", got, golden)
+	}
+
+	// The journal must be a self-sufficient record: replay it and the same
+	// report falls out.
+	j, err := campaignd.LoadJournal(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Compatible(spec); err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Results) != spec.Trials {
+		t.Fatalf("journal holds %d results, want %d", len(j.Results), spec.Trials)
+	}
+	st := coord.Snapshot()
+	if !st.Complete || st.Done != spec.Trials {
+		t.Fatalf("status after completion: %+v", st)
+	}
+}
+
+func TestWorkerCrashLeaseRedispatch(t *testing.T) {
+	// A worker that takes a lease and dies must not strand its trial: the
+	// lease expires and the trial is re-dispatched after backoff.
+	spec := testSpec(2)
+	coord, err := campaignd.New(campaignd.Config{
+		Spec:       spec,
+		LeaseTTL:   60 * time.Millisecond,
+		Redispatch: campaignd.DefaultRedispatch, // Base 250ms
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crashed" worker: leases trial 0, never heartbeats, never submits.
+	dead := coord.AcquireLease("crashed")
+	if dead.Status != campaignd.LeaseGranted || dead.Trial != 0 {
+		t.Fatalf("first lease = %+v", dead)
+	}
+
+	// A live worker immediately gets trial 1...
+	l1 := coord.AcquireLease("live")
+	if l1.Status != campaignd.LeaseGranted || l1.Trial != 1 {
+		t.Fatalf("second lease = %+v", l1)
+	}
+	// ...and then must wait out the dead lease's TTL + redispatch backoff
+	// before trial 0 comes around again.
+	var l0 campaignd.Lease
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		l0 = coord.AcquireLease("live")
+		if l0.Status == campaignd.LeaseGranted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trial 0 never re-dispatched: %+v", l0)
+		}
+		time.Sleep(l0.RetryAfter)
+	}
+	if l0.Trial != 0 || l0.ID == dead.ID {
+		t.Fatalf("redispatched lease = %+v (dead lease id %d)", l0, dead.ID)
+	}
+	if st := coord.Snapshot(); st.Expiries == 0 {
+		t.Fatalf("no expiry recorded: %+v", st)
+	}
+
+	// The dead worker's heartbeat would now be refused.
+	if err := coord.Heartbeat(dead.ID); err == nil {
+		t.Fatal("heartbeat on an expired lease succeeded")
+	}
+
+	// Both trials complete through the live worker.
+	for _, l := range []campaignd.Lease{l1, l0} {
+		res := fleet.RunTrial(fleet.TrialSpec{Index: l.Trial, Seed: l.Seed},
+			spec.FleetConfig(), unlockFactory)
+		if err := coord.Submit(l.Trial, l.ID, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rep := coord.Report(); rep == nil || rep.Completed != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// The stale worker finally submits trial 0: idempotent duplicate.
+	res := fleet.RunTrial(fleet.TrialSpec{Index: 0, Seed: dead.Seed},
+		spec.FleetConfig(), unlockFactory)
+	if err := coord.Submit(0, dead.ID, res); err != campaignd.ErrTrialDone {
+		t.Fatalf("duplicate submit err = %v, want ErrTrialDone", err)
+	}
+	if st := coord.Snapshot(); st.Duplicates != 1 {
+		t.Fatalf("duplicates = %d, want 1", st.Duplicates)
+	}
+}
+
+func TestCoordinatorCrashResume(t *testing.T) {
+	spec := testSpec(6)
+	golden := inProcessGolden(t, spec)
+	cfg := spec.FleetConfig()
+
+	// First coordinator journals three accepted trials, then "crashes" (is
+	// dropped without ceremony).
+	var journal bytes.Buffer
+	first, err := campaignd.New(campaignd.Config{Spec: spec, Sink: observatory.NewSink(&journal)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		l := first.AcquireLease("w")
+		if l.Status != campaignd.LeaseGranted {
+			t.Fatalf("lease %d: %+v", i, l)
+		}
+		res := fleet.RunTrial(fleet.TrialSpec{Index: l.Trial, Seed: l.Seed}, cfg, unlockFactory)
+		if err := first.Submit(l.Trial, l.ID, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Successor: reload the journal, verify compatibility, resume.
+	j, err := campaignd.LoadJournal(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Compatible(spec); err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Results) != 3 {
+		t.Fatalf("journal recovered %d results, want 3", len(j.Results))
+	}
+	second, err := campaignd.New(campaignd.Config{
+		Spec: spec, Sink: observatory.NewSink(&journal), Resumed: j.Results,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := second.Snapshot(); st.Done != 3 || st.Resumed != 3 {
+		t.Fatalf("resumed status: %+v", st)
+	}
+
+	// A completed trial is never re-leased: drain the remaining three.
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		l := second.AcquireLease("w")
+		if l.Status != campaignd.LeaseGranted {
+			t.Fatalf("post-resume lease: %+v", l)
+		}
+		if seen[l.Trial] {
+			t.Fatalf("trial %d leased twice", l.Trial)
+		}
+		seen[l.Trial] = true
+		res := fleet.RunTrial(fleet.TrialSpec{Index: l.Trial, Seed: l.Seed}, cfg, unlockFactory)
+		if err := second.Submit(l.Trial, l.ID, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l := second.AcquireLease("w"); l.Status != campaignd.LeaseDone {
+		t.Fatalf("lease after completion: %+v", l)
+	}
+	if got := reportBytes(t, second.Report()); !bytes.Equal(got, golden) {
+		t.Fatalf("resumed report differs from in-process run:\n--- resumed ---\n%s\n--- golden ---\n%s", got, golden)
+	}
+}
+
+func TestResumeRejectsForeignJournal(t *testing.T) {
+	spec := testSpec(4)
+	var journal bytes.Buffer
+	if _, err := campaignd.New(campaignd.Config{Spec: spec, Sink: observatory.NewSink(&journal)}); err != nil {
+		t.Fatal(err)
+	}
+	j, err := campaignd.LoadJournal(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := spec
+	other.BaseSeed++
+	if err := j.Compatible(other); err == nil {
+		t.Fatal("journal accepted for a different base seed")
+	}
+	if err := (&campaignd.Journal{}).Compatible(spec); err == nil {
+		t.Fatal("journal without campaign_start accepted")
+	}
+}
+
+func TestJournalTruncatedTail(t *testing.T) {
+	spec := testSpec(4)
+	cfg := spec.FleetConfig()
+	var journal bytes.Buffer
+	coord, err := campaignd.New(campaignd.Config{Spec: spec, Sink: observatory.NewSink(&journal)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		l := coord.AcquireLease("w")
+		res := fleet.RunTrial(fleet.TrialSpec{Index: l.Trial, Seed: l.Seed}, cfg, unlockFactory)
+		if err := coord.Submit(l.Trial, l.ID, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Tear the final line mid-write, as a crash during append would.
+	torn := journal.String()
+	torn = torn[:len(torn)-len("\n")-7] + "\n"
+	j, err := campaignd.LoadJournal(strings.NewReader(torn[:len(torn)-1]))
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	if !j.TruncatedTail {
+		t.Error("TruncatedTail not reported")
+	}
+	if len(j.Results) == 0 || len(j.Results) > 2 {
+		t.Fatalf("recovered %d results from torn journal", len(j.Results))
+	}
+
+	// A malformed line mid-stream is corruption, not a torn tail.
+	corrupt := "{bad json}\n" + journal.String()
+	if _, err := campaignd.LoadJournal(strings.NewReader(corrupt)); err == nil {
+		t.Fatal("mid-stream corruption accepted")
+	}
+}
+
+func TestResumeRejectsSeedMismatch(t *testing.T) {
+	spec := testSpec(4)
+	bad := map[int]fleet.TrialResult{
+		1: {Trial: 1, Seed: 999, Status: fleet.StatusTimeout},
+	}
+	if _, err := campaignd.New(campaignd.Config{Spec: spec, Resumed: bad}); err == nil {
+		t.Fatal("resumed result with wrong seed accepted")
+	}
+	good := map[int]fleet.TrialResult{
+		1: {Trial: 1, Seed: faults.DeriveSeed(spec.BaseSeed, 1), Status: fleet.StatusTimeout},
+	}
+	if _, err := campaignd.New(campaignd.Config{Spec: spec, Resumed: good}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	spec := testSpec(2)
+	coord, err := campaignd.New(campaignd.Config{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := coord.AcquireLease("w")
+	if err := coord.Submit(99, l.ID, fleet.TrialResult{Trial: 99}); err == nil {
+		t.Error("out-of-range trial accepted")
+	}
+	if err := coord.Submit(l.Trial, l.ID, fleet.TrialResult{Trial: l.Trial, Seed: 12345}); err == nil {
+		t.Error("seed-mismatched result accepted")
+	}
+}
+
+func TestDrainWaitsForPollingWorkers(t *testing.T) {
+	// A coordinator must not vanish the instant the last result lands:
+	// workers parked in the lease-wait loop still need to hear "done".
+	spec := testSpec(1)
+	coord, err := campaignd.New(campaignd.Config{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := coord.AcquireLease("runner")
+	if runner.Status != campaignd.LeaseGranted {
+		t.Fatalf("runner lease = %+v", runner)
+	}
+	// A second worker finds nothing dispatchable and becomes a waiter.
+	if l := coord.AcquireLease("idler"); l.Status != campaignd.LeaseWait {
+		t.Fatalf("idler lease = %+v", l)
+	}
+
+	res := fleet.TrialResult{Trial: 0, Seed: runner.Seed, Status: fleet.StatusTimeout}
+	if err := coord.Submit(runner.Trial, runner.ID, res); err != nil {
+		t.Fatal(err)
+	}
+	if !coord.Finished() {
+		t.Fatal("campaign not finished after last submit")
+	}
+	// The runner polls once more and is told done (over HTTP the submit ack
+	// itself carries the done flag; the direct API learns it here).
+	if l := coord.AcquireLease("runner"); l.Status != campaignd.LeaseDone {
+		t.Fatalf("runner final lease = %+v", l)
+	}
+
+	// Drain must block on the idler, then return promptly once the idler's
+	// next poll is answered with done.
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		coord.Drain(context.Background(), 10*time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Drain returned with a waiter still unanswered")
+	case <-time.After(100 * time.Millisecond):
+	}
+	if l := coord.AcquireLease("idler"); l.Status != campaignd.LeaseDone {
+		t.Fatalf("idler final lease = %+v", l)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not return after the waiter was answered")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Drain took %v", elapsed)
+	}
+
+	// The cap bounds the wait for a worker that never comes back: register
+	// a waiter on a fresh campaign, finish it, and Drain must give up at
+	// the cap instead of blocking forever.
+	coord2, err := campaignd.New(campaignd.Config{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner2 := coord2.AcquireLease("runner")
+	if l := coord2.AcquireLease("ghost"); l.Status != campaignd.LeaseWait {
+		t.Fatalf("ghost lease = %+v", l)
+	}
+	res2 := fleet.TrialResult{Trial: 0, Seed: runner2.Seed, Status: fleet.StatusTimeout}
+	if err := coord2.Submit(runner2.Trial, runner2.ID, res2); err != nil {
+		t.Fatal(err)
+	}
+	capStart := time.Now()
+	coord2.Drain(context.Background(), 100*time.Millisecond)
+	if elapsed := time.Since(capStart); elapsed < 50*time.Millisecond || elapsed > 2*time.Second {
+		t.Fatalf("capped Drain took %v, want ~100ms", elapsed)
+	}
+}
+
+func TestSubmitResponseCarriesDone(t *testing.T) {
+	// The submit ack's done flag lets the finishing worker exit without one
+	// more lease poll against a server that may already be gone.
+	spec := testSpec(2)
+	coord, err := campaignd.New(campaignd.Config{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	client := &campaignd.Client{Base: srv.URL}
+
+	for i := 0; i < 2; i++ {
+		l, err := client.Lease("w1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Status != campaignd.LeaseGranted {
+			t.Fatalf("lease %d = %+v", i, l)
+		}
+		res := fleet.TrialResult{Trial: l.Trial, Seed: l.Seed, Status: fleet.StatusTimeout}
+		body, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done, err := client.Submit(l.Trial, l.ID, "w1", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i == 1; done != want {
+			t.Fatalf("submit %d done = %v, want %v", i, done, want)
+		}
+	}
+	// With w1 told done at submit time, Drain has nobody to wait for.
+	start := time.Now()
+	coord.Drain(context.Background(), 10*time.Second)
+	if time.Since(start) > time.Second {
+		t.Fatal("Drain waited despite the submit-done notification")
+	}
+}

@@ -1,0 +1,119 @@
+package campaignd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Client speaks the coordinator API from a worker process. Methods return
+// transport errors verbatim so the worker's retry loop can distinguish "the
+// coordinator is briefly down — keep trying, it may be resuming from its
+// journal" from protocol errors that will not heal.
+type Client struct {
+	// Base is the coordinator URL, e.g. "http://127.0.0.1:9990".
+	Base string
+	// HTTP is the client used for every call (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path, query string) string {
+	u := strings.TrimSuffix(c.Base, "/") + path
+	if query != "" {
+		u += "?" + query
+	}
+	return u
+}
+
+// Spec fetches and validates the campaign spec.
+func (c *Client) Spec() (CampaignSpec, error) {
+	var spec CampaignSpec
+	resp, err := c.http().Get(c.url("/campaignd/spec", ""))
+	if err != nil {
+		return spec, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return spec, fmt.Errorf("campaignd: spec: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&spec); err != nil {
+		return spec, fmt.Errorf("campaignd: spec body: %w", err)
+	}
+	return spec, spec.Validate()
+}
+
+// Lease asks for a trial assignment.
+func (c *Client) Lease(worker string) (Lease, error) {
+	resp, err := c.http().Post(c.url("/campaignd/lease", "worker="+url.QueryEscape(worker)), "", nil)
+	if err != nil {
+		return Lease{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Lease{}, fmt.Errorf("campaignd: lease: %s", resp.Status)
+	}
+	var wl wireLease
+	if err := json.NewDecoder(resp.Body).Decode(&wl); err != nil {
+		return Lease{}, fmt.Errorf("campaignd: lease body: %w", err)
+	}
+	return leaseFromWire(wl), nil
+}
+
+// Heartbeat extends a lease; ErrLeaseGone when it is no longer current.
+func (c *Client) Heartbeat(leaseID uint64) error {
+	resp, err := c.http().Post(c.url("/campaignd/heartbeat",
+		"lease="+strconv.FormatUint(leaseID, 10)), "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil
+	case http.StatusGone:
+		return ErrLeaseGone
+	default:
+		return fmt.Errorf("campaignd: heartbeat: %s", resp.Status)
+	}
+}
+
+// Submit posts a completed trial's serialised result. A duplicate
+// (the coordinator already accepted this trial from someone) is success:
+// the work is durably recorded either way. The returned bool reports
+// whether this submission completed the campaign — the worker can exit
+// without another lease poll against a coordinator that may already be
+// shutting down.
+func (c *Client) Submit(index int, leaseID uint64, worker string, resultJSON []byte) (bool, error) {
+	q := "trial=" + strconv.Itoa(index) + "&lease=" + strconv.FormatUint(leaseID, 10) +
+		"&worker=" + url.QueryEscape(worker)
+	resp, err := c.http().Post(c.url("/campaignd/result", q),
+		"application/json", bytes.NewReader(resultJSON))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("campaignd: result: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	var ack struct {
+		Done bool `json:"done"`
+	}
+	if err := json.Unmarshal(body, &ack); err != nil {
+		return false, fmt.Errorf("campaignd: result ack: %w", err)
+	}
+	return ack.Done, nil
+}

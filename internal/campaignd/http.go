@@ -1,0 +1,131 @@
+package campaignd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// maxResultBody bounds one submitted TrialResult document; guided-corpus
+// trials are the large case and stay far under this.
+const maxResultBody = 8 << 20
+
+// wireLease is the JSON body of a lease decision; durations travel as
+// integral milliseconds.
+type wireLease struct {
+	Status       string `json:"status"`
+	Trial        int    `json:"trial"`
+	Seed         int64  `json:"seed"`
+	LeaseID      uint64 `json:"leaseId"`
+	LeaseMs      int64  `json:"leaseMs"`
+	RetryAfterMs int64  `json:"retryAfterMs"`
+}
+
+// Handler returns the coordinator API. All routes are rooted at
+// /campaignd/ so the handler composes with the observatory mux on one
+// server:
+//
+//	GET  /campaignd/spec       the canonical CampaignSpec document
+//	POST /campaignd/lease      ?worker=NAME -> lease decision JSON
+//	POST /campaignd/heartbeat  ?lease=ID    -> 204, or 410 when gone
+//	POST /campaignd/result     ?trial=N&lease=ID&worker=NAME,
+//	                           body = fleet.TrialResult
+//	                           -> 200 accepted, 200 duplicate, 400 bad;
+//	                           "done":true tells the worker to exit
+//	GET  /campaignd/status     live Status JSON
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/campaignd/spec", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(c.specJSON)
+	})
+	mux.HandleFunc("/campaignd/lease", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		l := c.AcquireLease(r.URL.Query().Get("worker"))
+		writeJSON(w, wireLease{
+			Status: l.Status, Trial: l.Trial, Seed: l.Seed, LeaseID: l.ID,
+			LeaseMs:      l.TTL.Milliseconds(),
+			RetryAfterMs: l.RetryAfter.Milliseconds(),
+		})
+	})
+	mux.HandleFunc("/campaignd/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		leaseID, err := strconv.ParseUint(r.URL.Query().Get("lease"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad lease id", http.StatusBadRequest)
+			return
+		}
+		if err := c.Heartbeat(leaseID); err != nil {
+			http.Error(w, err.Error(), http.StatusGone)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/campaignd/result", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		index, err := strconv.Atoi(q.Get("trial"))
+		if err != nil {
+			http.Error(w, "bad trial index", http.StatusBadRequest)
+			return
+		}
+		leaseID, _ := strconv.ParseUint(q.Get("lease"), 10, 64)
+		var res fleet.TrialResult
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxResultBody))
+		if err := dec.Decode(&res); err != nil {
+			http.Error(w, fmt.Sprintf("bad result body: %v", err), http.StatusBadRequest)
+			return
+		}
+		serr := c.Submit(index, leaseID, res)
+		if serr != nil && !errors.Is(serr, ErrTrialDone) {
+			http.Error(w, serr.Error(), http.StatusBadRequest)
+			return
+		}
+		// Telling the submitter the campaign is over here (rather than on
+		// its next lease poll) lets it exit before the coordinator's server
+		// goes away.
+		done := c.Finished()
+		if done {
+			c.forgetWaiter(q.Get("worker"))
+		}
+		if serr == nil {
+			fmt.Fprintf(w, `{"accepted":true,"done":%t}`+"\n", done)
+		} else {
+			// Idempotent: the duplicate's content matches what was accepted.
+			fmt.Fprintf(w, `{"accepted":false,"duplicate":true,"done":%t}`+"\n", done)
+		}
+	})
+	mux.HandleFunc("/campaignd/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Snapshot())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// leaseFromWire converts the JSON body back to a Lease (client side).
+func leaseFromWire(wl wireLease) Lease {
+	return Lease{
+		Status: wl.Status, Trial: wl.Trial, Seed: wl.Seed, ID: wl.LeaseID,
+		TTL:        time.Duration(wl.LeaseMs) * time.Millisecond,
+		RetryAfter: time.Duration(wl.RetryAfterMs) * time.Millisecond,
+	}
+}

@@ -1,0 +1,112 @@
+package campaignd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/fleet"
+	"repro/internal/observatory"
+)
+
+// Journal is a coordinator's recovered state: what a crashed campaign had
+// durably accomplished. The event log is the only durable store the
+// coordinator has, and trial_result lines carry complete serialised
+// results, so spec + results is everything a successor needs — in-flight
+// leases at crash time are deliberately absent (they are re-dispatched
+// from scratch, which is always safe because results are pure).
+type Journal struct {
+	// Spec is the campaign_start spec (nil when the log has none).
+	Spec *CampaignSpec
+	// SpecRaw is the spec's exact journal bytes, compared against the
+	// resuming coordinator's canonical spec bytes by Compatible.
+	SpecRaw []byte
+	// Results holds the accepted trial results keyed by trial index.
+	// A trial journalled twice keeps the first occurrence, matching the
+	// coordinator's first-submission-wins acceptance.
+	Results map[int]fleet.TrialResult
+	// Lines counts complete journal lines read.
+	Lines int
+	// TruncatedTail reports that the final line was cut mid-write — the
+	// coordinator died inside an append. The partial line is discarded;
+	// everything before it is intact because lines are appended whole.
+	TruncatedTail bool
+}
+
+// journalScanBuf bounds one journal line; trial_result lines with a large
+// guided corpus are the big case.
+const journalScanBuf = 16 << 20
+
+// LoadJournal replays an event log. A malformed line is fatal unless it is
+// the last line of the stream, which is read as a torn tail write.
+func LoadJournal(r io.Reader) (*Journal, error) {
+	j := &Journal{Results: map[int]fleet.TrialResult{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), journalScanBuf)
+	var pendingErr error
+	for sc.Scan() {
+		if pendingErr != nil {
+			// The malformed line had lines after it: corruption, not a torn
+			// tail.
+			return nil, pendingErr
+		}
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := observatory.ParseLine(line)
+		if err != nil {
+			pendingErr = fmt.Errorf("campaignd: journal line %d: %w", j.Lines+1, err)
+			continue
+		}
+		j.Lines++
+		switch ev.Type {
+		case observatory.EventCampaignStart:
+			if j.Spec == nil {
+				var spec CampaignSpec
+				if err := json.Unmarshal(ev.Raw, &spec); err != nil {
+					return nil, fmt.Errorf("campaignd: journal spec: %w", err)
+				}
+				j.Spec = &spec
+				j.SpecRaw = append([]byte(nil), ev.Raw...)
+			}
+		case observatory.EventTrialResult:
+			var res fleet.TrialResult
+			if err := json.Unmarshal(ev.Raw, &res); err != nil {
+				return nil, fmt.Errorf("campaignd: journal trial_result: %w", err)
+			}
+			if _, dup := j.Results[res.Trial]; !dup {
+				j.Results[res.Trial] = res
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaignd: journal read: %w", err)
+	}
+	if pendingErr != nil {
+		j.TruncatedTail = true
+	}
+	return j, nil
+}
+
+// Compatible reports whether the journal was written by a campaign with
+// exactly this spec — byte equality of the canonical spec document, the
+// strictest check and the right one: any drift (different seed, trial
+// count, generator config) would silently break the determinism guarantee
+// the resume is supposed to preserve.
+func (j *Journal) Compatible(spec CampaignSpec) error {
+	if j.Spec == nil {
+		return fmt.Errorf("campaignd: journal has no campaign_start line")
+	}
+	canonical, err := spec.marshal()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(j.SpecRaw, canonical) {
+		return fmt.Errorf("campaignd: journal spec mismatch:\n journal: %s\n resume:  %s",
+			j.SpecRaw, canonical)
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package campaignd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/retry"
+)
+
+// DefaultTransportRetry is the worker's backoff for coordinator outages.
+// The cap is generous relative to the base because the interesting outage
+// is a coordinator crash-and-resume: the worker must still be polling when
+// the restarted coordinator comes back up with its journal reloaded.
+var DefaultTransportRetry = retry.Policy{
+	Base:   200 * time.Millisecond,
+	Cap:    2 * time.Second,
+	Jitter: 0.5,
+}
+
+// DefaultTransportAttempts bounds consecutive failed calls before the
+// worker gives up on the coordinator entirely.
+const DefaultTransportAttempts = 60
+
+// Worker executes leased trials until the coordinator reports the
+// campaign done. The execution path is exactly fleet.RunTrial — the same
+// function an in-process fleet worker runs — so a trial's result does not
+// depend on which process computed it.
+type Worker struct {
+	// Client reaches the coordinator (required).
+	Client *Client
+	// Name identifies the worker in coordinator logs.
+	Name string
+	// Factory builds each leased trial's world (required).
+	Factory fleet.TargetFactory
+	// FleetCfg supplies the per-trial deadlines (from the fetched spec's
+	// FleetConfig; only MaxPerTrial and TrialTimeout are consulted).
+	FleetCfg fleet.Config
+	// Logger, when non-nil, receives per-trial lines.
+	Logger *slog.Logger
+	// Transport is the backoff for coordinator outages (default
+	// DefaultTransportRetry).
+	Transport retry.Policy
+	// TransportAttempts bounds consecutive transport failures (default
+	// DefaultTransportAttempts).
+	TransportAttempts int
+}
+
+// Run leases, executes and submits trials until done. It returns nil when
+// the coordinator reports the campaign complete, ctx.Err on cancellation,
+// and a transport error only after TransportAttempts consecutive failed
+// calls — a coordinator crash shorter than that window is invisible apart
+// from latency.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Client == nil || w.Factory == nil {
+		return errors.New("campaignd: worker needs Client and Factory")
+	}
+	policy := w.Transport
+	if policy.Base <= 0 {
+		policy = DefaultTransportRetry
+	}
+	attempts := w.TransportAttempts
+	if attempts <= 0 {
+		attempts = DefaultTransportAttempts
+	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+
+	for {
+		var lease Lease
+		err := retry.Do(ctx, policy, attempts, rng, func() error {
+			var lerr error
+			lease, lerr = w.Client.Lease(w.Name)
+			return lerr
+		})
+		if err != nil {
+			return fmt.Errorf("campaignd: worker %s: lease: %w", w.Name, err)
+		}
+		switch lease.Status {
+		case LeaseDone:
+			if w.Logger != nil {
+				w.Logger.Info("campaign complete, worker exiting", "worker", w.Name)
+			}
+			return nil
+		case LeaseWait:
+			wait := lease.RetryAfter
+			if wait <= 0 {
+				wait = 250 * time.Millisecond
+			}
+			if err := retry.Sleep(ctx, wait); err != nil {
+				return err
+			}
+			continue
+		case LeaseGranted:
+		default:
+			return fmt.Errorf("campaignd: worker %s: unknown lease status %q", w.Name, lease.Status)
+		}
+
+		campaignDone, err := w.runLeased(ctx, lease, policy, attempts, rng)
+		if err != nil {
+			return err
+		}
+		if campaignDone {
+			if w.Logger != nil {
+				w.Logger.Info("campaign complete, worker exiting", "worker", w.Name)
+			}
+			return nil
+		}
+	}
+}
+
+// runLeased heartbeats and executes one leased trial, then submits it. The
+// returned bool reports whether this submission completed the campaign.
+func (w *Worker) runLeased(ctx context.Context, lease Lease, policy retry.Policy, attempts int, rng *rand.Rand) (bool, error) {
+	if w.Logger != nil {
+		w.Logger.Info("trial leased", "worker", w.Name, "trial", lease.Trial, "lease", lease.ID)
+	}
+	// Heartbeat at a third of the TTL while the trial computes. Heartbeat
+	// failures are logged, not fatal: if the lease is gone the trial is
+	// re-running elsewhere with identical content; if the coordinator is
+	// down it may be back before the submission's retry budget runs out.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		interval := lease.TTL / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				if err := w.Client.Heartbeat(lease.ID); err != nil && w.Logger != nil {
+					w.Logger.Warn("heartbeat failed", "worker", w.Name,
+						"trial", lease.Trial, "lease", lease.ID, "err", err)
+				}
+			}
+		}
+	}()
+
+	spec := fleet.TrialSpec{Index: lease.Trial, Seed: lease.Seed}
+	res := fleet.RunTrial(spec, w.FleetCfg, w.Factory)
+	stopHB()
+	<-hbDone
+
+	body, err := json.Marshal(res)
+	if err != nil {
+		return false, fmt.Errorf("campaignd: worker %s: marshal result: %w", w.Name, err)
+	}
+	var campaignDone bool
+	err = retry.Do(ctx, policy, attempts, rng, func() error {
+		done, serr := w.Client.Submit(lease.Trial, lease.ID, w.Name, body)
+		if serr == nil {
+			campaignDone = done
+		}
+		return serr
+	})
+	if err != nil {
+		return false, fmt.Errorf("campaignd: worker %s: submit trial %d: %w", w.Name, lease.Trial, err)
+	}
+	if w.Logger != nil {
+		w.Logger.Info("trial submitted", "worker", w.Name,
+			"trial", lease.Trial, "status", res.Status)
+	}
+	return campaignDone, nil
+}

@@ -186,6 +186,11 @@ type Campaign struct {
 	// res is the resilience policy; nil (the default) means no retries and
 	// no watchdog, with zero overhead on the send path.
 	res *resState
+	// wallBudget bounds RunUntilFinding in wall-clock time (0 = unbounded);
+	// wallExpired records that the budget, not the virtual deadline, ended
+	// the run. See SetWallBudget.
+	wallBudget  time.Duration
+	wallExpired bool
 	// faultCounts snapshots injected-fault counts for BuildReport.
 	faultCounts func() map[string]uint64
 
@@ -338,6 +343,25 @@ func (c *Campaign) RunFor(d time.Duration) {
 	c.Stop()
 }
 
+// SetWallBudget bounds the next RunUntilFinding in *wall-clock* time: a
+// world whose event loop stops advancing virtual time (events rescheduling
+// each other at the same instant, a runaway feedback loop) would otherwise
+// spin below the virtual deadline forever. When the budget elapses the run
+// stops and WallExpired reports true — the local analogue of a distributed
+// lease expiring on a hung worker. Zero (the default) disables the bound.
+// The check is cooperative, amortized over scheduler steps, so it cannot
+// interrupt a single event callback that never returns.
+func (c *Campaign) SetWallBudget(d time.Duration) { c.wallBudget = d }
+
+// WallExpired reports whether the last RunUntilFinding was stopped by the
+// wall-clock budget rather than a finding or the virtual deadline.
+func (c *Campaign) WallExpired() bool { return c.wallExpired }
+
+// wallCheckEvery is how many scheduler steps pass between wall-budget
+// clock reads in RunUntilFinding (a power of two; one time.Now per ~1k
+// steps is noise next to the event dispatch itself).
+const wallCheckEvery = 1024
+
 // RunUntilFinding starts the campaign and drives the scheduler until the
 // first finding or the deadline. It reports the finding and whether one
 // occurred. When no resilience policy is configured a default dead-bus
@@ -355,11 +379,20 @@ func (c *Campaign) RunUntilFinding(maxDuration time.Duration) (Finding, bool) {
 		}
 		c.res = &resState{Resilience: Resilience{WatchdogWindow: w}}
 	}
+	c.wallExpired = false
+	var wallDeadline time.Time
+	if c.wallBudget > 0 {
+		wallDeadline = time.Now().Add(c.wallBudget)
+	}
 	before := len(c.findings)
 	c.Start()
 	deadline := c.sched.Now() + maxDuration
-	for c.running && c.sched.Now() < deadline && len(c.findings) == before {
+	for steps := 0; c.running && c.sched.Now() < deadline && len(c.findings) == before; {
 		if !c.sched.Step() {
+			break
+		}
+		if steps++; c.wallBudget > 0 && steps&(wallCheckEvery-1) == 0 && time.Now().After(wallDeadline) {
+			c.wallExpired = true
 			break
 		}
 	}

@@ -193,6 +193,38 @@ type ConfigJSON struct {
 	Corpus []string `json:"corpus,omitempty"`
 }
 
+// ToJSON converts a Config to its wire form — the inverse of ToConfig, up
+// to defaulting: a zero Mode stays the empty string (ToConfig reads both
+// as random), and corpus frames render in the shared "ID#HEXDATA" form.
+// The distributed campaign service ships worker configuration through it,
+// so a leased trial's generator is built from exactly the bytes the
+// coordinator validated.
+func (c Config) ToJSON() ConfigJSON {
+	cj := ConfigJSON{
+		Seed:           c.Seed,
+		IDMin:          uint16(c.IDMin),
+		IDMax:          uint16(c.IDMax),
+		LenMin:         c.LenMin,
+		LenMax:         c.LenMax,
+		ByteMin:        c.ByteMin,
+		ByteMax:        c.ByteMax,
+		IntervalMicros: int64(c.Interval / time.Microsecond),
+		MutateBits:     c.MutateBits,
+		MutateID:       c.MutateID,
+		SweepLen:       c.SweepLen,
+	}
+	if c.Mode != 0 {
+		cj.Mode = c.Mode.String()
+	}
+	for _, id := range c.TargetIDs {
+		cj.TargetIDs = append(cj.TargetIDs, uint16(id))
+	}
+	for _, f := range c.Corpus {
+		cj.Corpus = append(cj.Corpus, FormatCorpusFrame(f))
+	}
+	return cj
+}
+
 // ParseConfigJSON reads a ConfigJSON document and converts it to a Config.
 func ParseConfigJSON(r io.Reader) (Config, error) {
 	var cj ConfigJSON

@@ -105,6 +105,45 @@ func TestParseConfigJSONDefaults(t *testing.T) {
 	}
 }
 
+func TestConfigToJSONRoundTrip(t *testing.T) {
+	// ToJSON is the inverse of ToConfig — the property the distributed
+	// campaign spec depends on: the coordinator serialises the CLI-built
+	// Config, workers rebuild their generators from exactly those bytes.
+	frame, err := ParseCorpusFrame("215#205F0100000120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := Config{
+		Seed: 7, Mode: ModeMutate,
+		IDMin: 0x100, IDMax: 0x300,
+		TargetIDs: []can.ID{0x215},
+		LenMin:    1, LenMax: 8,
+		ByteMin: 0, ByteMax: 255,
+		Interval:   2 * time.Millisecond,
+		Corpus:     []can.Frame{frame},
+		MutateBits: 2, MutateID: true,
+	}
+	back, err := orig.ToJSON().ToConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != orig.Seed || back.Mode != orig.Mode || back.Interval != orig.Interval ||
+		back.IDMin != orig.IDMin || back.IDMax != orig.IDMax ||
+		back.MutateBits != orig.MutateBits || back.MutateID != orig.MutateID {
+		t.Fatalf("round trip diverged:\norig: %+v\nback: %+v", orig, back)
+	}
+	if len(back.TargetIDs) != 1 || back.TargetIDs[0] != 0x215 {
+		t.Fatalf("target ids = %v", back.TargetIDs)
+	}
+	if len(back.Corpus) != 1 || !back.Corpus[0].Equal(frame) {
+		t.Fatalf("corpus = %v", back.Corpus)
+	}
+	// The zero mode stays empty on the wire and parses back to random.
+	if cj := (Config{Seed: 1}).ToJSON(); cj.Mode != "" {
+		t.Fatalf("zero mode serialised as %q", cj.Mode)
+	}
+}
+
 func TestParseConfigJSONErrors(t *testing.T) {
 	cases := map[string]string{
 		"bad json":        `{`,

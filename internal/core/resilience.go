@@ -9,6 +9,7 @@ import (
 	"repro/internal/can"
 	"repro/internal/clock"
 	"repro/internal/oracle"
+	"repro/internal/retry"
 	"repro/internal/telemetry"
 )
 
@@ -92,9 +93,11 @@ func (r *resState) clearPending() {
 }
 
 // backoff returns the pause before the attempt just recorded (doubling:
-// RetryBackoff, 2×, 4×...).
+// RetryBackoff, 2×, 4×...). The schedule is the shared retry.Policy with
+// no cap and no jitter: virtual-time retries must stay a pure function of
+// the campaign seed, and RetryMax bounds growth long before saturation.
 func (r *resState) backoff() time.Duration {
-	return r.RetryBackoff << (r.attempts - 1)
+	return retry.Policy{Base: r.RetryBackoff}.Delay(r.attempts, nil)
 }
 
 // transientSendError reports whether a Port.Send rejection is worth

@@ -98,6 +98,13 @@ type Config struct {
 	BaseSeed int64
 	// MaxPerTrial is the per-trial virtual deadline (required, > 0).
 	MaxPerTrial time.Duration
+	// TrialTimeout is the per-trial *wall-clock* budget (0 = none): a trial
+	// whose world stops advancing virtual time — a runaway same-instant
+	// event loop — is cancelled cooperatively and classified StatusStalled
+	// instead of pinning its worker forever. It is the local analogue of a
+	// distributed lease expiry, and like one it trades nothing for
+	// determinism: a stalled world never produced a result to begin with.
+	TrialTimeout time.Duration
 	// FailFast stops dispatching new trials after the first trial that
 	// confirms a finding. In-flight trials still complete and are
 	// reported; undispatched ones are recorded as StatusSkipped. Which
@@ -192,7 +199,7 @@ func Run(cfg Config, factory TargetFactory) (*Report, error) {
 				if obs != nil {
 					obs.TrialStarted(spec)
 				}
-				res := runTrial(spec, cfg.MaxPerTrial, factory)
+				res := RunTrial(spec, cfg, factory)
 				results[i] = res
 				if obs != nil {
 					obs.TrialFinished(res)
@@ -219,28 +226,27 @@ func Run(cfg Config, factory TargetFactory) (*Report, error) {
 	}
 	wg.Wait()
 
-	rep := &Report{
-		BaseSeed:    cfg.BaseSeed,
-		Trials:      cfg.Trials,
-		Workers:     workers,
-		FailFast:    cfg.FailFast,
-		MaxPerTrial: cfg.MaxPerTrial,
-		Results:     results,
-	}
-	rep.aggregate()
+	rep := NewReport(cfg.BaseSeed, cfg.MaxPerTrial, results)
+	rep.Workers = workers
+	rep.FailFast = cfg.FailFast
 	if obs != nil {
 		obs.CampaignDone(rep)
 	}
 	return rep, nil
 }
 
-// runTrial builds and runs one world. A panic anywhere inside — factory or
-// simulation — is contained and classified; the named return keeps the
-// partial result fields gathered before the panic. Wall-clock phase
-// durations (world build vs campaign run) are recorded on the result for
-// the live progress view but excluded from its JSON, which must stay a
-// pure function of the seed.
-func runTrial(spec TrialSpec, maxPerTrial time.Duration, factory TargetFactory) (res TrialResult) {
+// RunTrial builds and runs one world exactly as a pooled fleet worker
+// would; only cfg.MaxPerTrial (required) and cfg.TrialTimeout are
+// consulted. It is exported for the distributed campaign service: a
+// campaignd worker executes leased trials through it, so a trial's result
+// is bit-for-bit the same whether it ran in-process or on a remote worker.
+//
+// A panic anywhere inside — factory or simulation — is contained and
+// classified; the named return keeps the partial result fields gathered
+// before the panic. Wall-clock phase durations (world build vs campaign
+// run) are recorded on the result for the live progress view but excluded
+// from its JSON, which must stay a pure function of the seed.
+func RunTrial(spec TrialSpec, cfg Config, factory TargetFactory) (res TrialResult) {
 	res = TrialResult{Trial: spec.Index, Seed: spec.Seed}
 	defer func() {
 		if r := recover(); r != nil {
@@ -266,8 +272,11 @@ func runTrial(spec TrialSpec, maxPerTrial time.Duration, factory TargetFactory) 
 		res.Err = errWorldFields.Error()
 		return res
 	}
+	if cfg.TrialTimeout > 0 {
+		w.Campaign.SetWallBudget(cfg.TrialTimeout)
+	}
 	runStart := time.Now()
-	finding, ok := w.Campaign.RunUntilFinding(maxPerTrial)
+	finding, ok := w.Campaign.RunUntilFinding(cfg.MaxPerTrial)
 	res.RunWall = time.Since(runStart)
 	res.VirtualElapsed = w.Sched.Now()
 	if w.Corpus != nil {
@@ -280,7 +289,11 @@ func runTrial(spec TrialSpec, maxPerTrial time.Duration, factory TargetFactory) 
 	}
 	res.Findings = len(w.Campaign.Findings())
 	if !ok {
-		res.Status = StatusTimeout
+		if w.Campaign.WallExpired() {
+			res.Status = StatusStalled
+		} else {
+			res.Status = StatusTimeout
+		}
 		return res
 	}
 	res.Status = StatusFinding

@@ -58,6 +58,22 @@ func mustRun(t *testing.T, cfg fleet.Config, factory fleet.TargetFactory) *fleet
 	return rep
 }
 
+// hangFactory builds a world whose scheduler never advances virtual time: a
+// zero-delay event rearms itself at the same instant, so RunUntilFinding's
+// virtual deadline never fires. Only the wall-clock TrialTimeout can stop it.
+func hangFactory(spec fleet.TrialSpec) (*fleet.World, error) {
+	sched := clock.New()
+	b := bus.New(sched)
+	campaign, err := core.NewCampaign(sched, b.Connect("fuzzer"), core.Config{Seed: spec.Seed})
+	if err != nil {
+		return nil, err
+	}
+	var spin func()
+	spin = func() { sched.After(0, spin) }
+	sched.After(0, spin)
+	return &fleet.World{Sched: sched, Campaign: campaign}, nil
+}
+
 func TestFleetDeterministicAcrossWorkerCounts(t *testing.T) {
 	// The acceptance criterion: the same fleet serialises byte-identically
 	// at workers=1 and workers=NumCPU.
@@ -149,6 +165,60 @@ func TestFleetTimeout(t *testing.T) {
 		if tr.Status != fleet.StatusTimeout || tr.FramesSent == 0 {
 			t.Fatalf("trial %+v", tr)
 		}
+	}
+}
+
+func TestFleetTrialTimeoutStalled(t *testing.T) {
+	// A world stuck in a same-instant event loop never advances virtual
+	// time, so only the wall-clock TrialTimeout can reclaim its worker. The
+	// trial must come back promptly, classified as stalled — not timeout,
+	// which is reserved for the virtual deadline.
+	start := time.Now()
+	rep := mustRun(t, fleet.Config{
+		Trials: 2, BaseSeed: 9, Workers: 2,
+		MaxPerTrial:  time.Hour,
+		TrialTimeout: 50 * time.Millisecond,
+	}, hangFactory)
+	if wall := time.Since(start); wall > 10*time.Second {
+		t.Fatalf("stalled trials took %v to cancel", wall)
+	}
+	if rep.Stalled != 2 || rep.TimedOut != 0 || rep.FoundFindings != 0 {
+		t.Fatalf("stalled/timedOut/found = %d/%d/%d", rep.Stalled, rep.TimedOut, rep.FoundFindings)
+	}
+	for _, tr := range rep.Results {
+		if tr.Status != fleet.StatusStalled {
+			t.Fatalf("trial %+v", tr)
+		}
+	}
+	if !strings.Contains(string(rep.Telemetry), `"stalled"`) {
+		t.Fatalf("stalled counter missing from telemetry:\n%s", rep.Telemetry)
+	}
+}
+
+func TestRunTrialMatchesFleetRun(t *testing.T) {
+	// RunTrial + NewReport is the distributed decomposition of Run: feeding
+	// the per-trial results back through the aggregator must reproduce the
+	// in-process report byte for byte (modulo the wall-only Workers field).
+	cfg := fleet.Config{Trials: 6, BaseSeed: 21, MaxPerTrial: 30 * time.Minute, Workers: 3}
+	whole := mustRun(t, cfg, unlockFactory(bcm.CheckByteOnly))
+
+	results := make([]fleet.TrialResult, cfg.Trials)
+	for i := range results {
+		spec := fleet.TrialSpec{Index: i, Seed: faults.DeriveSeed(cfg.BaseSeed, i)}
+		results[i] = fleet.RunTrial(spec, cfg, unlockFactory(bcm.CheckByteOnly))
+	}
+	rebuilt := fleet.NewReport(cfg.BaseSeed, cfg.MaxPerTrial, results)
+
+	var a, b bytes.Buffer
+	if err := whole.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rebuilt.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("RunTrial+NewReport diverges from Run:\n--- run ---\n%s\n--- rebuilt ---\n%s",
+			a.String(), b.String())
 	}
 }
 

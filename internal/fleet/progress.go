@@ -24,6 +24,7 @@ type Progress struct {
 
 	findings atomic.Int64 // trials that ended in StatusFinding
 	timeouts atomic.Int64
+	stalled  atomic.Int64 // wall-budget cancellations (StatusStalled)
 	panics   atomic.Int64
 	errors   atomic.Int64
 	skipped  atomic.Int64 // known only at campaign end (fail-fast)
@@ -84,6 +85,8 @@ func (p *Progress) TrialFinished(res TrialResult) {
 		p.ttfBuckets[ttfBucketIndex(res.TimeToFinding)].Add(1)
 	case StatusTimeout:
 		p.timeouts.Add(1)
+	case StatusStalled:
+		p.stalled.Add(1)
 	case StatusPanic:
 		p.panics.Add(1)
 	case StatusError:
@@ -151,6 +154,7 @@ type ProgressSnapshot struct {
 	// Per-outcome counters over finished trials.
 	Findings int `json:"findings"`
 	Timeouts int `json:"timeouts"`
+	Stalled  int `json:"stalled"`
 	Panics   int `json:"panics"`
 	Errors   int `json:"errors"`
 	Skipped  int `json:"skipped"`
@@ -200,6 +204,7 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 	s.Done = p.doneFlag.Load()
 	s.Findings = int(p.findings.Load())
 	s.Timeouts = int(p.timeouts.Load())
+	s.Stalled = int(p.stalled.Load())
 	s.Panics = int(p.panics.Load())
 	s.Errors = int(p.errors.Load())
 	s.Skipped = int(p.skipped.Load())

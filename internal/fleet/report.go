@@ -18,6 +18,12 @@ const (
 	StatusFinding = "finding"
 	// StatusTimeout means the per-trial deadline elapsed with no finding.
 	StatusTimeout = "timeout"
+	// StatusStalled means the trial's wall-clock budget (Config.TrialTimeout)
+	// expired while virtual time stopped advancing — a hung world, cancelled
+	// instead of pinning its worker. Distinct from StatusTimeout, which is
+	// the *virtual* deadline of a healthy world; a stalled trial is the
+	// local analogue of an expired distributed lease.
+	StatusStalled = "stalled"
 	// StatusPanic means the trial's world panicked; the panic was contained
 	// and classified, the rest of the fleet was unaffected.
 	StatusPanic = "panic"
@@ -130,11 +136,13 @@ type Report struct {
 	MaxPerTrial time.Duration `json:"maxPerTrialNanos"`
 
 	// Completed counts trials that ran to a classified end (everything but
-	// StatusSkipped); FoundFindings/TimedOut/Panics/Errors/Skipped break
-	// the fleet down by status.
+	// StatusSkipped); FoundFindings/TimedOut/Stalled/Panics/Errors/Skipped
+	// break the fleet down by status. Stalled is omitempty so reports from
+	// fleets without a TrialTimeout serialise exactly as before.
 	Completed     int `json:"completed"`
 	FoundFindings int `json:"foundFindings"`
 	TimedOut      int `json:"timedOut"`
+	Stalled       int `json:"stalled,omitempty"`
 	Panics        int `json:"panics"`
 	Errors        int `json:"errors"`
 	Skipped       int `json:"skipped"`
@@ -188,6 +196,25 @@ const ttfBounds = 10
 // fleet_time_to_finding_seconds; Table V times span seconds to an hour.
 var timeToFindingBoundsSeconds = [ttfBounds]float64{1, 5, 10, 30, 60, 120, 300, 600, 1800, 3600}
 
+// NewReport assembles the deterministic fleet report from per-trial
+// results ordered by trial index. It is the single aggregation path for
+// both execution models: Run feeds it the pool's result slice, and the
+// distributed coordinator (internal/campaignd) feeds it results collected
+// over HTTP from any worker topology — because every TrialResult is a pure
+// function of its seed and aggregation is pure sequential code, the two
+// serialise byte-identically. Callers may set the JSON-excluded execution
+// details (Workers, FailFast) on the returned report afterwards.
+func NewReport(baseSeed int64, maxPerTrial time.Duration, results []TrialResult) *Report {
+	rep := &Report{
+		BaseSeed:    baseSeed,
+		Trials:      len(results),
+		MaxPerTrial: maxPerTrial,
+		Results:     results,
+	}
+	rep.aggregate()
+	return rep
+}
+
 // aggregate folds the per-trial results (already in index order) into the
 // report: status counts, summed counters, deduplicated findings, the
 // time-to-finding distribution and the merged telemetry snapshot. It is
@@ -199,6 +226,18 @@ func (r *Report) aggregate() {
 	for _, st := range []string{StatusFinding, StatusTimeout, StatusPanic, StatusError, StatusSkipped} {
 		mTrials[st] = reg.Counter("fleet_trials_total", "Fleet trials by outcome.",
 			telemetry.Label{Key: "status", Value: st})
+	}
+	// Rarer statuses (StatusStalled) register lazily so a fleet that never
+	// produces one keeps its merged telemetry — and thus the report bytes —
+	// unchanged.
+	countTrial := func(st string) {
+		c, ok := mTrials[st]
+		if !ok {
+			c = reg.Counter("fleet_trials_total", "Fleet trials by outcome.",
+				telemetry.Label{Key: "status", Value: st})
+			mTrials[st] = c
+		}
+		c.Inc()
 	}
 	mFrames := reg.Counter("fleet_frames_sent_total", "Fuzz frames transmitted across the fleet.")
 	mErrs := reg.Counter("fleet_send_errors_total", "Rejected transmissions across the fleet.")
@@ -236,6 +275,8 @@ func (r *Report) aggregate() {
 			}
 		case StatusTimeout:
 			r.TimedOut++
+		case StatusStalled:
+			r.Stalled++
 		case StatusPanic:
 			r.Panics++
 		case StatusError:
@@ -246,7 +287,7 @@ func (r *Report) aggregate() {
 		if tr.Status != StatusSkipped {
 			r.Completed++
 		}
-		mTrials[tr.Status].Inc()
+		countTrial(tr.Status)
 		r.FramesSent += tr.FramesSent
 		r.SendErrors += tr.SendErrors
 		r.VirtualTimeTotal += tr.VirtualElapsed

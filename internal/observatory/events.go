@@ -21,6 +21,14 @@ const (
 	// EventCheckpoint is a campaign-scope progress mark (every Nth
 	// completed trial).
 	EventCheckpoint = "checkpoint"
+	// EventCampaignStart opens a distributed campaign journal: its Raw
+	// payload is the serialised campaignd spec, which lets a restarted
+	// coordinator verify a journal belongs to the campaign it is resuming.
+	EventCampaignStart = "campaign_start"
+	// EventTrialResult carries a complete serialised fleet.TrialResult in
+	// Raw — the coordinator's durable record of an accepted trial, precise
+	// enough to rebuild the final report from the journal alone.
+	EventTrialResult = "trial_result"
 )
 
 // Event is one line of the campaign event log. Which fields are populated
@@ -55,6 +63,11 @@ type Event struct {
 	Oracle, Detail, TriggerID string
 	// Completed and Total are checkpoint progress counts.
 	Completed, Total int
+	// Raw is an opaque pre-marshalled JSON payload: the campaign spec
+	// (campaign_start) or a full fleet.TrialResult (trial_result). It must
+	// already be valid compact JSON; MarshalJSONL embeds it verbatim, which
+	// keeps the line bytes a pure function of the payload bytes.
+	Raw []byte
 }
 
 // MarshalJSONL appends the event as one JSON line (no trailing newline)
@@ -98,6 +111,12 @@ func (e Event) MarshalJSONL(b []byte) []byte {
 		b = strconv.AppendInt(b, int64(e.Completed), 10)
 		b = append(b, `,"total":`...)
 		b = strconv.AppendInt(b, int64(e.Total), 10)
+	case EventCampaignStart:
+		b = append(b, `,"spec":`...)
+		b = append(b, e.Raw...)
+	case EventTrialResult:
+		b = append(b, `,"result":`...)
+		b = append(b, e.Raw...)
 	}
 	return append(b, '}')
 }
@@ -141,6 +160,7 @@ type Sink struct {
 	mu      sync.Mutex
 	w       io.Writer // may be nil: ring-only sink for HTTP tailing
 	err     error     // first write error, sticky
+	closed  bool      // terminal: no more lines will ever arrive
 	ring    [][]byte  // last sinkRingCap lines, without trailing newline
 	base    uint64    // index of ring[0] in the full stream
 	count   uint64    // lines emitted so far
@@ -180,6 +200,30 @@ func (s *Sink) Emit(e Event) {
 	}
 }
 
+// Close marks the stream terminal and wakes every long-poll waiter: no
+// further lines will arrive, so a poller blocked in Changed must return
+// now instead of holding its goroutine (and its HTTP connection) until
+// some never-coming event. Close does not close the underlying writer —
+// the caller owns the -events file — but it does return the sink's sticky
+// write error so shutdown paths surface a silently broken event log.
+// Emit after Close still records the line (late worker results are data,
+// not errors); it just no longer has anyone to wake. Nil-safe, idempotent.
+func (s *Sink) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.closed = true
+	waiters := s.waiters
+	s.waiters = nil
+	err := s.err
+	s.mu.Unlock()
+	for _, ch := range waiters {
+		close(ch)
+	}
+	return err
+}
+
 // Err returns the first write error, if any.
 func (s *Sink) Err() error {
 	if s == nil {
@@ -188,6 +232,18 @@ func (s *Sink) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.err
+}
+
+// Waiting returns the number of long-poll waiters currently parked in
+// Changed — the observable that shutdown paths (and their tests) use to
+// know the pollers have actually registered before tearing down.
+func (s *Sink) Waiting() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
 }
 
 // Count returns the number of lines emitted so far.
@@ -228,7 +284,9 @@ func (s *Sink) Since(cursor uint64, max int) (lines [][]byte, next, from uint64)
 }
 
 // Changed returns a channel that is closed once the stream grows past
-// cursor — the long-poll primitive behind /events?since=N.
+// cursor — the long-poll primitive behind /events?since=N. On a closed
+// sink the channel comes back already closed: the stream is terminal, so
+// waiting would block forever.
 func (s *Sink) Changed(cursor uint64) <-chan struct{} {
 	ch := make(chan struct{})
 	if s == nil {
@@ -236,7 +294,7 @@ func (s *Sink) Changed(cursor uint64) <-chan struct{} {
 		return ch
 	}
 	s.mu.Lock()
-	if s.count > cursor {
+	if s.count > cursor || s.closed {
 		s.mu.Unlock()
 		close(ch)
 		return ch

@@ -6,6 +6,7 @@ package observatory_test
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -379,6 +380,155 @@ func TestSinkRingAndCursors(t *testing.T) {
 	case <-sink.Changed(0):
 	default:
 		t.Error("Changed(0) not ready with 10 lines emitted")
+	}
+}
+
+func TestSinkClose(t *testing.T) {
+	sink := observatory.NewSink(nil)
+
+	// A waiter registered before Close is woken by it.
+	ch := sink.Changed(0)
+	select {
+	case <-ch:
+		t.Fatal("Changed(0) ready on an empty stream")
+	default:
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close on a healthy sink: %v", err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not wake the registered waiter")
+	}
+
+	// After Close every Changed comes back pre-closed, at any cursor.
+	select {
+	case <-sink.Changed(99):
+	default:
+		t.Error("Changed after Close should be pre-closed")
+	}
+
+	// Emit after Close still records the line: late results are data.
+	sink.Emit(observatory.Event{Type: observatory.EventCheckpoint, Trial: -1, Seq: 1, Completed: 1, Total: 1})
+	if sink.Count() != 1 {
+		t.Errorf("post-Close emit not recorded: count = %d", sink.Count())
+	}
+
+	// Close surfaces the sticky write error; idempotent.
+	bad := observatory.NewSink(failWriter{})
+	bad.Emit(observatory.Event{Type: observatory.EventCheckpoint, Trial: -1})
+	if err := bad.Close(); err == nil {
+		t.Error("Close swallowed the sticky write error")
+	}
+	if err := bad.Close(); err == nil {
+		t.Error("second Close swallowed the sticky write error")
+	}
+
+	var nilSink *observatory.Sink
+	if err := nilSink.Close(); err != nil {
+		t.Errorf("nil sink Close: %v", err)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errWriteFailed }
+
+var errWriteFailed = errors.New("disk full")
+
+func TestEventParseLineRoundTrip(t *testing.T) {
+	events := []observatory.Event{
+		{Type: observatory.EventTrialStart, Trial: 3, Seq: 0, Seed: -42},
+		{Type: observatory.EventFinding, Trial: 3, Seq: 1, VirtualNanos: 1234,
+			Oracle: "unlock-ack", Detail: `a "quoted" detail`, TriggerID: "215"},
+		{Type: observatory.EventTrialEnd, Trial: 3, Seq: 2, Status: "finding",
+			VirtualNanos: 5678, Frames: 99, SendErrors: 2, Findings: 1},
+		{Type: observatory.EventCorpusMerge, Trial: 3, Seq: 3, Frames: 7},
+		{Type: observatory.EventCheckpoint, Trial: -1, Seq: 4, Completed: 4, Total: 8},
+		{Type: observatory.EventCampaignStart, Trial: -1, Seq: 0, Raw: []byte(`{"trials":8,"baseSeed":5}`)},
+		{Type: observatory.EventTrialResult, Trial: 3, Seq: 5, Raw: []byte(`{"trial":3,"status":"finding"}`)},
+	}
+	for _, want := range events {
+		line := want.MarshalJSONL(nil)
+		got, err := observatory.ParseLine(line)
+		if err != nil {
+			t.Fatalf("ParseLine(%s): %v", line, err)
+		}
+		// Marshalling the parsed event must reproduce the original bytes:
+		// that is the property the resume journal depends on.
+		if back := got.MarshalJSONL(nil); !bytes.Equal(back, line) {
+			t.Errorf("round trip diverged:\n in: %s\nout: %s", line, back)
+		}
+	}
+
+	if _, err := observatory.ParseLine([]byte(`not json`)); err == nil {
+		t.Error("ParseLine accepted garbage")
+	}
+	if _, err := observatory.ParseLine([]byte(`{"trial":1}`)); err == nil {
+		t.Error("ParseLine accepted a line without a type")
+	}
+}
+
+func TestEventsLongPollUnblocksOnShutdown(t *testing.T) {
+	// Satellite of the distributed-campaign work: a graceful server
+	// shutdown must not wait out every /events long-poller's waitMs. The
+	// sink's Close is registered as an http.Server shutdown hook, so
+	// telemetry.Shutdown wakes the pollers and the drain completes
+	// promptly, leaving no poller goroutines behind.
+	sink := observatory.NewSink(nil)
+	obs := observatory.New(observatory.Config{Sink: sink})
+	srv, addr, err := telemetry.ServeHandler("127.0.0.1:0", obs.Handler(observatory.HandlerConfig{}), func() { _ = sink.Close() })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	const pollers = 4
+	done := make(chan error, pollers)
+	for i := 0; i < pollers; i++ {
+		go func() {
+			resp, err := http.Get("http://" + addr + "/events?since=0&waitMs=25000")
+			if err == nil {
+				resp.Body.Close()
+			}
+			done <- err
+		}()
+	}
+	// Wait until every poller has parked in the sink's waiter list; only
+	// then is shutdown actually racing against blocked long-polls.
+	deadline := time.Now().Add(10 * time.Second)
+	for sink.Waiting() < pollers && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := sink.Waiting(); n < pollers {
+		t.Fatalf("only %d of %d pollers registered", n, pollers)
+	}
+
+	start := time.Now()
+	telemetry.Shutdown(srv, 5*time.Second)
+	for i := 0; i < pollers; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("poller failed: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("long-poller still blocked after Shutdown")
+		}
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Errorf("shutdown took %v, pollers were not woken", took)
+	}
+
+	// The poller goroutines (and the server's) must be gone; allow the
+	// runtime a moment to reap them.
+	deadline = time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked across shutdown: before=%d after=%d", before, after)
 	}
 }
 
