@@ -6,7 +6,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
@@ -19,7 +18,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/observatory"
-	"repro/internal/retry"
 	"repro/internal/telemetry"
 )
 
@@ -50,7 +48,7 @@ func parseCheckMode(s string) (bcm.CheckMode, error) {
 // campaign flag is a footgun that would silently be ignored.
 func rejectWorkerFlags(fs *flag.FlagSet) error {
 	allowed := map[string]bool{
-		"worker": true, "worker-name": true,
+		"worker": true, "worker-name": true, "token": true,
 		"log-level": true, "log-format": true,
 	}
 	var bad []string
@@ -101,11 +99,34 @@ func specWorld(spec campaignd.CampaignSpec) (targetSpec, core.Config, error) {
 	return ts, cfg, nil
 }
 
-// runWorker is `canfuzz -worker URL`: fetch the spec, then lease, execute
-// and submit trials until the coordinator says done. Every trial runs
-// through fleet.RunTrial on a world built by the same newWorld the
-// in-process fleet uses, so results are byte-identical to local execution.
-func runWorker(coordURL, name string) error {
+// buildRuntime maps a fetched campaign spec onto a worker runtime: a
+// factory closing over the same newWorld the in-process fleet uses, so
+// results are byte-identical to local execution. The Worker calls this
+// lazily — once per campaign, the first time the scheduler hands it one of
+// that campaign's trials — and caches the result across leases.
+func buildRuntime(spec campaignd.CampaignSpec) (campaignd.Runtime, error) {
+	ts, cfg, err := specWorld(spec)
+	if err != nil {
+		return campaignd.Runtime{}, err
+	}
+	return campaignd.Runtime{
+		Factory: func(tsp fleet.TrialSpec) (*fleet.World, error) {
+			tcfg := cfg
+			tcfg.Seed = tsp.Seed
+			world, _, werr := newWorld(ts, tcfg, nil, nil, nil)
+			return world, werr
+		},
+		FleetCfg: spec.FleetConfig(),
+	}, nil
+}
+
+// runWorker is `canfuzz -worker URL`: lease, execute and submit trials
+// until the server says no work is left. The server may be a
+// single-campaign coordinator (`canfuzz -coordinator`) or the
+// multi-campaign canfuzzd scheduler — the worker is campaign-agnostic
+// either way, building and caching one runtime per campaign it is handed
+// trials from.
+func runWorker(coordURL, name, token string) error {
 	ctx, cancelSig := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancelSig()
 	if name == "" {
@@ -115,41 +136,12 @@ func runWorker(coordURL, name string) error {
 		}
 		name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
-	client := &campaignd.Client{Base: coordURL}
-
-	// The coordinator may still be starting (or resuming): fetch the spec
-	// with the same patience the worker loop applies to every other call.
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
-	var spec campaignd.CampaignSpec
-	err := retry.Do(ctx, campaignd.DefaultTransportRetry, campaignd.DefaultTransportAttempts, rng,
-		func() error {
-			s, serr := client.Spec()
-			if serr == nil {
-				spec = s
-			}
-			return serr
-		})
-	if err != nil {
-		return fmt.Errorf("worker %s: fetch spec from %s: %w", name, coordURL, err)
-	}
-	ts, cfg, err := specWorld(spec)
-	if err != nil {
-		return err
-	}
-	logger.Info("worker joined campaign", "name", name, "coordinator", coordURL,
-		"target", spec.Target, "trials", spec.Trials, "base_seed", spec.BaseSeed)
-
+	logger.Info("worker joined fleet", "name", name, "server", coordURL)
 	w := &campaignd.Worker{
-		Client:  client,
-		Name:    name,
-		Factory: func(tsp fleet.TrialSpec) (*fleet.World, error) {
-			tcfg := cfg
-			tcfg.Seed = tsp.Seed
-			world, _, werr := newWorld(ts, tcfg, nil, nil, nil)
-			return world, werr
-		},
-		FleetCfg: spec.FleetConfig(),
-		Logger:   logger,
+		Client: &campaignd.Client{Base: coordURL, Token: token},
+		Name:   name,
+		Build:  buildRuntime,
+		Logger: logger,
 	}
 	return w.Run(ctx)
 }

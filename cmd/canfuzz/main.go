@@ -96,6 +96,12 @@ func run(args []string) error {
 	leaseTTL := fs.Duration("lease-ttl", campaignd.DefaultLeaseTTL, "coordinator mode: worker lease deadline before a trial is re-dispatched")
 	workerURL := fs.String("worker", "", "run as a campaign worker for the coordinator at this URL (e.g. http://host:9990)")
 	workerName := fs.String("worker-name", "", "worker mode: name reported to the coordinator (default hostname-pid)")
+	submitURL := fs.String("submit", "", "submit this invocation's campaign to the canfuzzd service at this URL and print the campaign ID")
+	watch := fs.Bool("watch", false, "submit mode: poll the service until the campaign completes, then print its final report")
+	priority := fs.Int("priority", 1, "submit mode: fair-share scheduling weight (>= 1; higher gets proportionally more of the fleet)")
+	maxInflight := fs.Int("max-inflight", 0, "submit mode: cap on this campaign's concurrently leased trials (0 = unlimited)")
+	statusURL := fs.String("status", "", "print a one-line-per-campaign table from the canfuzzd service at this URL and exit")
+	token := fs.String("token", "", "bearer token for the canfuzzd campaign API (worker/submit/status modes)")
 	logFlags := telemetry.RegisterLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +115,11 @@ func run(args []string) error {
 		*minimize = true
 	}
 
+	// Status mode is a pure read: one /fleet.json fetch, one table, exit.
+	if *statusURL != "" {
+		return runStatus(*statusURL, *token)
+	}
+
 	// Worker mode is a different program: the campaign definition comes
 	// from the coordinator, so any local campaign flag is rejected.
 	if *workerURL != "" {
@@ -118,7 +129,19 @@ func run(args []string) error {
 		if err := rejectWorkerFlags(fs); err != nil {
 			return err
 		}
-		return runWorker(*workerURL, *workerName)
+		return runWorker(*workerURL, *workerName, *token)
+	}
+	if *priority < 1 {
+		return fmt.Errorf("-priority must be >= 1, got %d", *priority)
+	}
+	if *maxInflight < 0 {
+		return fmt.Errorf("-max-inflight must be >= 0, got %d", *maxInflight)
+	}
+	if *submitURL == "" {
+		switch {
+		case *watch:
+			return fmt.Errorf("-watch requires -submit")
+		}
 	}
 
 	// Flag validation: loud errors instead of silent misbehaviour.
@@ -151,6 +174,16 @@ func run(args []string) error {
 	}
 	if *resume && *coordAddr == "" {
 		return fmt.Errorf("-resume requires -coordinator: it reloads the coordinator's -events journal")
+	}
+	if *submitURL != "" {
+		switch {
+		case *coordAddr != "":
+			return fmt.Errorf("-submit and -coordinator are mutually exclusive")
+		case *chaosSpec != "" || *traceFile != "" || *minimize:
+			return fmt.Errorf("-chaos/-trace/-minimize are not supported with -submit: the campaign runs on the service's worker fleet")
+		case *metricsAddr != "" || *eventsFile != "":
+			return fmt.Errorf("-metrics/-events are not supported with -submit: the canfuzzd service owns the observatory and the journal")
+		}
 	}
 	if *coordAddr != "" {
 		switch {
@@ -313,7 +346,7 @@ func run(args []string) error {
 		plan = &p
 	}
 
-	if *coordAddr != "" {
+	if *coordAddr != "" || *submitURL != "" {
 		// The wire spec is the complete campaign definition: workers rebuild
 		// identical worlds from it, and the journal embeds it so -resume can
 		// prove it is continuing the same campaign.
@@ -331,6 +364,14 @@ func run(args []string) error {
 		}
 		for _, f := range spec.guidedSeed {
 			wireSpec.GuidedSeed = append(wireSpec.GuidedSeed, core.FormatCorpusFrame(f))
+		}
+		if *submitURL != "" {
+			return runSubmit(ctx, *submitURL, *token, wireSpec, submitOpts{
+				priority:    *priority,
+				maxInflight: *maxInflight,
+				watch:       *watch,
+				jsonOut:     *jsonOut,
+			})
 		}
 		return runCoordinator(ctx, wireSpec, coordinatorOpts{
 			addr:       *coordAddr,

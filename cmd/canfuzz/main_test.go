@@ -179,6 +179,13 @@ func TestRunFlagValidation(t *testing.T) {
 		{"-coordinator", ":0", "-trials", "2", "-events", "/tmp/j.jsonl", "-fail-fast"},
 		{"-coordinator", ":0", "-trials", "2", "-events", "/tmp/j.jsonl", "-metrics", "localhost:0"},
 		{"-coordinator", ":0", "-trials", "2", "-events", "/nonexistent/dir/j.jsonl"},
+		{"-submit", "http://x", "-coordinator", ":0"},
+		{"-submit", "http://x", "-trials", "2", "-priority", "0"},
+		{"-submit", "http://x", "-trials", "2", "-max-inflight", "-1"},
+		{"-submit", "http://x", "-trials", "2", "-minimize"},
+		{"-submit", "http://x", "-trials", "2", "-metrics", "localhost:0"},
+		{"-watch", "-trials", "2"},
+		{"-worker", "http://x", "-priority", "2"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

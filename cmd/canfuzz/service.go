@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/campaignd"
+	"repro/internal/campsrv"
+	"repro/internal/fleet"
+	"repro/internal/retry"
+)
+
+// Service client modes: `canfuzz -submit URL [-watch]` posts this
+// invocation's campaign to a canfuzzd service, and `canfuzz -status URL`
+// renders the service's /fleet.json as a one-line-per-campaign table.
+
+// submitOpts carries the -submit flags.
+type submitOpts struct {
+	priority    int
+	maxInflight int
+	watch       bool
+	jsonOut     bool
+}
+
+// svcRequest issues one authenticated request against the service.
+func svcRequest(method, url, token string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// svcGetJSON fetches and decodes one JSON document.
+func svcGetJSON(url, token string, v any) error {
+	resp, err := svcRequest(http.MethodGet, url, token, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// runSubmit posts the campaign spec to the service and prints the
+// assigned campaign ID; with -watch it polls until the campaign completes
+// and prints the final report (the exact bytes of /report.json with
+// -json, the human summary otherwise).
+func runSubmit(ctx context.Context, baseURL, token string, spec campaignd.CampaignSpec, o submitOpts) error {
+	base := strings.TrimSuffix(baseURL, "/")
+	body, err := json.Marshal(campsrv.Submission{
+		Spec: spec, Priority: o.priority, MaxInflight: o.maxInflight,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := svcRequest(http.MethodPost, base+"/campaigns", token, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("submit to %s: %w", baseURL, err)
+	}
+	respBody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("submit to %s: %s: %s", baseURL, resp.Status, bytes.TrimSpace(respBody))
+	}
+	var v campsrv.CampaignView
+	if err := json.Unmarshal(respBody, &v); err != nil {
+		return fmt.Errorf("submit response: %w", err)
+	}
+	logger.Info("campaign submitted", "campaign", v.ID, "state", v.State,
+		"trials", v.Trials, "priority", v.Priority)
+	fmt.Println(v.ID)
+	if !o.watch {
+		return nil
+	}
+	return watchCampaign(ctx, base, token, v.ID, o.jsonOut)
+}
+
+// watchCampaign polls the campaign until it reaches a terminal state,
+// then fetches and prints the final report.
+func watchCampaign(ctx context.Context, base, token, id string, jsonOut bool) error {
+	lastDone := -1
+	for {
+		var d campsrv.CampaignDetail
+		if err := svcGetJSON(base+"/campaigns/"+id, token, &d); err != nil {
+			return err
+		}
+		switch d.State {
+		case campsrv.StateCancelled:
+			return fmt.Errorf("campaign %s was cancelled", id)
+		case campsrv.StateDone:
+			if d.Error != "" {
+				return fmt.Errorf("campaign %s finished with a server-side defect: %s", id, d.Error)
+			}
+			return printRemoteReport(base, token, id, jsonOut)
+		}
+		if d.Progress.TrialsDone != lastDone {
+			lastDone = d.Progress.TrialsDone
+			logger.Info("campaign progress", "campaign", id, "state", d.State,
+				"done", d.Progress.TrialsDone, "total", d.Progress.TrialsTotal,
+				"findings", d.Progress.Findings,
+				"eta", time.Duration(d.Progress.EtaSeconds*float64(time.Second)).Round(time.Second))
+		}
+		if err := retry.Sleep(ctx, time.Second); err != nil {
+			return err
+		}
+	}
+}
+
+// printRemoteReport fetches /campaigns/{id}/report.json. With jsonOut the
+// exact server bytes go to stdout — byte-identical to an in-process
+// fleet.Run -json report; otherwise the shared human summary is printed.
+func printRemoteReport(base, token, id string, jsonOut bool) error {
+	resp, err := svcRequest(http.MethodGet, base+"/campaigns/"+id+"/report.json", token, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("report for %s: %s: %s", id, resp.Status, bytes.TrimSpace(raw))
+	}
+	if jsonOut {
+		_, err := os.Stdout.Write(raw)
+		return err
+	}
+	var rep fleet.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("report for %s: %w", id, err)
+	}
+	printFleetReport(&rep)
+	return nil
+}
+
+// runStatus renders the service's /fleet.json as a table: one line per
+// campaign with id, state, progress, ETA and findings — the quick
+// operator check the dashboardless need.
+func runStatus(baseURL, token string) error {
+	base := strings.TrimSuffix(baseURL, "/")
+	var fleetView campsrv.FleetView
+	if err := svcGetJSON(base+"/fleet.json", token, &fleetView); err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-10s %5s  %11s  %8s  %8s\n",
+		"ID", "STATE", "PRI", "TRIALS", "ETA", "FINDINGS")
+	for _, c := range fleetView.Campaigns {
+		eta := "-"
+		if c.Progress.EtaSeconds > 0 {
+			eta = time.Duration(c.Progress.EtaSeconds * float64(time.Second)).Round(time.Second).String()
+		}
+		fmt.Printf("%-8s %-10s %5d  %5d/%-5d  %8s  %8d\n",
+			c.ID, c.State, c.Priority,
+			c.Progress.TrialsDone, c.Progress.TrialsTotal, eta, c.Progress.Findings)
+	}
+	fmt.Printf("%d active, %d queued, %d trials in flight",
+		fleetView.Active, fleetView.Queued, fleetView.Leased)
+	if fleetView.ShuttingDown {
+		fmt.Print(" (shutting down)")
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/campsrv"
+)
+
+func TestRunServiceClientModes(t *testing.T) {
+	// CLI-level smoke of the campaign-service path: an in-process campsrv
+	// server stands in for canfuzzd; `-worker` serves it, `-submit -watch`
+	// rides one campaign to completion, `-status` renders the fleet table.
+	s, err := campsrv.New(campsrv.Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler(campsrv.HandlerConfig{AuthToken: "hunter2"}))
+	defer hs.Close()
+
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- run([]string{"-worker", hs.URL, "-worker-name", "w1", "-token", "hunter2"})
+	}()
+
+	err = run([]string{"-target", "bench", "-ids", "215", "-trials", "3",
+		"-dur", "30m", "-seed", "9", "-submit", hs.URL, "-watch", "-json",
+		"-priority", "2", "-token", "hunter2"})
+	if err != nil {
+		t.Fatalf("submit -watch: %v", err)
+	}
+
+	if err := run([]string{"-status", hs.URL, "-token", "hunter2"}); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	// Wrong token must be a hard client error, not a silent retry loop.
+	if err := run([]string{"-status", hs.URL, "-token", "wrong"}); err == nil {
+		t.Fatal("status with a bad token succeeded, want error")
+	}
+
+	s.BeginShutdown()
+	if err := <-workerDone; err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunErrors(t *testing.T) {
+	empty := t.TempDir()
+	populated := t.TempDir()
+	if err := os.WriteFile(filepath.Join(populated, "index.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{},                          // -data required
+		{"-data", empty, "extra"},   // positional args rejected
+		{"-data", empty, "-resume"}, // resume needs existing state
+		{"-data", populated},        // fresh start refuses populated dir
+		{"-data", empty, "-log-level", "loud"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -217,6 +217,10 @@ const (
 type Lease struct {
 	// Status is LeaseGranted, LeaseWait or LeaseDone.
 	Status string `json:"status"`
+	// Campaign identifies which campaign the trial belongs to when the
+	// lease was granted by a multi-campaign scheduler (campsrv). Empty on a
+	// single-campaign coordinator, whose workers already know the campaign.
+	Campaign string `json:"campaign,omitempty"`
 	// Trial and Seed identify the assigned shard (LeaseGranted).
 	Trial int   `json:"trial"`
 	Seed  int64 `json:"seed"`
@@ -470,6 +474,23 @@ func (c *Coordinator) Drain(ctx context.Context, max time.Duration) {
 		case <-t.C:
 		}
 	}
+}
+
+// Leased counts the currently leased trials after reclaiming expired
+// leases — the live in-flight width a fair-share scheduler caps per
+// campaign (campsrv's max-inflight).
+func (c *Coordinator) Leased() int {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reclaimExpiredLocked(now)
+	n := 0
+	for i := range c.trials {
+		if c.trials[i].state == stateLeased {
+			n++
+		}
+	}
+	return n
 }
 
 // Report returns the final report (nil until Done closes).

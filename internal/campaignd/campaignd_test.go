@@ -45,6 +45,12 @@ func testSpec(trials int) campaignd.CampaignSpec {
 	}
 }
 
+// buildBench is the worker-side runtime builder every test shares: the
+// bench world factory plus the spec's deadlines.
+func buildBench(spec campaignd.CampaignSpec) (campaignd.Runtime, error) {
+	return campaignd.Runtime{Factory: unlockFactory, FleetCfg: spec.FleetConfig()}, nil
+}
+
 // inProcessGolden runs the same campaign through fleet.Run at workers=1
 // and returns its serialised report — the byte-identity reference.
 func inProcessGolden(t *testing.T, spec campaignd.CampaignSpec) []byte {
@@ -93,10 +99,9 @@ func TestDistributedReportMatchesInProcess(t *testing.T) {
 		go func(name string) {
 			defer wg.Done()
 			w := &campaignd.Worker{
-				Client:   &campaignd.Client{Base: srv.URL},
-				Name:     name,
-				Factory:  unlockFactory,
-				FleetCfg: spec.FleetConfig(),
+				Client: &campaignd.Client{Base: srv.URL},
+				Name:   name,
+				Build:  buildBench,
 			}
 			if err := w.Run(context.Background()); err != nil {
 				t.Errorf("worker %s: %v", name, err)
@@ -464,12 +469,17 @@ func TestSubmitResponseCarriesDone(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		done, err := client.Submit(l.Trial, l.ID, "w1", body)
+		ack, err := client.Submit("", l.Trial, l.ID, "w1", body)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if want := i == 1; done != want {
-			t.Fatalf("submit %d done = %v, want %v", i, done, want)
+		if !ack.Accepted || ack.Duplicate {
+			t.Fatalf("submit %d ack = %+v", i, ack)
+		}
+		// A single-campaign coordinator sets both flags together: its
+		// campaign draining IS all work running out.
+		if want := i == 1; ack.Done != want || ack.CampaignDone != want {
+			t.Fatalf("submit %d ack = %+v, want done=%v", i, ack, want)
 		}
 	}
 	// With w1 told done at submit time, Drain has nobody to wait for.

@@ -3,6 +3,7 @@ package campaignd
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,13 +12,24 @@ import (
 	"strings"
 )
 
-// Client speaks the coordinator API from a worker process. Methods return
-// transport errors verbatim so the worker's retry loop can distinguish "the
-// coordinator is briefly down — keep trying, it may be resuming from its
-// journal" from protocol errors that will not heal.
+// ErrCampaignGone means the server no longer serves the named campaign
+// (cancelled, or an unknown ID): the call will never succeed, so transport
+// retry loops must not ride it out.
+var ErrCampaignGone = errors.New("campaignd: campaign gone")
+
+// Client speaks the coordinator API from a worker process — either a
+// single-campaign coordinator (`canfuzz -coordinator`) or the
+// multi-campaign campsrv scheduler (`canfuzzd`), which scope every call
+// with a campaign ID. Methods return transport errors verbatim so the
+// worker's retry loop can distinguish "the server is briefly down — keep
+// trying, it may be resuming from its journal" from protocol errors that
+// will not heal.
 type Client struct {
-	// Base is the coordinator URL, e.g. "http://127.0.0.1:9990".
+	// Base is the server URL, e.g. "http://127.0.0.1:9990".
 	Base string
+	// Token, when non-empty, is sent as a bearer token on every call
+	// (canfuzzd -auth-token). mTLS remains future work; see DESIGN §13.
+	Token string
 	// HTTP is the client used for every call (default http.DefaultClient).
 	HTTP *http.Client
 }
@@ -37,15 +49,55 @@ func (c *Client) url(path, query string) string {
 	return u
 }
 
-// Spec fetches and validates the campaign spec.
-func (c *Client) Spec() (CampaignSpec, error) {
+// do issues one request with the auth header attached.
+func (c *Client) do(method, url, contentType string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	return c.http().Do(req)
+}
+
+// campaignQuery renders the optional campaign scope; a single-campaign
+// coordinator is addressed with the empty ID and no parameter at all, so
+// the PR 7 wire format is a strict subset of the multi-campaign one.
+func campaignQuery(campaign string) string {
+	if campaign == "" {
+		return ""
+	}
+	return "campaign=" + url.QueryEscape(campaign)
+}
+
+func joinQuery(parts ...string) string {
+	var nonEmpty []string
+	for _, p := range parts {
+		if p != "" {
+			nonEmpty = append(nonEmpty, p)
+		}
+	}
+	return strings.Join(nonEmpty, "&")
+}
+
+// Spec fetches and validates a campaign spec. The empty campaign ID
+// addresses a single-campaign coordinator.
+func (c *Client) Spec(campaign string) (CampaignSpec, error) {
 	var spec CampaignSpec
-	resp, err := c.http().Get(c.url("/campaignd/spec", ""))
+	resp, err := c.do(http.MethodGet, c.url("/campaignd/spec", campaignQuery(campaign)), "", nil)
 	if err != nil {
 		return spec, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone, http.StatusNotFound:
+		return spec, fmt.Errorf("%w: spec %q: %s", ErrCampaignGone, campaign, resp.Status)
+	default:
 		return spec, fmt.Errorf("campaignd: spec: %s", resp.Status)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&spec); err != nil {
@@ -54,9 +106,11 @@ func (c *Client) Spec() (CampaignSpec, error) {
 	return spec, spec.Validate()
 }
 
-// Lease asks for a trial assignment.
+// Lease asks for a trial assignment. Against a multi-campaign scheduler
+// the returned lease carries the campaign ID the trial belongs to.
 func (c *Client) Lease(worker string) (Lease, error) {
-	resp, err := c.http().Post(c.url("/campaignd/lease", "worker="+url.QueryEscape(worker)), "", nil)
+	resp, err := c.do(http.MethodPost,
+		c.url("/campaignd/lease", "worker="+url.QueryEscape(worker)), "", nil)
 	if err != nil {
 		return Lease{}, err
 	}
@@ -71,10 +125,11 @@ func (c *Client) Lease(worker string) (Lease, error) {
 	return leaseFromWire(wl), nil
 }
 
-// Heartbeat extends a lease; ErrLeaseGone when it is no longer current.
-func (c *Client) Heartbeat(leaseID uint64) error {
-	resp, err := c.http().Post(c.url("/campaignd/heartbeat",
-		"lease="+strconv.FormatUint(leaseID, 10)), "", nil)
+// Heartbeat extends a lease; ErrLeaseGone when it is no longer current,
+// ErrCampaignGone when its whole campaign is.
+func (c *Client) Heartbeat(campaign string, leaseID uint64) error {
+	q := joinQuery(campaignQuery(campaign), "lease="+strconv.FormatUint(leaseID, 10))
+	resp, err := c.do(http.MethodPost, c.url("/campaignd/heartbeat", q), "", nil)
 	if err != nil {
 		return err
 	}
@@ -85,35 +140,42 @@ func (c *Client) Heartbeat(leaseID uint64) error {
 		return nil
 	case http.StatusGone:
 		return ErrLeaseGone
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: heartbeat: %s", ErrCampaignGone, resp.Status)
 	default:
 		return fmt.Errorf("campaignd: heartbeat: %s", resp.Status)
 	}
 }
 
-// Submit posts a completed trial's serialised result. A duplicate
-// (the coordinator already accepted this trial from someone) is success:
-// the work is durably recorded either way. The returned bool reports
-// whether this submission completed the campaign — the worker can exit
-// without another lease poll against a coordinator that may already be
-// shutting down.
-func (c *Client) Submit(index int, leaseID uint64, worker string, resultJSON []byte) (bool, error) {
-	q := "trial=" + strconv.Itoa(index) + "&lease=" + strconv.FormatUint(leaseID, 10) +
-		"&worker=" + url.QueryEscape(worker)
-	resp, err := c.http().Post(c.url("/campaignd/result", q),
+// Submit posts a completed trial's serialised result. A duplicate (the
+// server already accepted this trial from someone) is success: the work is
+// durably recorded either way. A 410 — the campaign was cancelled while
+// the trial computed — comes back as ack.Gone with a nil error: the result
+// has nowhere to go, which is an outcome, not a transport failure to
+// retry. The ack's CampaignDone/Done flags drive the worker's re-poll-vs-
+// exit decision; see SubmitAck.
+func (c *Client) Submit(campaign string, index int, leaseID uint64, worker string, resultJSON []byte) (SubmitAck, error) {
+	q := joinQuery(campaignQuery(campaign),
+		"trial="+strconv.Itoa(index),
+		"lease="+strconv.FormatUint(leaseID, 10),
+		"worker="+url.QueryEscape(worker))
+	resp, err := c.do(http.MethodPost, c.url("/campaignd/result", q),
 		"application/json", bytes.NewReader(resultJSON))
 	if err != nil {
-		return false, err
+		return SubmitAck{}, err
 	}
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	if resp.StatusCode != http.StatusOK {
-		return false, fmt.Errorf("campaignd: result: %s: %s", resp.Status, bytes.TrimSpace(body))
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone, http.StatusNotFound:
+		return SubmitAck{Gone: true}, nil
+	default:
+		return SubmitAck{}, fmt.Errorf("campaignd: result: %s: %s", resp.Status, bytes.TrimSpace(body))
 	}
-	var ack struct {
-		Done bool `json:"done"`
-	}
+	var ack SubmitAck
 	if err := json.Unmarshal(body, &ack); err != nil {
-		return false, fmt.Errorf("campaignd: result ack: %w", err)
+		return SubmitAck{}, fmt.Errorf("campaignd: result ack: %w", err)
 	}
-	return ack.Done, nil
+	return ack, nil
 }

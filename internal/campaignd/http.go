@@ -19,11 +19,40 @@ const maxResultBody = 8 << 20
 // integral milliseconds.
 type wireLease struct {
 	Status       string `json:"status"`
+	Campaign     string `json:"campaign,omitempty"`
 	Trial        int    `json:"trial"`
 	Seed         int64  `json:"seed"`
 	LeaseID      uint64 `json:"leaseId"`
 	LeaseMs      int64  `json:"leaseMs"`
 	RetryAfterMs int64  `json:"retryAfterMs"`
+}
+
+// SubmitAck is the result-submission response. Done means "this server has
+// no work left, ever — exit"; CampaignDone means only that the submitted
+// trial's campaign drained. A single-campaign coordinator sets both
+// together; the multi-campaign scheduler keeps Done false until it shuts
+// down, so workers re-poll for other campaigns instead of exiting (the PR 7
+// worker conflated the two and would have orphaned every other campaign).
+type SubmitAck struct {
+	Accepted     bool `json:"accepted"`
+	Duplicate    bool `json:"duplicate,omitempty"`
+	CampaignDone bool `json:"campaignDone,omitempty"`
+	Done         bool `json:"done,omitempty"`
+	// Gone is set client-side on 410: the campaign no longer exists
+	// (cancelled); the result is dropped, not an error.
+	Gone bool `json:"-"`
+}
+
+// WireLease converts a lease decision to its wire body — exported for the
+// campsrv scheduler, whose lease endpoint answers with the same document a
+// single-campaign coordinator produces (plus the campaign field).
+func WireLease(l Lease) any {
+	return wireLease{
+		Status: l.Status, Campaign: l.Campaign, Trial: l.Trial, Seed: l.Seed,
+		LeaseID:      l.ID,
+		LeaseMs:      l.TTL.Milliseconds(),
+		RetryAfterMs: l.RetryAfter.Milliseconds(),
+	}
 }
 
 // Handler returns the coordinator API. All routes are rooted at
@@ -50,11 +79,7 @@ func (c *Coordinator) Handler() http.Handler {
 			return
 		}
 		l := c.AcquireLease(r.URL.Query().Get("worker"))
-		writeJSON(w, wireLease{
-			Status: l.Status, Trial: l.Trial, Seed: l.Seed, LeaseID: l.ID,
-			LeaseMs:      l.TTL.Milliseconds(),
-			RetryAfterMs: l.RetryAfter.Milliseconds(),
-		})
+		writeJSON(w, WireLease(l))
 	})
 	mux.HandleFunc("/campaignd/heartbeat", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -97,17 +122,18 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		// Telling the submitter the campaign is over here (rather than on
 		// its next lease poll) lets it exit before the coordinator's server
-		// goes away.
+		// goes away. For a single-campaign coordinator "campaign drained"
+		// and "no work left" coincide, so both ack flags carry it.
 		done := c.Finished()
 		if done {
 			c.forgetWaiter(q.Get("worker"))
 		}
-		if serr == nil {
-			fmt.Fprintf(w, `{"accepted":true,"done":%t}`+"\n", done)
-		} else {
-			// Idempotent: the duplicate's content matches what was accepted.
-			fmt.Fprintf(w, `{"accepted":false,"duplicate":true,"done":%t}`+"\n", done)
-		}
+		writeJSON(w, SubmitAck{
+			Accepted:     serr == nil,
+			Duplicate:    serr != nil, // only ErrTrialDone reaches here
+			CampaignDone: done,
+			Done:         done,
+		})
 	})
 	mux.HandleFunc("/campaignd/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, c.Snapshot())
@@ -124,7 +150,8 @@ func writeJSON(w http.ResponseWriter, v any) {
 // leaseFromWire converts the JSON body back to a Lease (client side).
 func leaseFromWire(wl wireLease) Lease {
 	return Lease{
-		Status: wl.Status, Trial: wl.Trial, Seed: wl.Seed, ID: wl.LeaseID,
+		Status: wl.Status, Campaign: wl.Campaign,
+		Trial: wl.Trial, Seed: wl.Seed, ID: wl.LeaseID,
 		TTL:        time.Duration(wl.LeaseMs) * time.Millisecond,
 		RetryAfter: time.Duration(wl.RetryAfterMs) * time.Millisecond,
 	}

@@ -107,3 +107,7 @@ func (s CampaignSpec) FleetConfig() fleet.Config {
 // marshal renders the spec compactly — the canonical bytes used for the
 // campaign_start journal line and for resume compatibility checks.
 func (s CampaignSpec) marshal() ([]byte, error) { return json.Marshal(s) }
+
+// Canonical exposes the canonical spec bytes to the multi-campaign
+// service, which byte-compares them on resume exactly like Compatible.
+func (s CampaignSpec) Canonical() ([]byte, error) { return s.marshal() }

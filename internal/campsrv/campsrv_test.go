@@ -1,0 +1,563 @@
+// External test package, like the campaignd suite: the trial factories
+// use testbench, which imports guided, which imports fleet.
+package campsrv_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bcm"
+	"repro/internal/campaignd"
+	"repro/internal/campsrv"
+	"repro/internal/can"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/signal"
+	"repro/internal/telemetry"
+	"repro/internal/testbench"
+)
+
+// unlockFactory builds the Table V bench world per trial.
+func unlockFactory(spec fleet.TrialSpec) (*fleet.World, error) {
+	exp, err := testbench.NewUnlockExperiment(testbench.Config{Check: bcm.CheckByteOnly},
+		core.Config{Seed: spec.Seed, TargetIDs: []can.ID{signal.IDBodyCommand}})
+	if err != nil {
+		return nil, err
+	}
+	return &fleet.World{Sched: exp.Bench.Scheduler(), Campaign: exp.Campaign}, nil
+}
+
+// buildBench is the campaign-agnostic worker runtime builder.
+func buildBench(spec campaignd.CampaignSpec) (campaignd.Runtime, error) {
+	return campaignd.Runtime{Factory: unlockFactory, FleetCfg: spec.FleetConfig()}, nil
+}
+
+// testSpec returns a bench campaign; distinct base seeds keep distinct
+// campaigns' trial seeds — and therefore their results — distinguishable.
+func testSpec(trials int, baseSeed int64) campaignd.CampaignSpec {
+	return campaignd.CampaignSpec{
+		Target:           "bench",
+		BCMCheck:         "byte",
+		Trials:           trials,
+		BaseSeed:         baseSeed,
+		MaxPerTrialNanos: int64(30 * time.Minute),
+	}
+}
+
+// inProcessGolden runs the same campaign through fleet.Run at workers=1
+// and returns its serialised report — the byte-identity reference.
+func inProcessGolden(t *testing.T, spec campaignd.CampaignSpec) []byte {
+	t.Helper()
+	cfg := spec.FleetConfig()
+	cfg.Workers = 1
+	rep, err := fleet.Run(cfg, unlockFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newServer(t *testing.T, cfg campsrv.Config) *campsrv.Server {
+	t.Helper()
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	s, err := campsrv.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func submit(t *testing.T, s *campsrv.Server, spec campaignd.CampaignSpec, priority, maxInflight int) string {
+	t.Helper()
+	v, err := s.Submit(campsrv.Submission{Spec: spec, Priority: priority, MaxInflight: maxInflight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.ID
+}
+
+// runLease computes the leased trial exactly as a worker would.
+func runLease(spec campaignd.CampaignSpec, l campaignd.Lease) fleet.TrialResult {
+	return fleet.RunTrial(fleet.TrialSpec{Index: l.Trial, Seed: l.Seed}, spec.FleetConfig(), unlockFactory)
+}
+
+// drainAll lease-loops in-process until every campaign in specs is done,
+// acting as a single synchronous worker against the server API.
+func drainAll(t *testing.T, s *campsrv.Server, specs map[string]campaignd.CampaignSpec) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	remaining := len(specs)
+	for remaining > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("drainAll: campaigns did not finish in time")
+		}
+		l := s.AcquireLease("test-worker")
+		switch l.Status {
+		case campaignd.LeaseGranted:
+			spec, ok := specs[l.Campaign]
+			if !ok {
+				t.Fatalf("lease for unexpected campaign %q", l.Campaign)
+			}
+			ack, err := s.SubmitResult(l.Campaign, l.Trial, l.ID, runLease(spec, l))
+			if err != nil {
+				t.Fatalf("submit %s trial %d: %v", l.Campaign, l.Trial, err)
+			}
+			if ack.CampaignDone {
+				remaining--
+			}
+		case campaignd.LeaseWait:
+			time.Sleep(5 * time.Millisecond)
+		case campaignd.LeaseDone:
+			t.Fatal("scheduler answered done with campaigns still outstanding")
+		}
+	}
+	// The watcher goroutine finalises reports asynchronously after the last
+	// ack; wait for every campaign to reach done.
+	for id := range specs {
+		waitState(t, s, id, campsrv.StateDone)
+	}
+}
+
+func waitState(t *testing.T, s *campsrv.Server, id string, want campsrv.State) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		d, err := s.Detail(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.State == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s stuck in %s, want %s", id, d.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func reportJSON(t *testing.T, s *campsrv.Server, id string) []byte {
+	t.Helper()
+	rep, err := s.ReportJSON(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestFairShareProportions saturates the scheduler with lease polls and
+// asserts the weighted-round-robin grant mix: priorities 3:1 over two
+// dispatchable campaigns must yield grants in exactly 3:1 proportion.
+func TestFairShareProportions(t *testing.T) {
+	s := newServer(t, campsrv.Config{})
+	defer s.Close()
+	high := submit(t, s, testSpec(40, 11), 3, 0)
+	low := submit(t, s, testSpec(40, 99), 1, 0)
+
+	counts := map[string]int{}
+	for i := 0; i < 40; i++ {
+		l := s.AcquireLease("w")
+		if l.Status != campaignd.LeaseGranted {
+			t.Fatalf("poll %d: status %q, want granted", i, l.Status)
+		}
+		counts[l.Campaign]++
+	}
+	if counts[high] != 30 || counts[low] != 10 {
+		t.Fatalf("grant mix %v, want %s=30 %s=10", counts, high, low)
+	}
+}
+
+// TestMaxInflightCap: a campaign's cap bounds its concurrently leased
+// trials even when it is the only dispatchable campaign.
+func TestMaxInflightCap(t *testing.T) {
+	s := newServer(t, campsrv.Config{})
+	defer s.Close()
+	submit(t, s, testSpec(10, 11), 1, 2)
+
+	for i := 0; i < 2; i++ {
+		if l := s.AcquireLease("w"); l.Status != campaignd.LeaseGranted {
+			t.Fatalf("lease %d: status %q, want granted", i, l.Status)
+		}
+	}
+	if l := s.AcquireLease("w"); l.Status != campaignd.LeaseWait {
+		t.Fatalf("capped campaign still granting: status %q", l.Status)
+	}
+}
+
+// TestLeaseExpiryRedispatchAcrossCampaigns: leases abandoned in two
+// concurrent campaigns are both re-dispatched after their TTL, and the
+// final reports are unaffected by the churn.
+func TestLeaseExpiryRedispatchAcrossCampaigns(t *testing.T) {
+	specA, specB := testSpec(2, 11), testSpec(2, 99)
+	goldenA, goldenB := inProcessGolden(t, specA), inProcessGolden(t, specB)
+
+	s := newServer(t, campsrv.Config{LeaseTTL: 50 * time.Millisecond})
+	defer s.Close()
+	idA := submit(t, s, specA, 1, 0)
+	idB := submit(t, s, specB, 1, 0)
+
+	// Lease everything and walk away: the crashed-worker scenario, twice.
+	abandoned := map[string]int{}
+	for i := 0; i < 4; i++ {
+		l := s.AcquireLease("crashed")
+		if l.Status != campaignd.LeaseGranted {
+			t.Fatalf("initial lease %d: status %q", i, l.Status)
+		}
+		abandoned[l.Campaign]++
+	}
+	if abandoned[idA] != 2 || abandoned[idB] != 2 {
+		t.Fatalf("abandoned lease mix %v", abandoned)
+	}
+	time.Sleep(120 * time.Millisecond)
+
+	// A healthy worker must now receive every trial again, in both
+	// campaigns, and carry the fleet to completion.
+	drainAll(t, s, map[string]campaignd.CampaignSpec{idA: specA, idB: specB})
+	if got := reportJSON(t, s, idA); !bytes.Equal(got, goldenA) {
+		t.Fatalf("campaign A report differs after lease churn:\n%s\n--- golden ---\n%s", got, goldenA)
+	}
+	if got := reportJSON(t, s, idB); !bytes.Equal(got, goldenB) {
+		t.Fatalf("campaign B report differs after lease churn:\n%s\n--- golden ---\n%s", got, goldenB)
+	}
+}
+
+// TestCrossCampaignSubmission: a result computed for one campaign must not
+// be acceptable to another (their per-trial seeds differ), and resubmitting
+// to the right campaign is a duplicate, not a second acceptance.
+func TestCrossCampaignSubmission(t *testing.T) {
+	s := newServer(t, campsrv.Config{})
+	defer s.Close()
+	specA, specB := testSpec(3, 11), testSpec(3, 99)
+	idA := submit(t, s, specA, 1, 0)
+	idB := submit(t, s, specB, 1, 0)
+
+	l := s.AcquireLease("w")
+	if l.Status != campaignd.LeaseGranted || l.Campaign != idA {
+		t.Fatalf("first lease: %+v, want a grant from %s", l, idA)
+	}
+	res := runLease(specA, l)
+
+	other := idB
+	if l.Campaign == idB {
+		other = idA
+	}
+	if _, err := s.SubmitResult(other, l.Trial, l.ID, res); !errors.Is(err, campaignd.ErrBadResult) {
+		t.Fatalf("cross-campaign submission: err %v, want ErrBadResult", err)
+	}
+	if _, err := s.SubmitResult("c9999", l.Trial, l.ID, res); !errors.Is(err, campsrv.ErrNotFound) {
+		t.Fatalf("unknown campaign: err %v, want ErrNotFound", err)
+	}
+
+	ack, err := s.SubmitResult(idA, l.Trial, l.ID, res)
+	if err != nil || !ack.Accepted {
+		t.Fatalf("legitimate submission rejected: ack %+v err %v", ack, err)
+	}
+	dup, err := s.SubmitResult(idA, l.Trial, l.ID, res)
+	if err != nil || !dup.Duplicate || dup.Accepted {
+		t.Fatalf("resubmission: ack %+v err %v, want duplicate", dup, err)
+	}
+}
+
+// TestThreeCampaignsSharedWorkersByteIdentical is the acceptance scenario:
+// three campaigns at different priorities over four shared HTTP workers,
+// every final report byte-identical to the in-process fleet.Run report.
+func TestThreeCampaignsSharedWorkersByteIdentical(t *testing.T) {
+	specs := []campaignd.CampaignSpec{testSpec(5, 11), testSpec(6, 22), testSpec(7, 33)}
+	goldens := make([][]byte, len(specs))
+	for i, spec := range specs {
+		goldens[i] = inProcessGolden(t, spec)
+	}
+
+	s := newServer(t, campsrv.Config{})
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler(campsrv.HandlerConfig{}))
+	defer hs.Close()
+
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		ids[i] = submit(t, s, spec, i+1, 0)
+	}
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, 4)
+	for i := range workerErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &campaignd.Worker{
+				Client: &campaignd.Client{Base: hs.URL},
+				Name:   string(rune('a' + i)),
+				Build:  buildBench,
+			}
+			workerErrs[i] = w.Run(context.Background())
+		}(i)
+	}
+
+	for _, id := range ids {
+		waitState(t, s, id, campsrv.StateDone)
+	}
+	// All campaigns drained; the workers are idle-polling the scheduler —
+	// the shutdown signal is what releases them.
+	s.BeginShutdown()
+	wg.Wait()
+	for i, err := range workerErrs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	for i, id := range ids {
+		if got := reportJSON(t, s, id); !bytes.Equal(got, goldens[i]) {
+			t.Fatalf("campaign %s report differs from in-process run:\n%s\n--- golden ---\n%s",
+				id, got, goldens[i])
+		}
+	}
+}
+
+// TestWorkerOutlivesFirstCampaign is the shutdown-semantics regression
+// test: a campaign draining means "that campaign is finished", not "the
+// fleet is finished" — the worker must return to the scheduler and serve
+// the next campaign rather than exiting.
+func TestWorkerOutlivesFirstCampaign(t *testing.T) {
+	specA, specB := testSpec(3, 11), testSpec(3, 99)
+	goldenA, goldenB := inProcessGolden(t, specA), inProcessGolden(t, specB)
+
+	s := newServer(t, campsrv.Config{})
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler(campsrv.HandlerConfig{}))
+	defer hs.Close()
+
+	var wg sync.WaitGroup
+	var workerErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := &campaignd.Worker{
+			Client: &campaignd.Client{Base: hs.URL},
+			Name:   "survivor",
+			Build:  buildBench,
+		}
+		workerErr = w.Run(context.Background())
+	}()
+
+	idA := submit(t, s, specA, 1, 0)
+	waitState(t, s, idA, campsrv.StateDone)
+
+	// First campaign fully drained. The worker heard CampaignDone, not
+	// Done — it must still be polling and pick up the second campaign.
+	idB := submit(t, s, specB, 1, 0)
+	waitState(t, s, idB, campsrv.StateDone)
+
+	s.BeginShutdown()
+	wg.Wait()
+	if workerErr != nil {
+		t.Fatalf("worker: %v", workerErr)
+	}
+	if got := reportJSON(t, s, idA); !bytes.Equal(got, goldenA) {
+		t.Fatalf("first campaign report differs:\n%s\n--- golden ---\n%s", got, goldenA)
+	}
+	if got := reportJSON(t, s, idB); !bytes.Equal(got, goldenB) {
+		t.Fatalf("second campaign report differs:\n%s\n--- golden ---\n%s", got, goldenB)
+	}
+}
+
+// TestKillResumeByteIdentical: abandon the server mid-fleet (the SIGKILL
+// stand-in — journals never closed, index mid-campaign), resume the data
+// directory in a fresh server, finish the trials, and require every final
+// report byte-identical to the in-process golden.
+func TestKillResumeByteIdentical(t *testing.T) {
+	specA, specB := testSpec(6, 11), testSpec(5, 99)
+	goldenA, goldenB := inProcessGolden(t, specA), inProcessGolden(t, specB)
+	dir := t.TempDir()
+
+	s1 := newServer(t, campsrv.Config{DataDir: dir})
+	idA := submit(t, s1, specA, 2, 0)
+	idB := submit(t, s1, specB, 1, 0)
+	specs := map[string]campaignd.CampaignSpec{idA: specA, idB: specB}
+
+	// Complete five trials, then walk away without Close: journal file
+	// descriptors die with the "process", exactly like SIGKILL.
+	for i := 0; i < 5; i++ {
+		l := s1.AcquireLease("doomed")
+		if l.Status != campaignd.LeaseGranted {
+			t.Fatalf("lease %d before kill: status %q", i, l.Status)
+		}
+		if _, err := s1.SubmitResult(l.Campaign, l.Trial, l.ID, runLease(specs[l.Campaign], l)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2 := newServer(t, campsrv.Config{DataDir: dir, Resume: true})
+	defer s2.Close()
+	drainAll(t, s2, specs)
+	if got := reportJSON(t, s2, idA); !bytes.Equal(got, goldenA) {
+		t.Fatalf("campaign A report differs after resume:\n%s\n--- golden ---\n%s", got, goldenA)
+	}
+	if got := reportJSON(t, s2, idB); !bytes.Equal(got, goldenB) {
+		t.Fatalf("campaign B report differs after resume:\n%s\n--- golden ---\n%s", got, goldenB)
+	}
+
+	// Completed campaigns must survive a further resume: the report is
+	// rebuilt from the journal alone, byte-identical again.
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := newServer(t, campsrv.Config{DataDir: dir, Resume: true})
+	defer s3.Close()
+	if got := reportJSON(t, s3, idA); !bytes.Equal(got, goldenA) {
+		t.Fatalf("campaign A report differs after second resume:\n%s\n--- golden ---\n%s", got, goldenA)
+	}
+	if got := reportJSON(t, s3, idB); !bytes.Equal(got, goldenB) {
+		t.Fatalf("campaign B report differs after second resume:\n%s\n--- golden ---\n%s", got, goldenB)
+	}
+}
+
+// TestQueuePromotionByPriority: with one running slot, the highest
+// priority queued campaign is promoted first regardless of arrival order.
+func TestQueuePromotionByPriority(t *testing.T) {
+	s := newServer(t, campsrv.Config{MaxActive: 1})
+	defer s.Close()
+	specA := testSpec(1, 11)
+	idA := submit(t, s, specA, 1, 0)
+	idLow := submit(t, s, testSpec(1, 22), 1, 0)
+	idHigh := submit(t, s, testSpec(1, 33), 5, 0)
+
+	for _, id := range []string{idLow, idHigh} {
+		if d, _ := s.Detail(id); d.State != campsrv.StateQueued {
+			t.Fatalf("campaign %s: state %s, want queued", id, d.State)
+		}
+	}
+
+	drainAll(t, s, map[string]campaignd.CampaignSpec{idA: specA})
+	waitState(t, s, idA, campsrv.StateDone)
+	if d, _ := s.Detail(idHigh); d.State != campsrv.StateRunning {
+		t.Fatalf("high-priority campaign: state %s, want running after slot freed", d.State)
+	}
+	if d, _ := s.Detail(idLow); d.State != campsrv.StateQueued {
+		t.Fatalf("low-priority campaign: state %s, want still queued", d.State)
+	}
+}
+
+// TestCancel: cancelled campaigns leave the schedule, answer Gone, and
+// free their slot for the queue.
+func TestCancel(t *testing.T) {
+	s := newServer(t, campsrv.Config{MaxActive: 1})
+	defer s.Close()
+	idA := submit(t, s, testSpec(4, 11), 1, 0)
+	idB := submit(t, s, testSpec(4, 22), 1, 0)
+
+	if v, err := s.Cancel(idA); err != nil || v.State != campsrv.StateCancelled {
+		t.Fatalf("cancel running: %+v err %v", v, err)
+	}
+	waitState(t, s, idB, campsrv.StateRunning)
+	if _, err := s.ReportJSON(idA); !errors.Is(err, campsrv.ErrGone) {
+		t.Fatalf("cancelled report: err %v, want ErrGone", err)
+	}
+	if _, err := s.SubmitResult(idA, 0, 1, fleet.TrialResult{}); !errors.Is(err, campsrv.ErrGone) {
+		t.Fatalf("submission to cancelled campaign: err %v, want ErrGone", err)
+	}
+}
+
+// TestFreshStartRefusesPopulatedDir and resume-without-state: silently
+// reusing or inventing campaign history are both hard errors.
+func TestDataDirStateMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := newServer(t, campsrv.Config{DataDir: dir})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campsrv.New(campsrv.Config{DataDir: dir}); err == nil {
+		t.Fatal("fresh start on a populated data directory must fail")
+	}
+	if _, err := campsrv.New(campsrv.Config{DataDir: t.TempDir(), Resume: true}); err == nil {
+		t.Fatal("resume on an empty data directory must fail")
+	}
+}
+
+// TestBearerAuth: with a token configured every campaign API route demands
+// it; /healthz stays open for liveness probes.
+func TestBearerAuth(t *testing.T) {
+	s := newServer(t, campsrv.Config{Telemetry: telemetry.New(0)})
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler(campsrv.HandlerConfig{AuthToken: "s3cret"}))
+	defer hs.Close()
+
+	get := func(path, token string) int {
+		req, err := http.NewRequest(http.MethodGet, hs.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := get("/fleet.json", ""); got != http.StatusUnauthorized {
+		t.Fatalf("no token: status %d, want 401", got)
+	}
+	if got := get("/fleet.json", "wrong"); got != http.StatusUnauthorized {
+		t.Fatalf("wrong token: status %d, want 401", got)
+	}
+	if got := get("/campaigns", ""); got != http.StatusUnauthorized {
+		t.Fatalf("campaign list without token: status %d, want 401", got)
+	}
+	if got := get("/fleet.json", "s3cret"); got != http.StatusOK {
+		t.Fatalf("valid token: status %d, want 200", got)
+	}
+	if got := get("/healthz", ""); got != http.StatusOK {
+		t.Fatalf("healthz must stay tokenless: status %d, want 200", got)
+	}
+}
+
+// TestWorkerTokenRoundTrip: the campaignd client attaches the bearer token
+// so authenticated fleets work end to end.
+func TestWorkerTokenRoundTrip(t *testing.T) {
+	spec := testSpec(3, 11)
+	golden := inProcessGolden(t, spec)
+
+	s := newServer(t, campsrv.Config{})
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler(campsrv.HandlerConfig{AuthToken: "s3cret"}))
+	defer hs.Close()
+	id := submit(t, s, spec, 1, 0)
+
+	var wg sync.WaitGroup
+	var workerErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := &campaignd.Worker{
+			Client: &campaignd.Client{Base: hs.URL, Token: "s3cret"},
+			Name:   "authed",
+			Build:  buildBench,
+		}
+		workerErr = w.Run(context.Background())
+	}()
+	waitState(t, s, id, campsrv.StateDone)
+	s.BeginShutdown()
+	wg.Wait()
+	if workerErr != nil {
+		t.Fatalf("worker: %v", workerErr)
+	}
+	if got := reportJSON(t, s, id); !bytes.Equal(got, golden) {
+		t.Fatalf("authenticated campaign report differs:\n%s\n--- golden ---\n%s", got, golden)
+	}
+}

@@ -79,7 +79,15 @@ func (o *Observatory) Handler(cfg HandlerConfig) http.Handler {
 //	                -events file)
 //	X-Events-Total: lines emitted so far
 func (o *Observatory) serveEvents(w http.ResponseWriter, r *http.Request) {
-	if o.sink == nil {
+	ServeEventsTail(w, r, o.sink)
+}
+
+// ServeEventsTail implements the /events protocol above against any sink —
+// exported so the multi-campaign service can mount one event tail per
+// campaign journal without owning a full Observatory. A nil sink answers
+// 404: there is no event log to tail.
+func ServeEventsTail(w http.ResponseWriter, r *http.Request, sink *Sink) {
+	if sink == nil {
 		http.Error(w, "no event log attached (run with -events)", http.StatusNotFound)
 		return
 	}
@@ -97,17 +105,17 @@ func (o *Observatory) serveEvents(w http.ResponseWriter, r *http.Request) {
 		timer := time.NewTimer(wait)
 		defer timer.Stop()
 		select {
-		case <-o.sink.Changed(since):
+		case <-sink.Changed(since):
 		case <-timer.C:
 		case <-r.Context().Done():
 			return
 		}
 	}
-	lines, next, from := o.sink.Since(since, maxLines)
+	lines, next, from := sink.Since(since, maxLines)
 	w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
 	w.Header().Set("X-Events-Next", strconv.FormatUint(next, 10))
 	w.Header().Set("X-Events-From", strconv.FormatUint(from, 10))
-	w.Header().Set("X-Events-Total", strconv.FormatUint(o.sink.Count(), 10))
+	w.Header().Set("X-Events-Total", strconv.FormatUint(sink.Count(), 10))
 	for _, line := range lines {
 		_, _ = w.Write(line)
 		_, _ = w.Write([]byte{'\n'})
