@@ -31,6 +31,7 @@ import (
 	"repro/internal/can"
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/findings"
 	"repro/internal/fleet"
 	"repro/internal/guided"
 	"repro/internal/telemetry"
@@ -53,11 +54,15 @@ type Result struct {
 
 // File is the shape of a BENCH_<date>.json emission.
 type File struct {
-	Date       string   `json:"date"`
-	GoVersion  string   `json:"goVersion"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Quick      bool     `json:"quick"`
-	Results    []Result `json:"results"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"goVersion"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Quick      bool   `json:"quick"`
+	// FindingsCount is the size of the regression corpus (-findings-db) at
+	// snapshot time — deduplicated findings, not raw campaign hits — so the
+	// trend report shows discovery progress alongside performance.
+	FindingsCount int      `json:"findingsCount,omitempty"`
+	Results       []Result `json:"results"`
 }
 
 // workload pairs a benchmark body with the number of frames one op pumps
@@ -82,6 +87,7 @@ func run(args []string) error {
 	baseline := fs.String("baseline", "", "baseline BENCH json to compare against")
 	tolerance := fs.Float64("tolerance", 0.15, "allowed fractional ns/op regression vs baseline")
 	reps := fs.Int("reps", 3, "runs per workload; the fastest is kept (noise floor)")
+	findingsDB := fs.String("findings-db", "", "findings database directory; its record count is stamped into the snapshot")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,6 +100,18 @@ func run(args []string) error {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
+	}
+	if *findingsDB != "" {
+		db, err := findings.Open(*findingsDB)
+		if err != nil {
+			return err
+		}
+		recs, err := db.Load()
+		if err != nil {
+			return err
+		}
+		f.FindingsCount = len(recs)
+		logger.Info("findings corpus", "db", *findingsDB, "records", f.FindingsCount)
 	}
 	for _, w := range workloads(*quick) {
 		logger.Info("running", "workload", w.name)

@@ -28,11 +28,12 @@ type benchResult struct {
 
 // benchFile mirrors cmd/benchperf's File.
 type benchFile struct {
-	Date       string        `json:"date"`
-	GoVersion  string        `json:"goVersion"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Quick      bool          `json:"quick"`
-	Results    []benchResult `json:"results"`
+	Date          string        `json:"date"`
+	GoVersion     string        `json:"goVersion"`
+	GOMAXPROCS    int           `json:"gomaxprocs"`
+	Quick         bool          `json:"quick"`
+	FindingsCount int           `json:"findingsCount,omitempty"`
+	Results       []benchResult `json:"results"`
 }
 
 // loadBenchFiles reads every BENCH_*.json under dir, sorted by filename
@@ -113,7 +114,42 @@ func runTrend(w io.Writer, dir string) error {
 	writeTrendTable(w, files, names, func(r benchResult) (string, bool) {
 		return fmt.Sprintf("%.0f", r.NsPerOp), true
 	}, lookup)
+
+	writeFindingsTrend(w, files)
 	return nil
+}
+
+// writeFindingsTrend renders the regression-corpus size per snapshot (one
+// row, dates across) when any snapshot was stamped with -findings-db; old
+// snapshots without the field render as empty cells.
+func writeFindingsTrend(w io.Writer, files []benchFile) {
+	any := false
+	for _, f := range files {
+		if f.FindingsCount > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintf(w, "\n## Findings corpus (deduplicated records)\n\n")
+	header, rule, row := "| |", "| --- |", "| findings |"
+	for _, f := range files {
+		label := f.Date
+		if f.Quick {
+			label += " (quick)"
+		}
+		header += " " + label + " |"
+		rule += " ---: |"
+		cell := ""
+		if f.FindingsCount > 0 {
+			cell = fmt.Sprintf("%d", f.FindingsCount)
+		}
+		row += " " + cell + " |"
+	}
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, rule)
+	fmt.Fprintln(w, row)
 }
 
 // writeTrendTable emits one markdown table: benchmarks down, snapshot dates

@@ -25,6 +25,7 @@ func TestRunTrend(t *testing.T) {
 	}`)
 	writeTrendFixture(t, dir, "BENCH_2026-02-01.json", `{
 		"date": "2026-02-01", "goVersion": "go1.24.0", "gomaxprocs": 1,
+		"findingsCount": 3,
 		"results": [
 			{"name": "Campaign", "nsPerOp": 800, "allocsPerOp": 150, "bytesPerOp": 5000, "framesPerSec": 1200000},
 			{"name": "Fleet", "nsPerOp": 4000000, "allocsPerOp": 79000, "bytesPerOp": 900000},
@@ -49,6 +50,9 @@ func TestRunTrend(t *testing.T) {
 		"| Fleet | 80000 | 79000 |",
 		// GuidedStep only exists in the second snapshot: empty first cell.
 		"| GuidedStep |  | 2 |",
+		// Only the second snapshot was stamped with -findings-db.
+		"## Findings corpus (deduplicated records)",
+		"| findings |  | 3 |",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("trend output missing %q\n---\n%s", want, got)
@@ -59,6 +63,21 @@ func TestRunTrend(t *testing.T) {
 	throughput := got[strings.Index(got, "## Throughput"):strings.Index(got, "## Allocations")]
 	if strings.Contains(throughput, "Fleet") {
 		t.Errorf("throughput table should omit Fleet (no framesPerSec):\n%s", throughput)
+	}
+}
+
+func TestRunTrendOmitsFindingsSectionWhenUnstamped(t *testing.T) {
+	dir := t.TempDir()
+	writeTrendFixture(t, dir, "BENCH_2026-01-01.json", `{
+		"date": "2026-01-01", "goVersion": "go1.24.0", "gomaxprocs": 1,
+		"results": [{"name": "Campaign", "nsPerOp": 1000, "allocsPerOp": 200, "bytesPerOp": 6000}]
+	}`)
+	var out strings.Builder
+	if err := runTrend(&out, dir); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "Findings corpus") {
+		t.Errorf("findings section rendered with no stamped snapshot:\n%s", out.String())
 	}
 }
 

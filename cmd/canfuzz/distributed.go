@@ -12,12 +12,10 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/bcm"
 	"repro/internal/campaignd"
-	"repro/internal/can"
-	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/observatory"
+	"repro/internal/target"
 	"repro/internal/telemetry"
 )
 
@@ -27,21 +25,6 @@ import (
 // coordinator's event log doubles as its crash journal: restarting it with
 // -resume picks the campaign up where the log ends. DESIGN §12 has the
 // full protocol.
-
-// parseCheckMode maps the -bcm-check flag (and the spec's BCMCheck field)
-// onto the bench parser mode.
-func parseCheckMode(s string) (bcm.CheckMode, error) {
-	switch s {
-	case "", "byte":
-		return bcm.CheckByteOnly, nil
-	case "length":
-		return bcm.CheckByteAndLength, nil
-	case "twobytes":
-		return bcm.CheckTwoBytes, nil
-	default:
-		return 0, fmt.Errorf("unknown bcm-check %q", s)
-	}
-}
 
 // rejectWorkerFlags refuses flag combinations that contradict worker mode:
 // the campaign definition comes from the coordinator, so every local
@@ -64,48 +47,13 @@ func rejectWorkerFlags(fs *flag.FlagSet) error {
 	return nil
 }
 
-// specWorld maps a fetched campaign spec onto the CLI's world-construction
-// inputs: the targetSpec newWorld consumes plus the base generator config
-// (per-trial seeds are substituted by the factory).
-func specWorld(spec campaignd.CampaignSpec) (targetSpec, core.Config, error) {
-	checkMode, err := parseCheckMode(spec.BCMCheck)
-	if err != nil {
-		return targetSpec{}, core.Config{}, err
-	}
-	cfg, err := spec.Config.ToConfig()
-	if err != nil {
-		return targetSpec{}, core.Config{}, fmt.Errorf("spec config: %w", err)
-	}
-	var guidedSeed []can.Frame
-	for _, line := range spec.GuidedSeed {
-		f, err := core.ParseCorpusFrame(line)
-		if err != nil {
-			return targetSpec{}, core.Config{}, fmt.Errorf("spec guided seed %q: %w", line, err)
-		}
-		guidedSeed = append(guidedSeed, f)
-	}
-	busName := spec.Bus
-	if busName == "" {
-		busName = "body"
-	}
-	ts := targetSpec{
-		target:     spec.Target,
-		busName:    busName,
-		check:      checkMode,
-		stop:       spec.StopOnFinding,
-		recovery:   spec.Recovery,
-		guidedSeed: guidedSeed,
-	}
-	return ts, cfg, nil
-}
-
 // buildRuntime maps a fetched campaign spec onto a worker runtime: a
-// factory closing over the same newWorld the in-process fleet uses, so
-// results are byte-identical to local execution. The Worker calls this
-// lazily — once per campaign, the first time the scheduler hands it one of
-// that campaign's trials — and caches the result across leases.
+// factory closing over the same internal/target builder the in-process
+// fleet uses, so results are byte-identical to local execution. The Worker
+// calls this lazily — once per campaign, the first time the scheduler hands
+// it one of that campaign's trials — and caches the result across leases.
 func buildRuntime(spec campaignd.CampaignSpec) (campaignd.Runtime, error) {
-	ts, cfg, err := specWorld(spec)
+	ts, cfg, err := target.FromCampaignSpec(spec)
 	if err != nil {
 		return campaignd.Runtime{}, err
 	}

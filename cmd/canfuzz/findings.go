@@ -1,0 +1,88 @@
+package main
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/findings"
+	"repro/internal/fleet"
+
+	targetPkg "repro/internal/target"
+)
+
+// specContext maps the CLI world inputs onto the findings identity
+// context — the half of a record's key the trigger frames cannot carry.
+func specContext(spec targetPkg.Spec, chaos string) findings.Context {
+	return findings.Context{
+		Target:   spec.Target,
+		Bus:      spec.Bus,
+		BCMCheck: targetPkg.CheckModeName(spec.Check),
+		Recovery: spec.Recovery,
+		Chaos:    chaos,
+	}
+}
+
+// mergeRunFindings folds a single-run campaign's findings into the
+// database at dir: the minimizer's structured record for the finding it
+// reproduced (the highest-quality shape, with the canreplay log path as
+// provenance), raw trigger-window records for the rest, and generator
+// records for environmental findings a frame replay cannot re-create.
+func mergeRunFindings(dir string, spec targetPkg.Spec, cfg core.Config, chaos string,
+	campaign *core.Campaign, minimized *core.MinimizedTrigger, replayLog string) (int, error) {
+	db, err := findings.Open(dir)
+	if err != nil {
+		return 0, err
+	}
+	ctx := specContext(spec, chaos)
+	gcfg := campaign.Generator().Config() // defaulted config: real interval/mode
+	prov := findings.Provenance{Source: "canfuzz", Mode: gcfg.Mode.String()}
+
+	var recs []findings.Record
+	observed := campaign.Findings()
+	if minimized != nil {
+		p := prov
+		p.ReplayLog = replayLog
+		// The settle mirrors the minimizer default the trigger was confirmed
+		// under (guided.Minimizer.Settle).
+		recs = append(recs, findings.FromMinimized(minimized, ctx, gcfg.Seed,
+			gcfg.Interval, 150*time.Millisecond, p))
+		// The minimizer covered the first finding; keep the rest raw.
+		if len(observed) > 0 {
+			observed = observed[1:]
+		}
+	}
+	for _, f := range observed {
+		if findings.GeneratorFinding(ctx, f.Verdict.Oracle) {
+			recs = append(recs, findings.FromGenerator(f.Verdict.Oracle, f.Verdict.Detail,
+				ctx, gcfg, gcfg.Seed, f.Elapsed+time.Second, prov))
+			continue
+		}
+		frames := make([]string, 0, len(f.Recent))
+		for _, fr := range f.Recent {
+			frames = append(frames, core.FormatCorpusFrame(fr))
+		}
+		if len(frames) == 0 {
+			continue
+		}
+		recs = append(recs, findings.FromTrigger(f.Verdict.Oracle, f.Verdict.Detail,
+			frames, ctx, gcfg.Seed, gcfg.Interval, prov))
+	}
+	return db.MergeAll(recs)
+}
+
+// mergeFleetFindings folds a fleet report's finding trials into the
+// database at dir (fleet mode never carries a chaos plan — the CLI rejects
+// the combination).
+func mergeFleetFindings(dir string, spec targetPkg.Spec, cfg core.Config, rep *fleet.Report) (int, error) {
+	db, err := findings.Open(dir)
+	if err != nil {
+		return 0, err
+	}
+	ctx := specContext(spec, "")
+	mode := "random"
+	if cfg.Mode != 0 {
+		mode = cfg.Mode.String()
+	}
+	prov := findings.Provenance{Source: "canfuzz-fleet", Mode: mode}
+	return db.MergeAll(findings.FromFleetReport(rep, ctx, cfg, prov))
+}

@@ -24,25 +24,21 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/bcm"
 	"repro/internal/campaignd"
 	"repro/internal/can"
 	"repro/internal/capture"
 	"repro/internal/clock"
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ecu"
 	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/guided"
 	"repro/internal/observatory"
-	"repro/internal/oracle"
 	"repro/internal/telemetry"
-	"repro/internal/testbench"
-	"repro/internal/vehicle"
+
+	targetPkg "repro/internal/target"
 
 	busPkg "repro/internal/bus"
-	sigPkg "repro/internal/signal"
 )
 
 // logger is the shared structured stderr logger of the tool; run replaces
@@ -88,6 +84,7 @@ func run(args []string) error {
 	corpusOut := fs.String("corpus-out", "", "guided mode: write the evolved corpus here (fleet: the merged corpus)")
 	minimize := fs.Bool("minimize", false, "minimize the first finding's trigger window to a minimal reproducer after the run")
 	minimizeOut := fs.String("minimize-out", "", "write the minimized reproducer as a canreplay-compatible capture log (implies -minimize)")
+	findingsDB := fs.String("findings-db", "", "merge this run's findings into the deduplicated findings database at this directory (see cmd/canregress)")
 	eventsFile := fs.String("events", "", "fleet mode: stream the campaign event log (JSONL) to this file")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof on the -metrics endpoint")
 	trialTimeout := fs.Duration("trial-timeout", 0, "fleet mode: wall-clock budget per trial (0 = none); a hung trial is cancelled and counted stalled")
@@ -184,6 +181,9 @@ func run(args []string) error {
 		case *metricsAddr != "" || *eventsFile != "":
 			return fmt.Errorf("-metrics/-events are not supported with -submit: the canfuzzd service owns the observatory and the journal")
 		}
+	}
+	if *findingsDB != "" && (*submitURL != "" || *coordAddr != "") {
+		return fmt.Errorf("-findings-db is not supported with -submit/-coordinator: run canfuzzd -findings-db (service) or canregress add (journals) instead")
 	}
 	if *coordAddr != "" {
 		switch {
@@ -322,17 +322,17 @@ func run(args []string) error {
 		}
 	}
 
-	checkMode, err := parseCheckMode(*check)
+	checkMode, err := targetPkg.ParseCheckMode(*check)
 	if err != nil {
 		return err
 	}
-	spec := targetSpec{
-		target:     *target,
-		busName:    *busName,
-		check:      checkMode,
-		stop:       *stop,
-		recovery:   *recovery,
-		guidedSeed: guidedSeed,
+	spec := targetPkg.Spec{
+		Target:     *target,
+		Bus:        *busName,
+		Check:      checkMode,
+		Stop:       *stop,
+		Recovery:   *recovery,
+		GuidedSeed: guidedSeed,
 	}
 
 	// The chaos plan is parsed up front; the injector itself is built per
@@ -351,18 +351,18 @@ func run(args []string) error {
 		// identical worlds from it, and the journal embeds it so -resume can
 		// prove it is continuing the same campaign.
 		wireSpec := campaignd.CampaignSpec{
-			Target:            spec.target,
-			Bus:               spec.busName,
+			Target:            spec.Target,
+			Bus:               spec.Bus,
 			BCMCheck:          *check,
-			StopOnFinding:     spec.stop,
-			Recovery:          spec.recovery,
+			StopOnFinding:     spec.Stop,
+			Recovery:          spec.Recovery,
 			Trials:            *trials,
 			BaseSeed:          cfg.Seed,
 			MaxPerTrialNanos:  int64(*dur),
 			TrialTimeoutNanos: int64(*trialTimeout),
 			Config:            cfg.ToJSON(),
 		}
-		for _, f := range spec.guidedSeed {
+		for _, f := range spec.GuidedSeed {
 			wireSpec.GuidedSeed = append(wireSpec.GuidedSeed, core.FormatCorpusFrame(f))
 		}
 		if *submitURL != "" {
@@ -398,6 +398,7 @@ func run(args []string) error {
 			metricsHold:  *metricsHold,
 			pprof:        *pprofFlag,
 			tel:          tel,
+			findingsDB:   *findingsDB,
 		})
 	}
 
@@ -473,6 +474,13 @@ func run(args []string) error {
 
 	rep := campaign.BuildReport()
 	rep.Minimized = minimized
+	if *findingsDB != "" {
+		n, err := mergeRunFindings(*findingsDB, spec, cfg, *chaosSpec, campaign, minimized, *minimizeOut)
+		if err != nil {
+			return err
+		}
+		logger.Info("findings db updated", "dir", *findingsDB, "new_records", n)
+	}
 	if *jsonOut {
 		return rep.WriteJSON(os.Stdout)
 	}
@@ -519,7 +527,7 @@ func run(args []string) error {
 // runMinimize shrinks the first finding's trigger window by re-executing
 // candidate subsequences in fresh replay worlds. It returns nil without
 // error when the campaign produced no findings.
-func runMinimize(spec targetSpec, cfg core.Config, campaign *core.Campaign, outFile string) (*core.MinimizedTrigger, error) {
+func runMinimize(spec targetPkg.Spec, cfg core.Config, campaign *core.Campaign, outFile string) (*core.MinimizedTrigger, error) {
 	findings := campaign.Findings()
 	if len(findings) == 0 {
 		logger.Info("minimize: no findings to minimize")
@@ -577,147 +585,22 @@ func writeCorpusFile(path string, lines []string) error {
 	return nil
 }
 
-// targetSpec names everything needed to construct one target world.
-type targetSpec struct {
-	target     string
-	busName    string
-	check      bcm.CheckMode
-	stop       bool
-	recovery   bool
-	guidedSeed []can.Frame // -corpus-in frames seeding every guided engine
-}
-
-// newWorld constructs one fully isolated target world: a fresh scheduler,
-// the selected target system on it, and an armed campaign with the
-// target's oracles. The single-campaign path calls it once with the
+// newWorld constructs one fully isolated target world through the shared
+// internal/target builder. The single-campaign path calls it once with the
 // telemetry plane and chaos plan; the fleet calls it once per trial with
 // both nil, which is what keeps trials independent and the hot path
 // uninstrumented. A non-nil intr registers the world's guided engine (if
 // any) with the fuzzer-introspection plane behind /fuzz.json.
-func newWorld(spec targetSpec, cfg core.Config, tel *telemetry.Telemetry, plan *faults.Plan, intr *guided.Introspection) (*fleet.World, *faults.Injector, error) {
-	sched := clock.New()
-	var opts []core.Option
-	if spec.stop {
-		opts = append(opts, core.WithStopOnFinding())
+func newWorld(spec targetPkg.Spec, cfg core.Config, tel *telemetry.Telemetry, plan *faults.Plan, intr *guided.Introspection) (*fleet.World, *faults.Injector, error) {
+	b, err := targetPkg.Build(spec, cfg, targetPkg.Options{
+		Telemetry:     tel,
+		Plan:          plan,
+		Introspection: intr,
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	if tel != nil {
-		opts = append(opts, core.WithTelemetry(tel))
-	}
-	var inj *faults.Injector
-	if plan != nil {
-		inj = faults.New(sched, *plan)
-		inj.Instrument(tel)
-		opts = append(opts, core.WithFaultCounts(inj.Counts))
-	}
-	if spec.recovery {
-		opts = append(opts, core.WithResilience(core.DefaultResilience()))
-	}
-
-	var campaign *core.Campaign
-	var probes []guided.Probe
-	var err error
-	switch spec.target {
-	case "bench":
-		bench := testbench.New(sched, testbench.Config{Check: spec.check, AckUnlock: true})
-		bench.Instrument(tel)
-		fuzzPort := bench.AttachFuzzer("fuzzer")
-		armChaos(inj, spec.recovery, bench.Bus, bench.ECUs(), fuzzPort)
-		campaign, err = core.NewCampaign(sched, fuzzPort, cfg, opts...)
-		if err != nil {
-			return nil, nil, err
-		}
-		campaign.AddOracle(bench.UnlockOracle())
-		campaign.AddOracle(bench.LEDOracle(10 * time.Millisecond))
-		probes = bench.GuidedProbes(fuzzPort)
-
-	case "cluster":
-		b := busPkg.New(sched, busPkg.WithName("bench"))
-		b.Instrument(tel)
-		clusterECU := ecu.New("cluster", sched, b.Connect("cluster"))
-		clusterECU.Instrument(tel)
-		c := cluster.New(clusterECU)
-		fuzzPort := b.Connect("fuzzer")
-		armChaos(inj, spec.recovery, b, map[string]*ecu.ECU{"cluster": clusterECU}, fuzzPort)
-		campaign, err = core.NewCampaign(sched, fuzzPort, cfg, opts...)
-		if err != nil {
-			return nil, nil, err
-		}
-		campaign.AddOracle(&oracle.Probe{
-			OracleName: "cluster-crash", Interval: 10 * time.Millisecond, Once: true,
-			Check: func() string {
-				if c.Crashed() {
-					return "persistent CRASH display latched"
-				}
-				return ""
-			},
-		})
-		probes = []guided.Probe{
-			{Name: "cluster_crash_displays", Fn: c.CrashDisplays},
-			{Name: "fuzzer_tec", Fn: func() uint64 { tec, _ := fuzzPort.ErrorCounters(); return uint64(tec) }},
-			{Name: "fuzzer_rec", Fn: func() uint64 { _, rec := fuzzPort.ErrorCounters(); return uint64(rec) }},
-		}
-
-	case "vehicle":
-		which := vehicle.OBDBody
-		if spec.busName == "powertrain" {
-			which = vehicle.OBDPowertrain
-		}
-		v := vehicle.New(sched, vehicle.Config{Seed: cfg.Seed, BCMAckUnlock: true})
-		v.Instrument(tel)
-		sched.RunUntil(time.Second) // let the car reach steady idle
-		fuzzPort := v.AttachOBD(which, "fuzzer")
-		fuzzedBus := v.Body
-		if which == vehicle.OBDPowertrain {
-			fuzzedBus = v.Powertrain
-		}
-		armChaos(inj, spec.recovery, fuzzedBus, v.ECUs(), fuzzPort)
-		if spec.recovery {
-			// Both car buses survive bus-off, not just the fuzzed one.
-			v.Powertrain.SetAutoRecovery(true)
-			v.Body.SetAutoRecovery(true)
-		}
-		campaign, err = core.NewCampaign(sched, fuzzPort, cfg, opts...)
-		if err != nil {
-			return nil, nil, err
-		}
-		campaign.AddOracle(&oracle.SignalRange{DB: sigPkg.VehicleDB()})
-		campaign.AddOracle(oracle.Physical("bcm-unlock", 10*time.Millisecond,
-			v.BCM.Unlocked, false, "doors unlocked"))
-		probes = []guided.Probe{
-			{Name: "bcm_unlocked", Fn: func() uint64 {
-				if v.BCM.Unlocked() {
-					return 1
-				}
-				return 0
-			}},
-			{Name: "fuzzer_tec", Fn: func() uint64 { tec, _ := fuzzPort.ErrorCounters(); return uint64(tec) }},
-			{Name: "fuzzer_rec", Fn: func() uint64 { _, rec := fuzzPort.ErrorCounters(); return uint64(rec) }},
-		}
-
-	default:
-		return nil, nil, fmt.Errorf("unknown target %q", spec.target)
-	}
-
-	world := &fleet.World{Sched: sched, Campaign: campaign}
-	if cfg.Mode == core.ModeGuided {
-		engOpts := []guided.EngineOption{guided.WithProbes(probes...)}
-		if tel != nil {
-			engOpts = append(engOpts, guided.WithTelemetry(tel))
-		}
-		if intr != nil {
-			engOpts = append(engOpts, guided.WithIntrospection(intr))
-		}
-		if len(spec.guidedSeed) > 0 {
-			engOpts = append(engOpts, guided.WithSeedFrames(spec.guidedSeed))
-		}
-		eng, err := guided.NewEngine(cfg, engOpts...)
-		if err != nil {
-			return nil, nil, err
-		}
-		campaign.SetFrameSource(eng)
-		world.Corpus = eng.CorpusFrames
-	}
-	return world, inj, nil
+	return b.World, b.Injector, nil
 }
 
 // fleetRunOpts carries the fleet flags, including the observability
@@ -734,13 +617,14 @@ type fleetRunOpts struct {
 	metricsHold     time.Duration
 	pprof           bool
 	tel             *telemetry.Telemetry
+	findingsDB      string
 }
 
 // runFleet executes -trials independent campaigns on the worker pool and
 // prints the deterministic fleet report (JSON with -json, a summary
 // otherwise). With -events or -metrics the campaign observatory rides
 // along: a streaming JSONL event log and/or the live HTTP campaign API.
-func runFleet(ctx context.Context, spec targetSpec, cfg core.Config, o fleetRunOpts) error {
+func runFleet(ctx context.Context, spec targetPkg.Spec, cfg core.Config, o fleetRunOpts) error {
 	logEvery := o.trials / 10
 	if logEvery < 1 {
 		logEvery = 1
@@ -780,7 +664,7 @@ func runFleet(ctx context.Context, spec targetSpec, cfg core.Config, o fleetRunO
 	}
 	defer stopServing()
 
-	logger.Info("fleet fuzzing", "target", spec.target, "trials", o.trials,
+	logger.Info("fleet fuzzing", "target", spec.Target, "trials", o.trials,
 		"workers", o.workers, "base_seed", cfg.Seed, "max_per_trial", o.maxPerTrial)
 	rep, err := fleet.Run(fleet.Config{
 		Trials:       o.trials,
@@ -822,6 +706,13 @@ func runFleet(ctx context.Context, spec targetSpec, cfg core.Config, o fleetRunO
 			return err
 		}
 	}
+	if o.findingsDB != "" {
+		n, err := mergeFleetFindings(o.findingsDB, spec, cfg, rep)
+		if err != nil {
+			return err
+		}
+		logger.Info("findings db updated", "dir", o.findingsDB, "new_records", n)
+	}
 	if o.metricsHold > 0 {
 		logger.Info("holding metrics endpoint", "for", o.metricsHold)
 		telemetry.Hold(ctx, o.metricsHold)
@@ -860,25 +751,6 @@ func printFleetReport(rep *fleet.Report) {
 	if rep.FoundFindings == 0 {
 		fmt.Println("no findings (remember: not triggering anything does not mean no flaws exist)")
 	}
-}
-
-// armChaos wires the fault injector and the recovery policy into one
-// target bus: the bus gets ISO 11898-1 auto-recovery when requested, and
-// the injector learns where to corrupt the wire and which ECUs a
-// stall/panic target name resolves to. The fuzzer's own port is attachable
-// as detach target "fuzzer".
-func armChaos(inj *faults.Injector, recovery bool, b *busPkg.Bus, ecus map[string]*ecu.ECU, fuzzPort *busPkg.Port) {
-	if recovery {
-		b.SetAutoRecovery(true)
-	}
-	if inj == nil {
-		return
-	}
-	inj.AttachBus(b)
-	for name, e := range ecus {
-		inj.AttachECU(name, e)
-	}
-	inj.AttachPort("fuzzer", fuzzPort)
 }
 
 // runBitsMode runs the data-link-layer fuzzer against a bench-mounted

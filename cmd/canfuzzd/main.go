@@ -43,6 +43,7 @@ func run(argv []string) error {
 	maxActive := fs.Int("max-active", 0, "cap on concurrently running campaigns; excess submissions queue (0 = unlimited)")
 	grace := fs.Duration("grace", 5*time.Second, "shutdown grace: how long to keep answering workers after SIGINT/SIGTERM")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	findingsDB := fs.String("findings-db", "", "findings database directory; every completed campaign's findings are merged into it (replay with canregress)")
 	logFlags := telemetry.RegisterLogFlags(fs)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -60,12 +61,13 @@ func run(argv []string) error {
 
 	tel := telemetry.New(0)
 	srv, err := campsrv.New(campsrv.Config{
-		DataDir:   *dataDir,
-		Resume:    *resume,
-		LeaseTTL:  *leaseTTL,
-		MaxActive: *maxActive,
-		Telemetry: tel,
-		Logger:    logger,
+		DataDir:    *dataDir,
+		Resume:     *resume,
+		LeaseTTL:   *leaseTTL,
+		MaxActive:  *maxActive,
+		Telemetry:  tel,
+		Logger:     logger,
+		FindingsDB: *findingsDB,
 	})
 	if err != nil {
 		return err

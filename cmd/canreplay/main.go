@@ -7,7 +7,13 @@
 // Usage:
 //
 //	canreplay -log capture.log [-target bench|vehicle]
+//	canreplay -log repro.log -expect oracle=unlock-ack   # assert the outcome
 //	canreplay -demo            # capture an app unlock, then replay it
+//
+// Without -expect the tool only reports what happened; with it the replay
+// becomes a test: the named oracles are armed on the target and the exit
+// status is non-zero unless every expected oracle fires. (Previously a
+// replay whose defect never reproduced still exited 0 — useless in CI.)
 package main
 
 import (
@@ -16,15 +22,18 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/capture"
 	"repro/internal/clock"
+	"repro/internal/oracle"
 	"repro/internal/telemetry"
 	"repro/internal/testbench"
 	"repro/internal/vehicle"
 
 	busPkg "repro/internal/bus"
+	sigPkg "repro/internal/signal"
 )
 
 // logger is the shared structured stderr logger of the tool; run replaces
@@ -43,6 +52,7 @@ func run(args []string, stdout io.Writer) error {
 	logFile := fs.String("log", "", "candump-format log to replay")
 	target := fs.String("target", "bench", "replay target: bench or vehicle")
 	demo := fs.Bool("demo", false, "self-contained demo: record a legitimate unlock, replay it")
+	expect := fs.String("expect", "", `expected outcome, e.g. "oracle=unlock-ack" (comma-separated; exit non-zero on miss)`)
 	logFlags := telemetry.RegisterLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,7 +63,14 @@ func run(args []string, stdout io.Writer) error {
 	}
 	logger = l
 
+	expected, err := parseExpect(*expect)
+	if err != nil {
+		return err
+	}
 	if *demo {
+		if len(expected) > 0 {
+			return fmt.Errorf("-expect requires -log")
+		}
 		return runDemo(stdout)
 	}
 	if *logFile == "" {
@@ -74,17 +91,34 @@ func run(args []string, stdout io.Writer) error {
 
 	sched := clock.New()
 	var port *busPkg.Port
+	var tapBus *busPkg.Bus
+	var oracles []oracle.Oracle
 	var report func()
 	switch *target {
 	case "bench":
-		bench := testbench.New(sched, testbench.Config{})
+		// With expectations the bench acks unlocks, so the ack-based
+		// "unlock-ack" oracle (the same one canfuzz arms) can fire.
+		bench := testbench.New(sched, testbench.Config{AckUnlock: len(expected) > 0})
 		port = bench.AttachFuzzer("replayer")
+		tapBus = bench.Bus
+		if len(expected) > 0 {
+			oracles = append(oracles,
+				bench.UnlockOracle(),
+				bench.LEDOracle(10*time.Millisecond),
+				oracle.Physical("bcm-unlock", 10*time.Millisecond, bench.BCM.Unlocked, false, "doors unlocked"))
+		}
 		report = func() {
 			fmt.Fprintf(stdout, "bench after replay: doors unlocked=%v\n", bench.BCM.Unlocked())
 		}
 	case "vehicle":
 		v := vehicle.New(sched, vehicle.Config{Seed: 1})
 		port = v.AttachOBD(vehicle.OBDBody, "replayer")
+		tapBus = v.Body
+		if len(expected) > 0 {
+			oracles = append(oracles,
+				&oracle.SignalRange{DB: sigPkg.VehicleDB()},
+				oracle.Physical("bcm-unlock", 10*time.Millisecond, v.BCM.Unlocked, false, "doors unlocked"))
+		}
 		report = func() {
 			fmt.Fprintf(stdout, "vehicle after replay: doors unlocked=%v, MILs=%v\n",
 				v.BCM.Unlocked(), v.Cluster.ECU().MILs())
@@ -93,10 +127,73 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown target %q", *target)
 	}
 
+	// Armed oracles watch the whole bus through a passive tap, exactly as a
+	// campaign would watch its fuzz port.
+	fired := map[string]bool{}
+	if len(oracles) > 0 {
+		reporter := func(v oracle.Verdict) {
+			if !fired[v.Oracle] {
+				logger.Info("oracle fired", "oracle", v.Oracle, "detail", v.Detail, "at", v.Time)
+			}
+			fired[v.Oracle] = true
+		}
+		for _, o := range oracles {
+			o.Start(sched, reporter)
+		}
+		tapBus.Tap(func(m busPkg.Message) {
+			for _, o := range oracles {
+				o.Observe(m)
+			}
+		})
+	}
+
 	dur := capture.Replay(sched, port, trace)
 	sched.RunUntil(sched.Now() + dur + time.Second)
+	for _, o := range oracles {
+		o.Stop()
+	}
 	fmt.Fprintf(stdout, "replayed %d frames over %v\n", trace.Len(), dur.Round(time.Millisecond))
 	report()
+	return checkExpectations(stdout, expected, fired)
+}
+
+// parseExpect parses the -expect syntax: comma-separated oracle=NAME
+// assertions.
+func parseExpect(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || k != "oracle" || v == "" {
+			return nil, fmt.Errorf("bad -expect clause %q (want oracle=NAME)", part)
+		}
+		names = append(names, v)
+	}
+	return names, nil
+}
+
+// checkExpectations reports each expected oracle and fails the run when
+// one never fired — the exit status a CI pipeline keys on.
+func checkExpectations(stdout io.Writer, expected []string, fired map[string]bool) error {
+	var missed []string
+	for _, name := range expected {
+		if fired[name] {
+			fmt.Fprintf(stdout, "expectation met: oracle %q fired\n", name)
+		} else {
+			fmt.Fprintf(stdout, "expectation MISSED: oracle %q never fired\n", name)
+			missed = append(missed, name)
+		}
+	}
+	if len(missed) > 0 {
+		return fmt.Errorf("replay did not reproduce: oracle(s) %s never fired",
+			strings.Join(missed, ", "))
+	}
 	return nil
 }
 

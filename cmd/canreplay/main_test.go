@@ -48,6 +48,58 @@ func TestReplayIntoVehicle(t *testing.T) {
 	}
 }
 
+func TestExpectOracleFires(t *testing.T) {
+	dir := t.TempDir()
+	log := dir + "/unlock.log"
+	content := "(0.100000) body0 215#205F010000012000\n"
+	if err := os.WriteFile(log, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-log", log, "-target", "bench", "-expect", "oracle=unlock-ack"}, &sb); err != nil {
+		t.Fatalf("expected oracle fired but run failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), `expectation met: oracle "unlock-ack" fired`) {
+		t.Fatalf("missing expectation report:\n%s", sb.String())
+	}
+}
+
+func TestExpectOracleMissReturnsError(t *testing.T) {
+	// The regression this pins: a log that replays cleanly but never
+	// reproduces the defect used to exit 0. With -expect it must not.
+	dir := t.TempDir()
+	log := dir + "/noop.log"
+	content := "(0.100000) body0 300#FF\n"
+	if err := os.WriteFile(log, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run([]string{"-log", log, "-target", "bench", "-expect", "oracle=unlock-ack"}, &sb)
+	if err == nil {
+		t.Fatalf("replay that never fired the oracle succeeded:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), `expectation MISSED: oracle "unlock-ack" never fired`) {
+		t.Fatalf("missing miss report:\n%s", sb.String())
+	}
+	// Without -expect the same replay still succeeds (observational mode).
+	if err := run([]string{"-log", log, "-target", "bench"}, &sb); err != nil {
+		t.Fatalf("observational replay failed: %v", err)
+	}
+}
+
+func TestExpectParseErrors(t *testing.T) {
+	dir := t.TempDir()
+	log := dir + "/ok.log"
+	os.WriteFile(log, []byte("(0.000001) c 001#AA\n"), 0o644)
+	var sb strings.Builder
+	if err := run([]string{"-log", log, "-expect", "unlocked=true"}, &sb); err == nil {
+		t.Fatal("bad expect clause accepted")
+	}
+	if err := run([]string{"-demo", "-expect", "oracle=unlock-ack"}, &sb); err == nil {
+		t.Fatal("-expect with -demo accepted")
+	}
+}
+
 func TestReplayErrors(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{}, &sb); err == nil {

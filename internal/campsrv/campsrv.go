@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/campaignd"
+	"repro/internal/findings"
 	"repro/internal/fleet"
 	"repro/internal/observatory"
 	"repro/internal/telemetry"
@@ -111,6 +112,11 @@ type Config struct {
 	Telemetry *telemetry.Telemetry
 	// Logger, when non-nil, receives lifecycle and lease-churn lines.
 	Logger *slog.Logger
+	// FindingsDB, when non-empty, is a findings database directory every
+	// completed campaign's findings are merged into (see internal/findings
+	// and cmd/canregress). Merges are idempotent, so re-running or resuming
+	// campaigns never duplicates records.
+	FindingsDB string
 }
 
 // campaign is the server's record of one submission, across every state.
@@ -146,6 +152,7 @@ type Server struct {
 	maxAct  int
 	tel     *telemetry.Telemetry
 	log     *slog.Logger
+	fdb     *findings.DB // nil unless Config.FindingsDB was set
 
 	activeGauge *telemetry.Gauge
 	queuedGauge *telemetry.Gauge
@@ -180,6 +187,13 @@ func New(cfg Config) (*Server, error) {
 		log:       cfg.Logger,
 		campaigns: map[string]*campaign{},
 		nextSeq:   1,
+	}
+	if cfg.FindingsDB != "" {
+		fdb, err := findings.Open(cfg.FindingsDB)
+		if err != nil {
+			return nil, fmt.Errorf("campsrv: findings db: %w", err)
+		}
+		s.fdb = fdb
 	}
 	reg := cfg.Telemetry.Reg()
 	s.activeGauge = reg.Gauge("campaigns_active", "campaigns currently running (lease book open)")
@@ -346,6 +360,19 @@ func (s *Server) finish(id string) {
 	if err := rep.WriteJSON(&buf); err != nil && failure == "" {
 		failure = fmt.Sprintf("render report: %v", err)
 	}
+	// Completion hook: fold the campaign's findings into the regression
+	// database. The DB serialises its own writes, so concurrent watcher
+	// goroutines finishing at once are safe; a DB error must not lose the
+	// campaign itself, so it is recorded as the failure note instead.
+	if s.fdb != nil {
+		if n, err := s.mergeFindings(c, rep); err != nil {
+			if failure == "" {
+				failure = fmt.Sprintf("findings db: %v", err)
+			}
+		} else if n > 0 && s.log != nil {
+			s.log.Info("findings merged", "campaign", c.id, "new_records", n)
+		}
+	}
 
 	s.mu.Lock()
 	c.state = StateDone
@@ -365,6 +392,25 @@ func (s *Server) finish(id string) {
 			"findings", rep.FoundFindings, "lease_expiries", st.Expiries,
 			"duplicate_results", st.Duplicates, "failure", failure)
 	}
+}
+
+// mergeFindings folds a finished campaign's replayable findings into the
+// findings database, stamped with the campaign ID as provenance.
+func (s *Server) mergeFindings(c *campaign, rep *fleet.Report) (int, error) {
+	cfg, err := c.spec.Config.ToConfig()
+	if err != nil {
+		return 0, fmt.Errorf("spec config: %w", err)
+	}
+	mode := c.spec.Config.Mode
+	if mode == "" {
+		mode = "random"
+	}
+	recs := findings.FromFleetReport(rep, findings.ContextFromCampaignSpec(c.spec), cfg, findings.Provenance{
+		Source:   "campsrv",
+		Campaign: c.id,
+		Mode:     mode,
+	})
+	return s.fdb.MergeAll(recs)
 }
 
 // promoteLocked starts queued campaigns while running slots are free:

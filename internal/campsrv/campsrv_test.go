@@ -17,6 +17,7 @@ import (
 	"repro/internal/campsrv"
 	"repro/internal/can"
 	"repro/internal/core"
+	"repro/internal/findings"
 	"repro/internal/fleet"
 	"repro/internal/signal"
 	"repro/internal/telemetry"
@@ -483,6 +484,56 @@ func TestDataDirStateMismatch(t *testing.T) {
 	}
 	if _, err := campsrv.New(campsrv.Config{DataDir: t.TempDir(), Resume: true}); err == nil {
 		t.Fatal("resume on an empty data directory must fail")
+	}
+}
+
+// TestFindingsDBCompletionHook: with Config.FindingsDB set, every finished
+// campaign's replayable findings land in the database, stamped with the
+// campaign ID; a second identical campaign only adds provenance, never
+// duplicate records.
+func TestFindingsDBCompletionHook(t *testing.T) {
+	fdir := t.TempDir()
+	s := newServer(t, campsrv.Config{FindingsDB: fdir})
+	defer s.Close()
+	spec := testSpec(2, 7)
+	id := submit(t, s, spec, 1, 0)
+	drainAll(t, s, map[string]campaignd.CampaignSpec{id: spec})
+
+	db, err := findings.Open(fdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := db.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("completed campaign merged no findings")
+	}
+	for _, rec := range recs {
+		if rec.Target != "bench" || rec.Oracle == "" {
+			t.Fatalf("malformed record: %+v", rec)
+		}
+		found := false
+		for _, c := range rec.Campaigns {
+			if c == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("record %s lacks campaign provenance %q: %v", rec.Key(), id, rec.Campaigns)
+		}
+	}
+
+	// Rerun the same campaign: dedupe means the record count is unchanged.
+	id2 := submit(t, s, spec, 1, 0)
+	drainAll(t, s, map[string]campaignd.CampaignSpec{id2: spec})
+	recs2, err := db.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != len(recs) {
+		t.Fatalf("identical campaign changed record count: %d -> %d", len(recs), len(recs2))
 	}
 }
 

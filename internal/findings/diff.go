@@ -1,0 +1,132 @@
+package findings
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Divergence kinds reported by DiffSuites.
+const (
+	// DivergeOnlyA: the finding fires under configuration A but not B.
+	DivergeOnlyA = "fires-in-a-only"
+	// DivergeOnlyB: the finding fires under configuration B but not A.
+	DivergeOnlyB = "fires-in-b-only"
+	// DivergeOracle: a different oracle fired on the two sides.
+	DivergeOracle = "oracle-differs"
+	// DivergeFeatures: both sides agree on the oracle outcome but the
+	// reaction-feature vectors (guided novelty probes) differ — the target
+	// behaved differently even though the verdict matched.
+	DivergeFeatures = "features-differ"
+	// DivergeMissingA / DivergeMissingB: the record was replayed on one
+	// side only (reports built from different databases).
+	DivergeMissingA = "missing-in-a"
+	DivergeMissingB = "missing-in-b"
+)
+
+// Divergence is one behavioural difference between two suite reports.
+type Divergence struct {
+	// Key and Oracle identify the finding.
+	Key    string `json:"key"`
+	Oracle string `json:"oracle"`
+	// Kind classifies the divergence (DivergeOnlyA, ...).
+	Kind string `json:"kind"`
+	// Detail is a human-readable explanation.
+	Detail string `json:"detail"`
+}
+
+// DiffSuites compares two suite reports replayed from the same corpus
+// under two configurations and returns every behavioural divergence,
+// sorted by (key, kind). Flaky and errored records are compared on their
+// last observation like any other — a record that errors on one side only
+// surfaces as an oracle/feature divergence, which is what a revision diff
+// should flag.
+func DiffSuites(a, b *SuiteReport) []Divergence {
+	byKeyA := indexResults(a)
+	byKeyB := indexResults(b)
+
+	var out []Divergence
+	for key, ra := range byKeyA {
+		rb, ok := byKeyB[key]
+		if !ok {
+			out = append(out, Divergence{Key: key, Oracle: ra.Oracle, Kind: DivergeMissingB,
+				Detail: "record replayed in A only"})
+			continue
+		}
+		out = append(out, diffResult(ra, rb)...)
+	}
+	for key, rb := range byKeyB {
+		if _, ok := byKeyA[key]; !ok {
+			out = append(out, Divergence{Key: key, Oracle: rb.Oracle, Kind: DivergeMissingA,
+				Detail: "record replayed in B only"})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// diffResult compares one record's two replays.
+func diffResult(ra, rb FindingResult) []Divergence {
+	var out []Divergence
+	firedA := ra.Fired > 0
+	firedB := rb.Fired > 0
+	switch {
+	case firedA && !firedB:
+		out = append(out, Divergence{Key: ra.Key, Oracle: ra.Oracle, Kind: DivergeOnlyA,
+			Detail: fmt.Sprintf("oracle %s fired in A (%d/%d attempts) but not in B", ra.Oracle, ra.Fired, ra.Attempts)})
+	case firedB && !firedA:
+		out = append(out, Divergence{Key: ra.Key, Oracle: ra.Oracle, Kind: DivergeOnlyB,
+			Detail: fmt.Sprintf("oracle %s fired in B (%d/%d attempts) but not in A", rb.Oracle, rb.Fired, rb.Attempts)})
+	}
+	if ra.ObservedOracle != rb.ObservedOracle {
+		out = append(out, Divergence{Key: ra.Key, Oracle: ra.Oracle, Kind: DivergeOracle,
+			Detail: fmt.Sprintf("A observed %q, B observed %q", ra.ObservedOracle, rb.ObservedOracle)})
+	}
+	if d := diffFeatures(ra.Features, rb.Features); d != "" {
+		out = append(out, Divergence{Key: ra.Key, Oracle: ra.Oracle, Kind: DivergeFeatures, Detail: d})
+	}
+	return out
+}
+
+// diffFeatures renders the differing probe values ("" when identical).
+func diffFeatures(a, b map[string]uint64) string {
+	names := map[string]bool{}
+	for k := range a {
+		names[k] = true
+	}
+	for k := range b {
+		names[k] = true
+	}
+	keys := make([]string, 0, len(names))
+	for k := range names {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var diffs []string
+	for _, k := range keys {
+		if a[k] != b[k] {
+			diffs = append(diffs, fmt.Sprintf("%s: %d vs %d", k, a[k], b[k]))
+		}
+	}
+	if len(diffs) == 0 {
+		return ""
+	}
+	s := diffs[0]
+	for _, d := range diffs[1:] {
+		s += "; " + d
+	}
+	return s
+}
+
+// indexResults keys a report's results for joining.
+func indexResults(r *SuiteReport) map[string]FindingResult {
+	m := make(map[string]FindingResult, len(r.Results))
+	for _, res := range r.Results {
+		m[res.Key] = res
+	}
+	return m
+}

@@ -1,0 +1,199 @@
+// Package findings is the findings-to-regression pipeline: a deduplicated
+// on-disk database of discovered defects, a replay engine that re-executes
+// every stored finding against the current tree (the auto-generated
+// regression suite), and a differential mode that scores two configurations
+// against the same corpus.
+//
+// TEASER (PAPERS.md) frames simulation-based CAN testing as *regression*
+// testing: a discovered defect is not a one-off report but a permanent,
+// fast check against every future revision. The pipeline closes that loop:
+//
+//	fuzz (canfuzz/fleet/campsrv) ──▶ findings DB ──▶ canregress run / diff
+//
+// The database is a directory of one JSON record per finding, keyed by a
+// content hash of the finding's identity — (oracle, detail, replay context,
+// minimized trigger) — so the same defect discovered by any number of
+// campaigns, fleets or service runs collapses into one record. Records are
+// written atomically (temp file + rename) and merged idempotently and
+// commutatively: merging the same finding twice is a no-op, and the final
+// DB bytes do not depend on the order campaigns were merged in.
+package findings
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Record is one deduplicated finding: its identity, everything needed to
+// replay it in a fresh world, and where it came from.
+//
+// Two replay shapes exist. A *trigger* record (Trigger non-empty) replays
+// the minimized frame sequence through a playback source — the normal case
+// for oracle findings with a frame-level cause. A *generator* record
+// (Trigger empty, Config set) re-runs the original generator under the
+// recorded chaos plan — for findings whose cause is environmental (a
+// dead-bus watchdog firing under a jam plan has no trigger frame).
+type Record struct {
+	// Oracle and Detail identify the failure class (identity fields).
+	Oracle string `json:"oracle"`
+	Detail string `json:"detail,omitempty"`
+
+	// Target, Bus, BCMCheck and Chaos pin the world the finding was
+	// observed in (identity fields): the simulated system, its bus variant,
+	// the bench parser strictness and the fault-injection plan.
+	Target   string `json:"target"`
+	Bus      string `json:"bus,omitempty"`
+	BCMCheck string `json:"bcmCheck,omitempty"`
+	Chaos    string `json:"chaos,omitempty"`
+
+	// Trigger is the minimized reproducer in corpus "ID#HEXDATA" form,
+	// transmission order (identity field; empty for generator records).
+	Trigger []string `json:"trigger,omitempty"`
+
+	// Replay context (not identity): the seed the finding was observed
+	// under, playback pacing, post-trigger settle time, the generator
+	// deadline for trigger-less records, the full generator configuration
+	// for generator records, and whether the resilience policy was armed.
+	Seed           int64            `json:"seed"`
+	IntervalMicros int64            `json:"intervalMicros,omitempty"`
+	SettleMillis   int64            `json:"settleMillis,omitempty"`
+	DeadlineMillis int64            `json:"deadlineMillis,omitempty"`
+	Config         *core.ConfigJSON `json:"config,omitempty"`
+	Recovery       bool             `json:"recovery,omitempty"`
+
+	// Provenance: the generation mode that found it, the tools/campaigns
+	// that reported it (sorted unions), and a canreplay-compatible log path
+	// when one was written.
+	Mode      string   `json:"mode,omitempty"`
+	Sources   []string `json:"sources,omitempty"`
+	Campaigns []string `json:"campaigns,omitempty"`
+	ReplayLog string   `json:"replayLog,omitempty"`
+}
+
+// keyLen is the hex length of a record key — 64 bits of sha256, plenty for
+// a corpus of distinct findings and short enough to read in a directory
+// listing.
+const keyLen = 16
+
+// Key is the record's content-hash identity: the filename stem in the DB
+// directory and the join key for replay reports and diffs. It covers the
+// identity fields only, so re-discoveries with a different seed or
+// provenance land on the same record.
+func (r Record) Key() string {
+	h := sha256.New()
+	parts := []string{r.Oracle, r.Detail, r.Target, r.Bus, r.BCMCheck, r.Chaos}
+	parts = append(parts, r.Trigger...)
+	h.Write([]byte(strings.Join(parts, "\x00")))
+	return hex.EncodeToString(h.Sum(nil))[:keyLen]
+}
+
+// marshal renders the record's canonical bytes: indented JSON with the
+// stable struct field order, trailing newline. Byte-determinism here is
+// what makes "merge order does not change DB bytes" checkable with cmp.
+func (r Record) marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// merge folds two records with the same Key into one, commutatively and
+// idempotently: list provenance is a sorted union, scalar provenance takes
+// the smallest non-empty value, and the whole replay context travels
+// together from whichever record is smaller under a total order — so
+// merge(a, b) == merge(b, a) and merge(a, a) == a, byte for byte, and
+// n-way merges associate.
+func merge(a, b Record) Record {
+	out := a
+	if contextLess(b, a) {
+		out = b
+	}
+	out.Sources = sortedUnion(a.Sources, b.Sources)
+	out.Campaigns = sortedUnion(a.Campaigns, b.Campaigns)
+	out.Mode = minNonEmpty(a.Mode, b.Mode)
+	out.ReplayLog = minNonEmpty(a.ReplayLog, b.ReplayLog)
+	return out
+}
+
+// contextLess is a total order over the replay-context fields. Identity
+// fields are equal whenever merge is called (same key), so comparing the
+// context tuple is enough to pick one deterministic winner.
+func contextLess(a, b Record) bool {
+	if a.Seed != b.Seed {
+		return a.Seed < b.Seed
+	}
+	if a.IntervalMicros != b.IntervalMicros {
+		return a.IntervalMicros < b.IntervalMicros
+	}
+	if a.SettleMillis != b.SettleMillis {
+		return a.SettleMillis < b.SettleMillis
+	}
+	if a.DeadlineMillis != b.DeadlineMillis {
+		return a.DeadlineMillis < b.DeadlineMillis
+	}
+	if a.Recovery != b.Recovery {
+		return !a.Recovery
+	}
+	ac, bc := configBytes(a.Config), configBytes(b.Config)
+	return ac < bc
+}
+
+// configBytes renders a generator config for ordering ("" when absent).
+func configBytes(c *core.ConfigJSON) string {
+	if c == nil {
+		return ""
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// sortedUnion merges two string sets into a sorted, deduplicated slice.
+func sortedUnion(a, b []string) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for _, s := range a {
+		if s != "" && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, s := range b {
+		if s != "" && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+// minNonEmpty picks the lexicographically smallest non-empty string — a
+// commutative, associative choice for scalar provenance fields.
+func minNonEmpty(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	if b < a {
+		return b
+	}
+	return a
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

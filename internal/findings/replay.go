@@ -1,0 +1,398 @@
+package findings
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/guided"
+	"repro/internal/target"
+)
+
+// Per-finding replay outcomes.
+const (
+	// OutcomePass: the original oracle fired on every replay attempt.
+	OutcomePass = "pass"
+	// OutcomeFail: the oracle fired on no attempt — the defect regressed
+	// (was fixed, or the trigger no longer reaches it).
+	OutcomeFail = "fail"
+	// OutcomeFlaky: the oracle fired on some attempts but not all. Every
+	// attempt replays the same seed in a fresh world, so flaky means real
+	// nondeterminism in the stack, not seed variance.
+	OutcomeFlaky = "flaky"
+	// OutcomeError: the world could not be built or the record could not be
+	// parsed — the record, not the target, is broken.
+	OutcomeError = "error"
+)
+
+// Overrides alters the replay context relative to what a record stores —
+// the lever behind `canregress diff`: replay the same corpus under a
+// different BCM parser strictness, resilience policy or bus and compare.
+type Overrides struct {
+	// BCMCheck, when non-empty, replaces the record's bench parser mode.
+	BCMCheck string `json:"bcmCheck,omitempty"`
+	// Recovery, when non-nil, replaces the record's resilience setting.
+	Recovery *bool `json:"recovery,omitempty"`
+	// Bus, when non-empty, replaces the record's vehicle bus.
+	Bus string `json:"bus,omitempty"`
+}
+
+// IsZero reports whether no override is set.
+func (o Overrides) IsZero() bool {
+	return o.BCMCheck == "" && o.Recovery == nil && o.Bus == ""
+}
+
+// Label renders the overrides compactly for reports ("" when zero).
+func (o Overrides) Label() string {
+	var parts []string
+	if o.BCMCheck != "" {
+		parts = append(parts, "check="+o.BCMCheck)
+	}
+	if o.Recovery != nil {
+		parts = append(parts, fmt.Sprintf("recovery=%v", *o.Recovery))
+	}
+	if o.Bus != "" {
+		parts = append(parts, "bus="+o.Bus)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseOverrides parses the comma-separated "check=length,recovery=true,
+// bus=powertrain" form used by canregress diff.
+func ParseOverrides(s string) (Overrides, error) {
+	var o Overrides
+	if s == "" {
+		return o, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return o, fmt.Errorf("findings: override %q is not key=value", part)
+		}
+		switch k {
+		case "check":
+			if _, err := target.ParseCheckMode(v); err != nil {
+				return o, err
+			}
+			o.BCMCheck = v
+		case "recovery":
+			switch v {
+			case "true":
+				t := true
+				o.Recovery = &t
+			case "false":
+				f := false
+				o.Recovery = &f
+			default:
+				return o, fmt.Errorf("findings: override recovery=%q (want true/false)", v)
+			}
+		case "bus":
+			o.Bus = v
+		default:
+			return o, fmt.Errorf("findings: unknown override key %q (check, recovery, bus)", k)
+		}
+	}
+	return o, nil
+}
+
+// FindingResult is the replay outcome for one record.
+type FindingResult struct {
+	// Key, Oracle, Target echo the record for standalone readability.
+	Key    string `json:"key"`
+	Oracle string `json:"oracle"`
+	Target string `json:"target"`
+	// Outcome classifies the replay (OutcomePass, ...).
+	Outcome string `json:"outcome"`
+	// Attempts and Fired count replays run and replays where the original
+	// oracle fired.
+	Attempts int `json:"attempts"`
+	Fired    int `json:"fired"`
+	// ObservedOracle and ObservedDetail describe what actually fired on the
+	// last attempt ("" when nothing fired).
+	ObservedOracle string `json:"observedOracle,omitempty"`
+	ObservedDetail string `json:"observedDetail,omitempty"`
+	// TimeToFinding is the virtual time the last firing attempt needed.
+	TimeToFinding time.Duration `json:"timeToFindingNanos,omitempty"`
+	// Features is the world's reaction-feature vector (the guided novelty
+	// probes) sampled after the last attempt — the behavioural fingerprint
+	// diff mode compares across configurations.
+	Features map[string]uint64 `json:"features,omitempty"`
+	// Err carries the build/parse error (OutcomeError only).
+	Err string `json:"error,omitempty"`
+}
+
+// SuiteConfig configures a regression-suite run.
+type SuiteConfig struct {
+	// Workers bounds replay concurrency (<=0: 1). The report is
+	// byte-identical at any worker count: results are keyed and ordered by
+	// record key, and each replay is a pure function of its record.
+	Workers int
+	// Attempts is the replay count per record (<=0: 2). All attempts use
+	// the record's own seed, so a flaky outcome indicts determinism, not
+	// seed luck.
+	Attempts int
+	// Overrides alters the replay context for every record (diff mode).
+	Overrides Overrides
+}
+
+// SuiteReport is the outcome of replaying a findings database.
+type SuiteReport struct {
+	Records   int             `json:"records"`
+	Pass      int             `json:"pass"`
+	Fail      int             `json:"fail"`
+	Flaky     int             `json:"flaky"`
+	Errors    int             `json:"errors"`
+	Attempts  int             `json:"attempts"`
+	Overrides string          `json:"overrides,omitempty"`
+	Results   []FindingResult `json:"results"`
+}
+
+// OK reports whether the suite is green (flaky counts as green-with-noise;
+// fail and error do not).
+func (r *SuiteReport) OK() bool { return r.Fail == 0 && r.Errors == 0 }
+
+// WriteJSON writes the report as indented JSON.
+func (r *SuiteReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadSuiteReport decodes a saved suite report — the inverse of
+// WriteJSON, used by canregress diff to compare against an archived run.
+func ReadSuiteReport(r io.Reader) (*SuiteReport, error) {
+	var rep SuiteReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// RunSuite replays every record and aggregates the outcomes. Replays run
+// on a bounded worker pool; results are collected by index and sorted by
+// key, so the report bytes are independent of scheduling.
+func RunSuite(recs []Record, cfg SuiteConfig) *SuiteReport {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 2
+	}
+	results := make([]FindingResult, len(recs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i, rec := range recs {
+		wg.Add(1)
+		go func(i int, rec Record) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = ReplayRecord(rec, cfg.Attempts, cfg.Overrides)
+		}(i, rec)
+	}
+	wg.Wait()
+
+	sort.Slice(results, func(i, j int) bool { return results[i].Key < results[j].Key })
+	rep := &SuiteReport{
+		Records:   len(results),
+		Attempts:  cfg.Attempts,
+		Overrides: cfg.Overrides.Label(),
+		Results:   results,
+	}
+	for _, res := range results {
+		switch res.Outcome {
+		case OutcomePass:
+			rep.Pass++
+		case OutcomeFail:
+			rep.Fail++
+		case OutcomeFlaky:
+			rep.Flaky++
+		case OutcomeError:
+			rep.Errors++
+		}
+	}
+	return rep
+}
+
+// ReplayRecord replays one record the given number of times and
+// classifies the outcome. Panics in the replayed world are contained and
+// classified as OutcomeError — a broken record must report, not crash the
+// suite.
+func ReplayRecord(rec Record, attempts int, ov Overrides) FindingResult {
+	res := FindingResult{Key: rec.Key(), Oracle: rec.Oracle, Target: rec.Target}
+	if attempts <= 0 {
+		attempts = 1
+	}
+	for i := 0; i < attempts; i++ {
+		att, err := replayOnce(rec, ov)
+		res.Attempts++
+		if err != nil {
+			res.Outcome = OutcomeError
+			res.Err = err.Error()
+			return res
+		}
+		res.ObservedOracle = att.oracle
+		res.ObservedDetail = att.detail
+		res.Features = att.features
+		if att.fired {
+			res.Fired++
+			res.TimeToFinding = att.timeToFinding
+		}
+	}
+	switch res.Fired {
+	case res.Attempts:
+		res.Outcome = OutcomePass
+	case 0:
+		res.Outcome = OutcomeFail
+	default:
+		res.Outcome = OutcomeFlaky
+	}
+	return res
+}
+
+// attempt is one replay execution's observation.
+type attempt struct {
+	fired         bool
+	oracle        string
+	detail        string
+	timeToFinding time.Duration
+	features      map[string]uint64
+}
+
+// replayOnce executes one fresh-world replay of a record.
+func replayOnce(rec Record, ov Overrides) (att attempt, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("replay panicked: %v", r)
+		}
+	}()
+
+	spec, cfg, plan, berr := replayWorldInputs(rec, ov)
+	if berr != nil {
+		return att, berr
+	}
+	built, berr := target.Build(spec, cfg, target.Options{Plan: plan})
+	if berr != nil {
+		return att, fmt.Errorf("build world: %w", berr)
+	}
+	w := built.World
+
+	interval := cfg.Interval
+	var deadline time.Duration
+	if len(rec.Trigger) > 0 {
+		frames, perr := parseTrigger(rec.Trigger)
+		if perr != nil {
+			return att, perr
+		}
+		w.Campaign.SetFrameSource(guided.Playback(frames))
+		settle := time.Duration(rec.SettleMillis) * time.Millisecond
+		if settle <= 0 {
+			settle = 150 * time.Millisecond
+		}
+		deadline = interval*time.Duration(len(frames)) + settle
+	} else {
+		deadline = time.Duration(rec.DeadlineMillis) * time.Millisecond
+		if deadline <= 0 {
+			deadline = time.Second
+		}
+	}
+
+	if built.Injector != nil {
+		if ierr := built.Injector.Start(); ierr != nil {
+			return att, fmt.Errorf("chaos plan: %w", ierr)
+		}
+	}
+	finding, found := w.Campaign.RunUntilFinding(deadline)
+	if built.Injector != nil {
+		built.Injector.Stop()
+	}
+
+	if found {
+		att.oracle = finding.Verdict.Oracle
+		att.detail = finding.Verdict.Detail
+		att.timeToFinding = finding.Elapsed
+		att.fired = finding.Verdict.Oracle == rec.Oracle
+	}
+	att.features = make(map[string]uint64, len(built.Probes))
+	for _, p := range built.Probes {
+		att.features[p.Name] = p.Fn()
+	}
+	return att, nil
+}
+
+// replayWorldInputs maps a record (plus overrides) onto the world-builder
+// inputs: the target spec, the generator config and the chaos plan.
+func replayWorldInputs(rec Record, ov Overrides) (target.Spec, core.Config, *faults.Plan, error) {
+	checkName := rec.BCMCheck
+	if ov.BCMCheck != "" {
+		checkName = ov.BCMCheck
+	}
+	check, err := target.ParseCheckMode(checkName)
+	if err != nil {
+		return target.Spec{}, core.Config{}, nil, err
+	}
+	recovery := rec.Recovery
+	if ov.Recovery != nil {
+		recovery = *ov.Recovery
+	}
+	busName := rec.Bus
+	if ov.Bus != "" {
+		busName = ov.Bus
+	}
+	spec := target.Spec{
+		Target:   rec.Target,
+		Bus:      busName,
+		Check:    check,
+		Stop:     true,
+		Recovery: recovery,
+	}
+
+	var cfg core.Config
+	if rec.Config != nil {
+		cfg, err = rec.Config.ToConfig()
+		if err != nil {
+			return target.Spec{}, core.Config{}, nil, fmt.Errorf("record config: %w", err)
+		}
+	}
+	cfg.Seed = rec.Seed
+	if iv := time.Duration(rec.IntervalMicros) * time.Microsecond; iv > cfg.Interval {
+		cfg.Interval = iv
+	}
+	if cfg.Interval < core.MinInterval {
+		cfg.Interval = core.MinInterval
+	}
+
+	var plan *faults.Plan
+	if rec.Chaos != "" {
+		p, perr := faults.ParsePlan(rec.Chaos)
+		if perr != nil {
+			return target.Spec{}, core.Config{}, nil, fmt.Errorf("record chaos plan: %w", perr)
+		}
+		plan = &p
+	}
+	return spec, cfg, plan, nil
+}
+
+// parseTrigger parses a stored trigger back into frames.
+func parseTrigger(lines []string) ([]can.Frame, error) {
+	frames := make([]can.Frame, 0, len(lines))
+	for _, line := range lines {
+		f, err := core.ParseCorpusFrame(line)
+		if err != nil {
+			return nil, fmt.Errorf("trigger frame %q: %w", line, err)
+		}
+		frames = append(frames, f)
+	}
+	return frames, nil
+}

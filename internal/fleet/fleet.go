@@ -302,6 +302,10 @@ func RunTrial(spec TrialSpec, cfg Config, factory TargetFactory) (res TrialResul
 	res.Detail = finding.Verdict.Detail
 	if n := len(finding.Recent); n > 0 {
 		res.TriggerID = fmt.Sprintf("%03X", uint16(finding.Recent[n-1].ID))
+		res.TriggerFrames = make([]string, 0, n)
+		for _, f := range finding.Recent {
+			res.TriggerFrames = append(res.TriggerFrames, core.FormatCorpusFrame(f))
+		}
 	}
 	return res
 }

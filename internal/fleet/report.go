@@ -54,6 +54,11 @@ type TrialResult struct {
 	// TriggerID is the identifier of the last fuzz frame preceding the
 	// first finding, in hex ("" when unknown).
 	TriggerID string `json:"triggerId,omitempty"`
+	// TriggerFrames holds the fuzz frames that preceded the first finding
+	// (the campaign's recent-frame window) in corpus "ID#HEXDATA" form,
+	// transmission order — the raw material the findings database and the
+	// minimizer work from. Empty when the trial found nothing.
+	TriggerFrames []string `json:"triggerFrames,omitempty"`
 	// Findings is the number of oracle firings in the trial.
 	Findings int `json:"findings"`
 	// FramesSent and SendErrors are the trial campaign's counters.
@@ -183,6 +188,17 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// ReadReport decodes a serialised fleet report (the inverse of WriteJSON)
+// — the entry point for offline consumers like canregress add, which
+// mines archived reports for trigger records.
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
 }
 
 // histogramBins is the bin count for the time-to-finding histogram.

@@ -84,6 +84,12 @@ type Result struct {
 	Executions int
 	// Reproduced reports whether even the full input tripped the oracle.
 	Reproduced bool
+	// Interval and Settle echo the (defaulted) replay pacing the result was
+	// confirmed under, so downstream consumers — the findings database, a
+	// regression replayer — can re-execute the trigger with the exact
+	// timing that reproduced it rather than re-guessing defaults.
+	Interval time.Duration
+	Settle   time.Duration
 }
 
 // ErrNoRepro is returned when the full input sequence does not reproduce
@@ -110,7 +116,8 @@ func (m *Minimizer) Minimize(frames []can.Frame) (Result, error) {
 	m.executions, m.exhausted = 0, false
 	m.memo = make(map[string]bool)
 
-	res := Result{Oracle: m.Oracle, OriginalFrames: len(frames)}
+	res := Result{Oracle: m.Oracle, OriginalFrames: len(frames),
+		Interval: m.Interval, Settle: m.Settle}
 	if !m.execute(frames) {
 		res.Executions = m.executions
 		return res, ErrNoRepro

@@ -1,0 +1,108 @@
+package repro
+
+// The golden regression suite: testdata/regress/ is a committed findings
+// database — the seeded bench unlock finding plus a chaos watchdog
+// finding — and this test replays every record through findings.RunSuite,
+// asserting the original oracles still fire against the current tree.
+// This is the go-test-integrable driver of the canregress pipeline: the
+// same records `canregress run -db testdata/regress` replays, wired into
+// tier-1 so a behaviour change that silences a stored finding fails
+// `go test ./...` immediately.
+//
+// Regenerate the database (and review the diff!) with:
+//
+//	go test -run TestRegress -update .
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/findings"
+)
+
+// regressRecords are the canonical golden findings.
+func regressRecords() []findings.Record {
+	watchdogCfg := core.ConfigJSON{
+		Seed:           1,
+		IDMin:          0x300,
+		IDMax:          0x400,
+		IntervalMicros: 1000,
+	}
+	return []findings.Record{
+		{
+			// The paper's seeded defect: CmdUnlock 0x20 on identifier 0x215
+			// unlocks the bench BCM under the byte-only parser.
+			Oracle:         "unlock-ack",
+			Detail:         "matched frame 0533 2 AC 01",
+			Target:         "bench",
+			BCMCheck:       "byte",
+			Trigger:        []string{"215#20"},
+			Seed:           7,
+			IntervalMicros: 1000,
+			SettleMillis:   150,
+			Mode:           "guided",
+			Sources:        []string{"canfuzz"},
+			Campaigns:      []string{"golden-unlock"},
+		},
+		{
+			// An environmental finding: a 2-second stuck-dominant jam starves
+			// the bus until the dead-bus watchdog fires. Stored as a generator
+			// record — replay re-runs the generator under the chaos plan.
+			Oracle:         "watchdog",
+			Detail:         "bus dead: no progress within 250ms",
+			Target:         "bench",
+			BCMCheck:       "byte",
+			Chaos:          "seed=1;jam(at=100ms,for=2s)",
+			Seed:           1,
+			DeadlineMillis: 1500,
+			Config:         &watchdogCfg,
+			Mode:           "random",
+			Sources:        []string{"canfuzz"},
+			Campaigns:      []string{"golden-watchdog"},
+		},
+	}
+}
+
+// TestRegressGoldenSuite replays the committed findings database and
+// requires 100% pass.
+func TestRegressGoldenSuite(t *testing.T) {
+	dir := filepath.Join("testdata", "regress")
+	if *updateGolden {
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		db, err := findings.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.MergeAll(regressRecords()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	db, err := findings.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := db.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(regressRecords()); len(recs) != want {
+		t.Fatalf("golden DB holds %d records, want %d (regenerate with -update)", len(recs), want)
+	}
+
+	rep := findings.RunSuite(recs, findings.SuiteConfig{Workers: 2, Attempts: 2})
+	for _, res := range rep.Results {
+		if res.Outcome != findings.OutcomePass {
+			t.Errorf("golden finding %s [%s]: outcome %s (observed %q %q, err %q)",
+				res.Key, res.Oracle, res.Outcome, res.ObservedOracle, res.ObservedDetail, res.Err)
+		}
+	}
+	if !rep.OK() || rep.Pass != rep.Records {
+		t.Fatalf("golden regression suite not 100%% pass: %d/%d pass, %d fail, %d flaky, %d errors",
+			rep.Pass, rep.Records, rep.Fail, rep.Flaky, rep.Errors)
+	}
+}
