@@ -9,11 +9,14 @@ package repro
 // internal/clock); this pins the whole assembled world.
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
+	"repro/internal/can"
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/guided"
 	"repro/internal/testbench"
 )
@@ -80,5 +83,87 @@ func TestRandomCampaignStepZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("random campaign step allocates %v per tick, want 0", allocs)
+	}
+}
+
+// TestWorldResetZeroAlloc pins a full world reset — scheduler, bus and
+// ports, every bench ECU, telemetry, generator RNG and campaign state —
+// at zero steady-state heap allocations. This is what makes fleet-side
+// world reuse worth having: recycling a trial world must cost CPU only,
+// never garbage.
+func TestWorldResetZeroAlloc(t *testing.T) {
+	exp, err := testbench.NewUnlockExperiment(testbench.Config{}, core.Config{
+		Seed:      5,
+		TargetIDs: []can.ID{0x215},
+		Interval:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the world once so the reset has real state to clear.
+	if _, ok := exp.Run(30 * time.Minute); !ok {
+		t.Fatal("campaign found no unlock within 30 virtual minutes")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		exp.Reset(5)
+	})
+	if allocs != 0 {
+		t.Fatalf("world reset allocates %v per call, want 0", allocs)
+	}
+}
+
+// fleetTrialAllocBudget bounds the average heap allocations per fleet
+// trial once the world pool is warm. The factory-per-trial cold path
+// spent ~6.6k allocations per trial building the world alone; the reuse
+// path keeps only the per-trial bookkeeping (result rows, finding
+// payloads, report assembly), so an order of magnitude less. A breach
+// means the reset path started rebuilding something it should recycle.
+const fleetTrialAllocBudget = 660.0
+
+func TestFleetTrialAllocBudget(t *testing.T) {
+	const trials = 8
+	cfg := fleet.Config{
+		Trials:      trials,
+		Workers:     1,
+		BaseSeed:    5,
+		MaxPerTrial: 30 * time.Minute,
+		Pool:        &fleet.WorldPool{},
+	}
+	factory := func(spec fleet.TrialSpec) (*fleet.World, error) {
+		exp, err := testbench.NewUnlockExperiment(testbench.Config{}, core.Config{
+			Seed:      spec.Seed,
+			TargetIDs: []can.ID{0x215},
+			Interval:  time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &fleet.World{
+			Sched:    exp.Bench.Scheduler(),
+			Campaign: exp.Campaign,
+			Reset: func(ts fleet.TrialSpec) error {
+				exp.Reset(ts.Seed)
+				return nil
+			},
+		}, nil
+	}
+	run := func() {
+		if _, err := fleet.Run(cfg, factory); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the pool: later runs recycle this world for every trial
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	const reps = 5
+	for i := 0; i < reps; i++ {
+		run()
+	}
+	runtime.ReadMemStats(&after)
+	perTrial := float64(after.Mallocs-before.Mallocs) / (reps * trials)
+	if perTrial > fleetTrialAllocBudget {
+		t.Fatalf("fleet trial allocates %.0f with a warm pool, budget %v",
+			perTrial, fleetTrialAllocBudget)
 	}
 }

@@ -27,11 +27,20 @@ import (
 	"repro/internal/testbench"
 )
 
-// runCampaignOnce drives one second of virtual bench fuzzing, optionally
-// with the telemetry plane attached. It is the telemetry-overhead yardstick:
+// campaignBench is the standard one-virtual-second bench-fuzzing workload,
+// built once and recycled with the world-reuse machinery: every op resets
+// the scheduler, bench and campaign in place and replays the same seed.
+// The optional telemetry plane makes it the telemetry-overhead yardstick:
 // BenchmarkCampaign exercises the nil-receiver no-op hooks, and
 // BenchmarkCampaignTelemetry the live counters and tracer.
-func runCampaignOnce(b *testing.B, tel *telemetry.Telemetry) uint64 {
+type campaignBench struct {
+	sched    *clock.Scheduler
+	bench    *testbench.Bench
+	tel      *telemetry.Telemetry
+	campaign *core.Campaign
+}
+
+func newCampaignBench(tb testing.TB, tel *telemetry.Telemetry) *campaignBench {
 	sched := clock.New()
 	bench := testbench.New(sched, testbench.Config{AckUnlock: true})
 	bench.Instrument(tel)
@@ -43,22 +52,34 @@ func runCampaignOnce(b *testing.B, tel *telemetry.Telemetry) uint64 {
 		Seed: 7, Interval: time.Millisecond,
 	}, opts...)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	campaign.AddOracle(bench.UnlockOracle())
-	campaign.Start()
-	sched.RunUntil(time.Second)
-	campaign.Stop()
-	return campaign.FramesSent()
+	return &campaignBench{sched: sched, bench: bench, tel: tel, campaign: campaign}
+}
+
+// run executes one virtual second of fuzzing on the recycled world.
+func (cb *campaignBench) run() uint64 {
+	cb.sched.Reset()
+	cb.tel.Reset()
+	cb.bench.Reset()
+	cb.campaign.Reset(7)
+	cb.campaign.Start()
+	cb.sched.RunUntil(time.Second)
+	cb.campaign.Stop()
+	return cb.campaign.FramesSent()
 }
 
 // BenchmarkCampaign is the uninstrumented baseline: every telemetry hook
 // compiled in but nil. Compare with BenchmarkCampaignTelemetry to bound
 // the cost of the no-op path (budget: <5%).
 func BenchmarkCampaign(b *testing.B) {
+	cb := newCampaignBench(b, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
 	var frames uint64
 	for i := 0; i < b.N; i++ {
-		frames = runCampaignOnce(b, nil)
+		frames = cb.run()
 	}
 	b.ReportMetric(float64(frames), "frames")
 }
@@ -66,9 +87,12 @@ func BenchmarkCampaign(b *testing.B) {
 // BenchmarkCampaignTelemetry runs the same campaign with metrics and the
 // event tracer live.
 func BenchmarkCampaignTelemetry(b *testing.B) {
+	cb := newCampaignBench(b, telemetry.New(0))
+	b.ReportAllocs()
+	b.ResetTimer()
 	var frames uint64
 	for i := 0; i < b.N; i++ {
-		frames = runCampaignOnce(b, telemetry.New(0))
+		frames = cb.run()
 	}
 	b.ReportMetric(float64(frames), "frames")
 }
@@ -347,7 +371,11 @@ func fleetTable5Factory(spec fleet.TrialSpec) (*fleet.World, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &fleet.World{Sched: exp.Bench.Scheduler(), Campaign: exp.Campaign}, nil
+	return &fleet.World{
+		Sched:    exp.Bench.Scheduler(),
+		Campaign: exp.Campaign,
+		Reset:    func(ts fleet.TrialSpec) error { exp.Reset(ts.Seed); return nil },
+	}, nil
 }
 
 // BenchmarkFleet measures fleet scaling on the Table V workload: the same
@@ -365,6 +393,10 @@ func BenchmarkFleet(b *testing.B) {
 		}
 		seen[workers] = true
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			// The pool carries reset-capable worlds across iterations, so
+			// after the first run every trial recycles a warm world — the
+			// production shape for repeated fleets over one target config.
+			pool := &fleet.WorldPool{}
 			var rep *fleet.Report
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -373,6 +405,7 @@ func BenchmarkFleet(b *testing.B) {
 					Workers:     workers,
 					BaseSeed:    100,
 					MaxPerTrial: 12 * time.Hour,
+					Pool:        pool,
 				}, fleetTable5Factory)
 				if err != nil {
 					b.Fatal(err)

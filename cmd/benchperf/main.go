@@ -10,11 +10,21 @@
 //
 //	benchperf [-quick] [-out BENCH_2006-01-02.json]
 //	benchperf -quick -baseline testdata/bench_baseline.json [-tolerance 0.15]
+//	benchperf -only Campaign,Fleet -speedup-baseline BENCH_2026-08-05.json
 //
 // With -baseline the run compares against a committed baseline and exits
 // non-zero when any shared workload regresses by more than the tolerance
 // band in ns/op or increases at all in allocs/op. CI runs the -quick set
 // on every push.
+//
+// With -speedup-baseline the run instead proves a floor against a
+// *historical* trajectory file: Campaign frames/sec must be at least
+// -min-campaign-speedup (default 3x) the old number and Fleet allocs/op
+// must be reduced by at least -min-fleet-alloc-reduction (default 5x).
+// This pins the world-reuse + word-codec optimization gains so a revert
+// cannot slip through even if it passes the drift gate. The speedup
+// comparison must run at the same workload shape as its baseline — the
+// committed BENCH_2026-08-05.json is a full (non -quick) run.
 package main
 
 import (
@@ -24,6 +34,7 @@ import (
 	"log/slog"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -86,7 +97,11 @@ func run(args []string) error {
 	out := fs.String("out", "", "output path (default BENCH_<date>.json; empty with -baseline writes nothing)")
 	baseline := fs.String("baseline", "", "baseline BENCH json to compare against")
 	tolerance := fs.Float64("tolerance", 0.15, "allowed fractional ns/op regression vs baseline")
+	speedupBaseline := fs.String("speedup-baseline", "", "historical BENCH json the speedup gate measures against")
+	minCampaignSpeedup := fs.Float64("min-campaign-speedup", 3.0, "required Campaign frames/sec multiple vs -speedup-baseline")
+	minFleetAllocReduction := fs.Float64("min-fleet-alloc-reduction", 5.0, "required Fleet allocs/op reduction factor vs -speedup-baseline")
 	reps := fs.Int("reps", 3, "runs per workload; the fastest is kept (noise floor)")
+	only := fs.String("only", "", "comma-separated workload names to run (default all)")
 	findingsDB := fs.String("findings-db", "", "findings database directory; its record count is stamped into the snapshot")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,7 +128,17 @@ func run(args []string) error {
 		f.FindingsCount = len(recs)
 		logger.Info("findings corpus", "db", *findingsDB, "records", f.FindingsCount)
 	}
+	var want map[string]bool
+	if *only != "" {
+		want = make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
 	for _, w := range workloads(*quick) {
+		if want != nil && !want[w.name] {
+			continue
+		}
 		logger.Info("running", "workload", w.name)
 		res := testing.Benchmark(w.bench)
 		// Keep the fastest of -reps runs: the minimum is the scheduling-noise
@@ -139,7 +164,7 @@ func run(args []string) error {
 	}
 
 	path := *out
-	if path == "" && *baseline == "" {
+	if path == "" && *baseline == "" && *speedupBaseline == "" {
 		path = "BENCH_" + f.Date + ".json"
 	}
 	if path != "" {
@@ -154,7 +179,89 @@ func run(args []string) error {
 	}
 
 	if *baseline != "" {
-		return compare(f, *baseline, *tolerance)
+		if err := compare(f, *baseline, *tolerance); err != nil {
+			return err
+		}
+	}
+	if *speedupBaseline != "" {
+		return checkSpeedup(f, *speedupBaseline, *minCampaignSpeedup, *minFleetAllocReduction)
+	}
+	return nil
+}
+
+// checkSpeedup enforces the world-reuse + word-codec acceptance floor
+// against a historical trajectory file: Campaign frames/sec must be at
+// least minCampaign times the old number, and Fleet allocs/op must have
+// shrunk by at least minFleetAlloc times. Unlike compare, which guards
+// against backsliding from the current baseline, this gate proves the
+// optimization work actually landed — reverting it fails CI even if the
+// revert is self-consistent.
+func checkSpeedup(f File, baselinePath string, minCampaign, minFleetAlloc float64) error {
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("read speedup baseline: %w", err)
+	}
+	var base File
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("parse speedup baseline: %w", err)
+	}
+	find := func(f File, name string) (Result, error) {
+		for _, r := range f.Results {
+			if r.Name == name {
+				return r, nil
+			}
+		}
+		return Result{}, fmt.Errorf("workload %q missing from speedup comparison", name)
+	}
+
+	failures := 0
+	oldC, err := find(base, "Campaign")
+	if err != nil {
+		return err
+	}
+	newC, err := find(f, "Campaign")
+	if err != nil {
+		return err
+	}
+	if oldC.FramesPerSec <= 0 || newC.FramesPerSec <= 0 {
+		return fmt.Errorf("campaign frames/sec missing (old %.0f, new %.0f)", oldC.FramesPerSec, newC.FramesPerSec)
+	}
+	speedup := newC.FramesPerSec / oldC.FramesPerSec
+	if speedup < minCampaign {
+		failures++
+		logger.Error("campaign speedup below floor",
+			"old frames/sec", fmt.Sprintf("%.0f", oldC.FramesPerSec),
+			"now frames/sec", fmt.Sprintf("%.0f", newC.FramesPerSec),
+			"speedup", fmt.Sprintf("%.2fx", speedup), "floor", fmt.Sprintf("%.1fx", minCampaign))
+	} else {
+		logger.Info("campaign speedup holds",
+			"speedup", fmt.Sprintf("%.2fx", speedup), "floor", fmt.Sprintf("%.1fx", minCampaign))
+	}
+
+	oldF, err := find(base, "Fleet")
+	if err != nil {
+		return err
+	}
+	newF, err := find(f, "Fleet")
+	if err != nil {
+		return err
+	}
+	if oldF.AllocsPerOp <= 0 {
+		return fmt.Errorf("fleet allocs/op missing from speedup baseline")
+	}
+	reduction := float64(oldF.AllocsPerOp) / float64(max(newF.AllocsPerOp, 1))
+	if reduction < minFleetAlloc {
+		failures++
+		logger.Error("fleet alloc reduction below floor",
+			"old allocs/op", oldF.AllocsPerOp, "now allocs/op", newF.AllocsPerOp,
+			"reduction", fmt.Sprintf("%.2fx", reduction), "floor", fmt.Sprintf("%.1fx", minFleetAlloc))
+	} else {
+		logger.Info("fleet alloc reduction holds",
+			"reduction", fmt.Sprintf("%.2fx", reduction), "floor", fmt.Sprintf("%.1fx", minFleetAlloc))
+	}
+
+	if failures > 0 {
+		return fmt.Errorf("%d speedup floor(s) not met vs %s", failures, baselinePath)
 	}
 	return nil
 }
@@ -244,38 +351,51 @@ func workloads(quick bool) []workload {
 		{name: "Stuff", bench: benchStuff},
 		{name: "WireBits", bench: benchWireBits},
 		{name: "AppendEncodeBits", bench: benchAppendEncodeBits},
+		{name: "Unstuff", bench: benchUnstuff},
+		{name: "CRC15", bench: benchCRC15},
+		{name: "FDCRC", bench: benchFDCRC},
+		{name: "WorldReset", bench: benchWorldReset},
 	}
 }
 
 // benchCampaign mirrors the root BenchmarkCampaign(-Telemetry) workload:
 // one virtual second of blind bench fuzzing at a 1 ms interval, ~1000
-// frames per op.
+// frames per op, on a world built once and recycled with the reset
+// machinery — the fleet's pooled fast path.
 func benchCampaign(b *testing.B, tel *telemetry.Telemetry) {
+	sched := clock.New()
+	bench := testbench.New(sched, testbench.Config{AckUnlock: true})
+	bench.Instrument(tel)
+	var opts []core.Option
+	if tel != nil {
+		opts = append(opts, core.WithTelemetry(tel))
+	}
+	campaign, err := core.NewCampaign(sched, bench.AttachFuzzer("fuzzer"), core.Config{
+		Seed: 7, Interval: time.Millisecond,
+	}, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	campaign.AddOracle(bench.UnlockOracle())
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sched := clock.New()
-		bench := testbench.New(sched, testbench.Config{AckUnlock: true})
-		bench.Instrument(tel)
-		var opts []core.Option
-		if tel != nil {
-			opts = append(opts, core.WithTelemetry(tel))
-		}
-		campaign, err := core.NewCampaign(sched, bench.AttachFuzzer("fuzzer"), core.Config{
-			Seed: 7, Interval: time.Millisecond,
-		}, opts...)
-		if err != nil {
-			b.Fatal(err)
-		}
-		campaign.AddOracle(bench.UnlockOracle())
+		sched.Reset()
+		tel.Reset()
+		bench.Reset()
+		campaign.Reset(7)
 		campaign.Start()
 		sched.RunUntil(time.Second)
 		campaign.Stop()
 	}
 }
 
-// benchFleet mirrors the root BenchmarkFleet workload at NumCPU workers.
+// benchFleet mirrors the root BenchmarkFleet workload at NumCPU workers,
+// with a world pool carrying reset-capable worlds across ops so trials
+// recycle instead of rebuilding.
 func benchFleet(trials int) func(b *testing.B) {
 	return func(b *testing.B) {
+		pool := &fleet.WorldPool{}
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_, err := fleet.Run(fleet.Config{
@@ -283,12 +403,17 @@ func benchFleet(trials int) func(b *testing.B) {
 				Workers:     runtime.NumCPU(),
 				BaseSeed:    100,
 				MaxPerTrial: 12 * time.Hour,
+				Pool:        pool,
 			}, func(spec fleet.TrialSpec) (*fleet.World, error) {
 				exp, err := testbench.NewUnlockExperiment(testbench.Config{}, core.Config{Seed: spec.Seed})
 				if err != nil {
 					return nil, err
 				}
-				return &fleet.World{Sched: exp.Bench.Scheduler(), Campaign: exp.Campaign}, nil
+				return &fleet.World{
+					Sched:    exp.Bench.Scheduler(),
+					Campaign: exp.Campaign,
+					Reset:    func(ts fleet.TrialSpec) error { exp.Reset(ts.Seed); return nil },
+				}, nil
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -396,5 +521,70 @@ func benchAppendEncodeBits(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dst = can.AppendEncodeBits(dst[:0], f)
+	}
+}
+
+// benchUnstuff measures the word-level destuffing kernel on one typical
+// frame's stuffed wire bits.
+func benchUnstuff(b *testing.B) {
+	stuffed := can.Stuff(can.RawBits(can.MustNew(0x215, []byte{0x20, 0x5F, 1, 0, 0, 1, 0x20})))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := can.Unstuff(stuffed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCRC15 measures the byte-table CRC-15 over one typical frame's raw
+// bits.
+func benchCRC15(b *testing.B) {
+	bits := can.RawBits(can.MustNew(0x215, []byte{0x20, 0x5F, 1, 0, 0, 1, 0x20}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var crc uint16
+	for i := 0; i < b.N; i++ {
+		crc = can.CRC15(bits)
+	}
+	_ = crc
+}
+
+// benchFDCRC measures the CAN FD CRC-17/21 word kernel over a 64-byte
+// payload.
+func benchFDCRC(b *testing.B) {
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i * 37)
+	}
+	f := can.MustNewFD(0x215, data, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var crc uint32
+	for i := 0; i < b.N; i++ {
+		crc, _ = can.FDCRC(f)
+	}
+	_ = crc
+}
+
+// benchWorldReset measures recycling a dirtied unlock world back to a
+// pristine seeded state — the cost the fleet pays per trial instead of a
+// factory build.
+func benchWorldReset(b *testing.B) {
+	exp, err := testbench.NewUnlockExperiment(testbench.Config{}, core.Config{
+		Seed:      5,
+		TargetIDs: []can.ID{0x215},
+		Interval:  time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, ok := exp.Run(30 * time.Minute); !ok {
+		b.Fatal("campaign found no unlock within 30 virtual minutes")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.Reset(5)
 	}
 }

@@ -44,6 +44,134 @@ func TestDeterminismCampaignReportGolden(t *testing.T) {
 	checkGolden(t, "campaign_report_golden.json", buf.Bytes())
 }
 
+// unlockFleetFactory is the reusable-world variant of the CI fleet smoke
+// factory: the returned world carries a Reset hook, so fleet workers
+// recycle it across trials instead of rebuilding.
+func unlockFleetFactory(spec fleet.TrialSpec) (*fleet.World, error) {
+	exp, err := testbench.NewUnlockExperiment(testbench.Config{}, core.Config{
+		Seed:      spec.Seed,
+		TargetIDs: []can.ID{0x215},
+		Interval:  time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &fleet.World{
+		Sched:    exp.Bench.Scheduler(),
+		Campaign: exp.Campaign,
+		Reset: func(ts fleet.TrialSpec) error {
+			exp.Reset(ts.Seed)
+			return nil
+		},
+	}, nil
+}
+
+// fleetReportJSON runs a fleet configuration and returns the aggregated
+// report as JSON bytes.
+func fleetReportJSON(t *testing.T, cfg fleet.Config, factory fleet.TargetFactory) []byte {
+	t.Helper()
+	rep, err := fleet.Run(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDeterminismReuseEquivalence pins the world-reuse fast path to the
+// factory-per-trial cold path: the same trial schedule must produce
+// byte-identical fleet report JSON with reuse disabled, with per-worker
+// reuse, and with a cross-run world pool — at one worker and at full
+// width. This is the contract that lets fleet.Run recycle worlds at all:
+// a reset world is indistinguishable from a freshly built one.
+func TestDeterminismReuseEquivalence(t *testing.T) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		cfg := fleet.Config{
+			Trials:      8,
+			Workers:     workers,
+			BaseSeed:    5,
+			MaxPerTrial: 30 * time.Minute,
+		}
+
+		cold := cfg
+		cold.DisableReuse = true
+		coldJSON := fleetReportJSON(t, cold, unlockFleetFactory)
+
+		reuseJSON := fleetReportJSON(t, cfg, unlockFleetFactory)
+		if !bytes.Equal(coldJSON, reuseJSON) {
+			t.Errorf("workers=%d: reuse-on report differs from reuse-off\noff: %s\non:  %s",
+				workers, coldJSON, reuseJSON)
+		}
+
+		// Two runs sharing a pool: the second run's workers start from
+		// worlds the first run parked, so every trial exercises the
+		// reset path against state left by a *different* schedule.
+		pooled := cfg
+		pooled.Pool = &fleet.WorldPool{}
+		fleetReportJSON(t, pooled, unlockFleetFactory)
+		if pooled.Pool.Len() == 0 {
+			t.Fatalf("workers=%d: no worlds parked in pool after run", workers)
+		}
+		pooledJSON := fleetReportJSON(t, pooled, unlockFleetFactory)
+		if !bytes.Equal(coldJSON, pooledJSON) {
+			t.Errorf("workers=%d: pooled rerun report differs from reuse-off\noff:    %s\npooled: %s",
+				workers, coldJSON, pooledJSON)
+		}
+
+		// The schedule matches the committed CI golden; reuse must not
+		// perturb those bytes either.
+		if workers == runtime.NumCPU() {
+			checkGolden(t, "fleet_report_golden.json", reuseJSON)
+		}
+	}
+}
+
+// TestDeterminismResetAfterFinding is the leak check for world reuse: a
+// trial that *produces a finding* mutates more state than any other
+// (oracle fired flags, stop-on-finding campaign bookkeeping, telemetry
+// series, probe maps). Resetting that world and running a second seed
+// must yield a report byte-identical to a fresh world's run of the same
+// seed — any counter or monitor surviving the reset shows up here.
+func TestDeterminismResetAfterFinding(t *testing.T) {
+	runJSON := func(e *testbench.UnlockExperiment) []byte {
+		t.Helper()
+		if _, ok := e.Run(30 * time.Minute); !ok {
+			t.Fatal("campaign found no unlock within 30 virtual minutes")
+		}
+		rep := e.Campaign.BuildReport()
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	mk := func(seed int64) *testbench.UnlockExperiment {
+		t.Helper()
+		exp, err := testbench.NewUnlockExperiment(testbench.Config{}, core.Config{
+			Seed:      seed,
+			TargetIDs: []can.ID{0x215},
+			Interval:  time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return exp
+	}
+
+	reused := mk(5)
+	runJSON(reused) // finding-producing trial: dirties oracles, report state
+	reused.Reset(6)
+	got := runJSON(reused)
+
+	want := runJSON(mk(6))
+	if !bytes.Equal(got, want) {
+		t.Errorf("report after reset differs from fresh world\nfresh: %s\nreset: %s", want, got)
+	}
+}
+
 // TestDeterminismFleetReportGolden runs the 8-trial targeted-unlock fleet
 // smoke (the CI configuration: ids 215, seed 5) at full worker width and
 // asserts the aggregated report JSON is byte-identical to the committed

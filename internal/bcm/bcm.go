@@ -112,6 +112,22 @@ func New(e *ecu.ECU, cfg Config) *BCM {
 // ECU exposes the underlying runtime.
 func (b *BCM) ECU() *ecu.ECU { return b.ecu }
 
+// Reset returns the application state to its as-constructed form for
+// world reuse: lock state back to the configured start, liveness and
+// acknowledgement sequence numbers rewound, transition and feedback
+// counters zeroed. The OnChange callback and the underlying ECU runtime
+// (reset separately via ECU().Reset, which re-arms the status broadcast)
+// are retained.
+func (b *BCM) Reset() {
+	b.unlocked = b.cfg.StartUnlocked
+	b.alive = 0
+	b.ackSeq = 0
+	b.unlocks = 0
+	b.locks = 0
+	b.cmdFrames = 0
+	b.nearMisses = 0
+}
+
 // Unlocked reports the lock state (true = unlocked = bench LED on).
 func (b *BCM) Unlocked() bool { return b.unlocked }
 

@@ -14,6 +14,7 @@ package bus
 import (
 	"errors"
 	"fmt"
+	mathbits "math/bits"
 	"time"
 
 	"repro/internal/can"
@@ -233,8 +234,26 @@ type Bus struct {
 
 	// Idle tracking for ISO 11898-1 bus-off recovery: while the bus is
 	// idle, recovering nodes accrue recessive-bit sequences continuously.
-	idle        bool
-	autoRecover bool
+	// recoveringCount tracks how many ports are mid-recovery so the idle
+	// transitions and per-frame crediting — which run on every completed
+	// frame — skip the port scan in the overwhelmingly common case of no
+	// node recovering.
+	idle            bool
+	autoRecover     bool
+	recoveringCount int
+
+	// txPending counts queued transmissions across every port and queue
+	// kind, so the post-completion tryStart — which usually finds an empty
+	// bus — can skip the per-port queue scan entirely. Queues are always
+	// emptied when a port detaches or goes bus-off, so a non-zero count
+	// means the scan will find a contender.
+	txPending int
+
+	// pendingMask has bit i set iff ports[i] has at least one queued
+	// transmission, so arbitration visits only contending ports instead of
+	// scanning three queues on every port. Ports beyond the first 64 have
+	// no bit (p.bit == 0); tryStart falls back to the full scan then.
+	pendingMask uint64
 
 	stats Stats
 	start time.Duration
@@ -425,11 +444,47 @@ func (b *Bus) Connect(name string) *Port {
 		state:       ErrorActive,
 		autoRecover: b.autoRecover,
 	}
+	if idx := len(b.ports); idx < 64 {
+		p.bit = 1 << idx
+	}
 	b.ports = append(b.ports, p)
 	if b.tel != nil {
 		p.instrument()
 	}
 	return p
+}
+
+// Reset returns the bus and every connected port to the freshly-
+// constructed state for world reuse. Configuration survives — bitrate,
+// queue capacity, name, taps, receivers, fault hooks, telemetry handles,
+// the auto-recovery default — while dynamic state is cleared: the
+// in-flight transmission, jam window, idle/recovery tracking, lifetime
+// and sliding-window statistics, and each port's queues, error counters
+// and fault-confinement state. The caller must Reset the scheduler
+// first, so no completion or recovery event from the previous life can
+// fire; the load-window and statistics baselines restart at the
+// scheduler's (new) current instant. Steady state allocates nothing.
+func (b *Bus) Reset() {
+	b.busy = false
+	b.delivering = false
+	b.pend.kind = txClassic
+	b.pend.port = nil
+	b.pend.frame = can.Frame{}
+	b.pend.raw = rawTx{}
+	b.pend.fd = can.FDFrame{}
+	b.pend.dur = 0
+	b.pend.bits = 0
+	b.jamUntil = 0
+	b.idle = false
+	b.recoveringCount = 0
+	b.txPending = 0
+	b.pendingMask = 0
+	b.stats = Stats{}
+	b.start = b.sched.Now()
+	b.win.reset()
+	for _, p := range b.ports {
+		p.reset()
+	}
 }
 
 // tryStart begins the highest-priority pending transmission if the bus is
@@ -443,35 +498,38 @@ func (b *Bus) tryStart() {
 	if b.sched.Now() < b.jamUntil {
 		return // stuck-dominant window: arbitration resumes at jamEnded
 	}
+	if b.txPending == 0 {
+		b.enterIdle()
+		return
+	}
 	var winner *Port
 	var winnerID can.ID
 	winnerKind := 0 // 0 classic, 1 raw, 2 fd
 	contenders := 0
-	for _, p := range b.ports {
-		if p.detached || p.state == BusOff {
-			continue
-		}
-		pending := false
-		if p.txq.len() > 0 {
-			pending = true
-			if id := p.txq.front().ID; winner == nil || id < winnerID {
-				winner, winnerID, winnerKind = p, id, 0
+	if len(b.ports) <= 64 {
+		// Bit index equals port index, so this visits contenders in attach
+		// order — the same tie-break as the full scan below.
+		for m := b.pendingMask; m != 0; m &= m - 1 {
+			p := b.ports[mathbits.TrailingZeros64(m)]
+			if p.detached || p.state == BusOff {
+				continue
+			}
+			var pending bool
+			winner, winnerID, winnerKind, pending = arbConsider(p, winner, winnerID, winnerKind)
+			if pending {
+				contenders++
 			}
 		}
-		if p.rawq.len() > 0 {
-			pending = true
-			if id := rawArbID(p.rawq.front().bits); winner == nil || id < winnerID {
-				winner, winnerID, winnerKind = p, id, 1
+	} else {
+		for _, p := range b.ports {
+			if p.detached || p.state == BusOff {
+				continue
 			}
-		}
-		if p.fdq.len() > 0 {
-			pending = true
-			if id := p.fdq.front().ID; winner == nil || id < winnerID {
-				winner, winnerID, winnerKind = p, id, 2
+			var pending bool
+			winner, winnerID, winnerKind, pending = arbConsider(p, winner, winnerID, winnerKind)
+			if pending {
+				contenders++
 			}
-		}
-		if pending {
-			contenders++
 		}
 	}
 	if winner == nil {
@@ -493,12 +551,40 @@ func (b *Bus) tryStart() {
 		return
 	}
 	frame := winner.txq.pop()
+	winner.notePop()
 	b.busy = true
 	bits := can.WireBitsWithIFS(frame)
 	dur := time.Duration(bits) * time.Second / time.Duration(b.bitrate)
 	b.pend.kind, b.pend.port, b.pend.frame = txClassic, winner, frame
 	b.pend.dur, b.pend.bits = dur, bits
 	b.sched.AfterEvent(dur, b.completeEvent)
+}
+
+// arbConsider evaluates one port's queue heads against the current
+// arbitration winner and reports whether the port contended. The winner
+// is replaced only on a strictly lower identifier, so ties keep the
+// earlier port — callers must therefore visit ports in attach order.
+func arbConsider(p *Port, winner *Port, winnerID can.ID, winnerKind int) (*Port, can.ID, int, bool) {
+	pending := false
+	if p.txq.len() > 0 {
+		pending = true
+		if id := p.txq.front().ID; winner == nil || id < winnerID {
+			winner, winnerID, winnerKind = p, id, 0
+		}
+	}
+	if p.rawq.len() > 0 {
+		pending = true
+		if id := rawArbID(p.rawq.front().bits); winner == nil || id < winnerID {
+			winner, winnerID, winnerKind = p, id, 1
+		}
+	}
+	if p.fdq.len() > 0 {
+		pending = true
+		if id := p.fdq.front().ID; winner == nil || id < winnerID {
+			winner, winnerID, winnerKind = p, id, 2
+		}
+	}
+	return winner, winnerID, winnerKind, pending
 }
 
 // complete finishes a transmission: updates error counters, delivers to
@@ -584,6 +670,9 @@ func (b *Bus) enterIdle() {
 		return
 	}
 	b.idle = true
+	if b.recoveringCount == 0 {
+		return
+	}
 	for _, p := range b.ports {
 		if p.recovering {
 			p.recIdleStart = b.sched.Now()
@@ -600,6 +689,9 @@ func (b *Bus) leaveIdle() {
 		return
 	}
 	b.idle = false
+	if b.recoveringCount == 0 {
+		return
+	}
 	for _, p := range b.ports {
 		if !p.recovering {
 			continue
@@ -637,6 +729,7 @@ func (b *Bus) beginRecovery(p *Port) {
 		return
 	}
 	p.recovering = true
+	b.recoveringCount++
 	p.recSeq = 0
 	if b.idle {
 		// The node went bus-off on an idle bus (e.g. SetAutoRecover on an
@@ -649,6 +742,9 @@ func (b *Bus) beginRecovery(p *Port) {
 // creditFrameEnd credits one recessive sequence to every recovering port at
 // an observed end of frame, rejoining any that reach the threshold.
 func (b *Bus) creditFrameEnd() {
+	if b.recoveringCount == 0 {
+		return
+	}
 	for _, p := range b.ports {
 		if !p.recovering {
 			continue
@@ -667,6 +763,7 @@ func (b *Bus) rejoin(p *Port) {
 		return
 	}
 	p.recovering = false
+	b.recoveringCount--
 	if p.recTimer != nil {
 		p.recTimer.Stop()
 		p.recTimer = nil

@@ -61,6 +61,7 @@ func (p *Port) SendFD(f can.FDFrame) error {
 		return fmt.Errorf("sendFD on %s: %w", p.name, ErrTxQueueFull)
 	}
 	p.fdq.push(f)
+	p.notePush()
 	p.bus.tryStart()
 	return nil
 }
@@ -68,6 +69,7 @@ func (p *Port) SendFD(f can.FDFrame) error {
 // startFD begins an FD transmission for the winning port.
 func (b *Bus) startFD(winner *Port) {
 	frame := winner.fdq.pop()
+	winner.notePop()
 	b.busy = true
 	dur := can.FDWireTime(frame, b.bitrate, b.fdDataBitrate)
 	b.pend.kind, b.pend.port, b.pend.fd, b.pend.dur = txFD, winner, frame, dur

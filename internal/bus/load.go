@@ -46,6 +46,16 @@ func (w *loadWindow) rotate(now time.Duration) {
 	w.curEnd += time.Duration(steps) * w.bucket
 }
 
+// reset clears the accumulated window back to the zero value, keeping
+// the configured bucket span. Used by Bus.Reset for world reuse.
+func (w *loadWindow) reset() {
+	for i := range w.busy {
+		w.busy[i] = 0
+	}
+	w.cur = 0
+	w.curEnd = 0
+}
+
 // add credits dur of busy time at completion instant now.
 func (w *loadWindow) add(now, dur time.Duration) {
 	w.rotate(now)

@@ -41,6 +41,10 @@ type Port struct {
 	fdq      ring[can.FDFrame]
 	detached bool
 
+	// bit is this port's position in the bus's pendingMask (zero for
+	// ports past the first 64, which the mask cannot represent).
+	bit uint64
+
 	state NodeState
 	tec   int // transmit error counter
 	rec   int // receive error counter
@@ -129,8 +133,25 @@ func (p *Port) Send(f can.Frame) error {
 		return fmt.Errorf("send on %s: %w", p.name, ErrTxQueueFull)
 	}
 	p.txq.push(f)
+	p.notePush()
 	p.bus.tryStart()
 	return nil
+}
+
+// notePush accounts one newly queued transmission in the bus-wide
+// pending count and contention mask.
+func (p *Port) notePush() {
+	p.bus.txPending++
+	p.bus.pendingMask |= p.bit
+}
+
+// notePop accounts one dequeued transmission, clearing the port's
+// contention bit when its last queued frame left.
+func (p *Port) notePop() {
+	p.bus.txPending--
+	if p.txq.len()|p.rawq.len()|p.fdq.len() == 0 {
+		p.bus.pendingMask &^= p.bit
+	}
 }
 
 // SetAutoRecover switches ISO bus-off auto-recovery for this node. Enabling
@@ -155,6 +176,9 @@ func (p *Port) Recovering() bool { return p.recovering }
 
 // cancelRecovery abandons an in-progress bus-off recovery.
 func (p *Port) cancelRecovery() {
+	if p.recovering {
+		p.bus.recoveringCount--
+	}
 	p.recovering = false
 	p.recSeq = 0
 	if p.recTimer != nil {
@@ -163,12 +187,41 @@ func (p *Port) cancelRecovery() {
 	}
 }
 
-// Detach removes the node from the bus. Pending transmissions are dropped.
-func (p *Port) Detach() {
-	p.detached = true
+// dropQueued empties all three transmit queues, keeping the bus-wide
+// pending count consistent.
+func (p *Port) dropQueued() {
+	p.bus.txPending -= p.txq.len() + p.rawq.len() + p.fdq.len()
+	p.bus.pendingMask &^= p.bit
 	p.txq.clear()
 	p.rawq.clear()
 	p.fdq.clear()
+}
+
+// reset returns the port to its freshly-connected state for world reuse:
+// queues emptied, error-active with zeroed counters, attached, recovery
+// abandoned, statistics cleared. The receiver callback, telemetry
+// handles and the bus's auto-recovery default are retained. Called from
+// Bus.Reset after the scheduler has been reset, so the stale recovery
+// timer handle (already invalidated by the scheduler's generation bump)
+// is simply dropped.
+func (p *Port) reset() {
+	p.dropQueued()
+	p.detached = false
+	p.state = ErrorActive
+	p.tec, p.rec = 0, 0
+	p.autoRecover = p.bus.autoRecover
+	p.recovering = false
+	p.recSeq = 0
+	p.recIdleStart = 0
+	p.recTimer = nil
+	p.stats = PortStats{}
+	p.gState.Set(float64(p.state))
+}
+
+// Detach removes the node from the bus. Pending transmissions are dropped.
+func (p *Port) Detach() {
+	p.detached = true
+	p.dropQueued()
 	p.cancelRecovery()
 }
 
@@ -204,16 +257,21 @@ func (p *Port) bumpREC(n int) {
 }
 
 func (p *Port) decTEC() {
-	if p.tec > 0 {
-		p.tec--
+	// Already at zero: the counters are unchanged, so the state (always
+	// kept consistent with the counters) cannot change either. This is
+	// the per-delivered-frame path, so the skip matters.
+	if p.tec == 0 {
+		return
 	}
+	p.tec--
 	p.updateState()
 }
 
 func (p *Port) decREC() {
-	if p.rec > 0 {
-		p.rec--
+	if p.rec == 0 {
+		return
 	}
+	p.rec--
 	p.updateState()
 }
 
@@ -223,9 +281,7 @@ func (p *Port) updateState() {
 	case p.tec >= busOffThreshold:
 		if p.state != BusOff {
 			p.state = BusOff
-			p.txq.clear() // controller drops its mailboxes on bus-off
-			p.rawq.clear()
-			p.fdq.clear()
+			p.dropQueued() // controller drops its mailboxes on bus-off
 			p.stats.BusOffs++
 			if p.autoRecover {
 				p.bus.beginRecovery(p)

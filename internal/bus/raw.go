@@ -49,6 +49,7 @@ func (p *Port) SendRaw(bits []byte, done func(RawResult)) error {
 	seq := make([]byte, len(bits))
 	copy(seq, bits)
 	p.rawq.push(rawTx{bits: seq, done: done})
+	p.notePush()
 	p.bus.tryStart()
 	return nil
 }
@@ -76,6 +77,7 @@ func rawArbID(bits []byte) can.ID {
 // startRaw begins a raw transmission for the winning port.
 func (b *Bus) startRaw(winner *Port) {
 	tx := winner.rawq.pop()
+	winner.notePop()
 	b.busy = true
 	bits := len(tx.bits) + can.InterframeSpace
 	dur := time.Duration(bits) * time.Second / time.Duration(b.bitrate)

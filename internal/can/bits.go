@@ -68,73 +68,6 @@ func RawBits(f Frame) []byte {
 	return bits
 }
 
-// Stuff applies CAN bit stuffing to bits: after five consecutive identical
-// bits, a bit of opposite polarity is inserted. The stuff bit itself counts
-// toward the next run.
-func Stuff(bits []byte) []byte {
-	return AppendStuff(make([]byte, 0, len(bits)+len(bits)/5), bits)
-}
-
-// AppendStuff appends the stuffed form of bits to dst and returns the
-// extended slice. With a pre-sized dst it performs no allocation; Stuff is
-// AppendStuff into a fresh slice.
-func AppendStuff(dst, bits []byte) []byte {
-	run := 0
-	var last byte = 2 // sentinel: no previous bit
-	for _, b := range bits {
-		if b == last {
-			run++
-		} else {
-			run = 1
-			last = b
-		}
-		dst = append(dst, b)
-		if run == 5 {
-			stuffed := last ^ 1
-			dst = append(dst, stuffed)
-			last = stuffed
-			run = 1
-		}
-	}
-	return dst
-}
-
-// Unstuff removes stuffing from a bit sequence produced by Stuff. It returns
-// an error if a stuffing violation is found (six consecutive equal bits),
-// which on a real bus signals an error frame.
-func Unstuff(bits []byte) ([]byte, error) {
-	out := make([]byte, 0, len(bits))
-	run := 0
-	var last byte = 2
-	skip := false
-	for _, b := range bits {
-		if skip {
-			// This is a stuff bit; it must differ from the previous run.
-			if b == last {
-				return nil, ErrStuffViolation
-			}
-			last = b
-			run = 1
-			skip = false
-			continue
-		}
-		if b == last {
-			run++
-		} else {
-			run = 1
-			last = b
-		}
-		if run == 6 {
-			return nil, ErrStuffViolation
-		}
-		out = append(out, b)
-		if run == 5 {
-			skip = true
-		}
-	}
-	return out, nil
-}
-
 // maxRawFrameBits bounds the unstuffed raw sequence of a standard frame:
 // header(19) + data(<=64) + crc(15).
 const maxRawFrameBits = 98
@@ -207,43 +140,7 @@ func AppendRawBits(dst []byte, f Frame) []byte {
 	return append(dst, bits[:n]...)
 }
 
-// countStuffBits returns how many stuff bits Stuff would insert into bits;
-// a stuff bit counts toward the next run with inverted polarity.
-func countStuffBits(bits []byte) int {
-	stuffed := 0
-	run := 0
-	var last byte = 2
-	for _, b := range bits {
-		if b == last {
-			run++
-		} else {
-			run = 1
-			last = b
-		}
-		if run == 5 {
-			stuffed++
-			last ^= 1
-			run = 1
-		}
-	}
-	return stuffed
-}
-
-// WireBits returns the total number of bits the frame occupies on the wire,
-// including stuffing and the fixed-form trailer but excluding interframe
-// space. This drives the bus transmission-latency model.
-//
-// It is the hottest function in the simulator (once per transmitted frame),
-// so it avoids the slice-building Stuff/RawBits path: the raw bits go into
-// a fixed stack buffer via rawFrameBits and only the stuff bits are
-// counted — zero allocations.
-func WireBits(f Frame) int {
-	var bits [maxRawFrameBits]byte
-	n := rawFrameBits(&bits, f)
-	return n + countStuffBits(bits[:n]) + trailerBits
-}
-
-// crc15Table drives the byte-at-a-time CRC-15 update in WireBits:
+// crc15Table drives the byte-at-a-time CRC-15 update in the codec paths:
 // crc15Table[u] is the register state after clocking the 8 bits of u
 // through a zeroed CRC-15 register, MSB first.
 var crc15Table = func() (t [256]uint16) {
@@ -257,7 +154,3 @@ var crc15Table = func() (t [256]uint16) {
 	}
 	return t
 }()
-
-// WireBitsWithIFS is WireBits plus the mandatory 3-bit interframe space;
-// it is the effective bus occupancy of one frame.
-func WireBitsWithIFS(f Frame) int { return WireBits(f) + InterframeSpace }

@@ -14,15 +14,21 @@ var ErrCRC = errors.New("can: CRC mismatch")
 const crc15Poly = 0x4599
 
 // CRC15 computes the CAN CRC-15 over a bit sequence (one bit per byte,
-// values 0 or 1), as specified in Bosch CAN 2.0 §3.1.1.
+// values 0 or 1), as specified in Bosch CAN 2.0 §3.1.1. Eight input bits
+// at a time go through crc15Table; the trailing partial byte steps
+// serially. crc15Ref in reference.go is the bit-serial specification this
+// is tested against.
 func CRC15(bits []byte) uint16 {
 	var crc uint16
-	for _, b := range bits {
-		crcNext := b&1 ^ byte(crc>>14&1)
-		crc = (crc << 1) & 0x7FFF
-		if crcNext == 1 {
-			crc ^= crc15Poly
-		}
+	i := 0
+	for ; i+8 <= len(bits); i += 8 {
+		v := (bits[i]&1)<<7 | (bits[i+1]&1)<<6 | (bits[i+2]&1)<<5 | (bits[i+3]&1)<<4 |
+			(bits[i+4]&1)<<3 | (bits[i+5]&1)<<2 | (bits[i+6]&1)<<1 | bits[i+7]&1
+		crc = ((crc << 8) ^ crc15Table[byte(crc>>7)^v]) & 0x7FFF
+	}
+	for ; i < len(bits); i++ {
+		next := uint16(bits[i]&1) ^ (crc >> 14 & 1)
+		crc = ((crc << 1) & 0x7FFF) ^ next*crc15Poly
 	}
 	return crc & 0x7FFF
 }

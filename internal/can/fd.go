@@ -149,14 +149,53 @@ const (
 	crc21Poly = 0x102899
 )
 
+// crc17Table and crc21Table drive the byte-at-a-time updates for the two
+// FD CRC widths: table[u] is the register after clocking the 8 bits of u
+// through a zeroed register, MSB first.
+var (
+	crc17Table = makeFDTable(crc17Poly, 17)
+	crc21Table = makeFDTable(crc21Poly, 21)
+)
+
+func makeFDTable(poly uint32, width int) (t [256]uint32) {
+	mask := uint32(1)<<width - 1
+	for u := range t {
+		crc := uint32(u) << (width - 8)
+		for b := 0; b < 8; b++ {
+			next := crc >> (width - 1) & 1
+			crc = (crc << 1) & mask
+			if next == 1 {
+				crc ^= poly & mask
+			}
+		}
+		t[u] = crc
+	}
+	return t
+}
+
 // crcFD computes an n-bit CRC over a bit sequence with the given
-// polynomial.
-func crcFD(bits []byte, poly uint32, width int) uint32 {
+// polynomial: byte-at-a-time off the width's table for the two standard
+// FD combinations, bit-serial (crcFDRef) for anything else.
+func crcFD(bs []byte, poly uint32, width int) uint32 {
+	var t *[256]uint32
+	switch {
+	case poly == crc17Poly && width == 17:
+		t = &crc17Table
+	case poly == crc21Poly && width == 21:
+		t = &crc21Table
+	default:
+		return crcFDRef(bs, poly, width)
+	}
+	mask := uint32(1)<<width - 1
 	var crc uint32
-	top := uint32(1) << (width - 1)
-	mask := top<<1 - 1
-	for _, b := range bits {
-		next := uint32(b&1) ^ (crc >> (width - 1) & 1)
+	i := 0
+	for ; i+8 <= len(bs); i += 8 {
+		v := (bs[i]&1)<<7 | (bs[i+1]&1)<<6 | (bs[i+2]&1)<<5 | (bs[i+3]&1)<<4 |
+			(bs[i+4]&1)<<3 | (bs[i+5]&1)<<2 | (bs[i+6]&1)<<1 | bs[i+7]&1
+		crc = ((crc << 8) ^ t[byte(crc>>(width-8))^v]) & mask
+	}
+	for ; i < len(bs); i++ {
+		next := uint32(bs[i]&1) ^ (crc >> (width - 1) & 1)
 		crc = (crc << 1) & mask
 		if next == 1 {
 			crc ^= poly & mask
@@ -236,12 +275,47 @@ func fdStuffRegionBits(bits *[fdStuffRegionMax]byte, f FDFrame) int {
 	return n
 }
 
+// fdStuffRegionWords packs the dynamically stuffed region of f — header
+// flags + DLC + data — MSB-first into words and returns the bit count
+// (22..534). It is the word-level counterpart of fdStuffRegionBits.
+func fdStuffRegionWords(w *[fdStuffRegionMax/64 + 1]uint64, f FDFrame) int {
+	for i := range w {
+		w[i] = 0
+	}
+	var brs, esi uint64
+	if f.BRS {
+		brs = 1
+	}
+	if f.ESI {
+		esi = 1
+	}
+	dlc, _ := FDLengthToDLC(int(f.Len))
+	// SOF(0) ID(11) RRS(0) IDE(0) FDF(1) res(0) BRS ESI DLC(4) = 22 bits.
+	v := uint64(f.ID)<<10 | 1<<7 | brs<<5 | esi<<4 | uint64(dlc)
+	w[0] = v << 42
+	n := 22
+	for _, by := range f.Data[:f.Len] {
+		idx := n >> 6
+		off := uint(n & 63)
+		if off <= 56 {
+			w[idx] |= uint64(by) << (56 - off)
+		} else {
+			w[idx] |= uint64(by) >> (off - 56)
+			w[idx+1] |= uint64(by) << (120 - off)
+		}
+		n += 8
+	}
+	return n
+}
+
 // fdDynamicStuffEstimate counts dynamic stuff bits over the header and
-// payload region (FD dynamic stuffing stops at the stuff-count field).
+// payload region (FD dynamic stuffing stops at the stuff-count field),
+// word-packed and DFA-counted like the classic WireBits path.
 func fdDynamicStuffEstimate(f FDFrame) int {
-	var bits [fdStuffRegionMax]byte
-	n := fdStuffRegionBits(&bits, f)
-	return countStuffBits(bits[:n])
+	var w [fdStuffRegionMax/64 + 1]uint64
+	n := fdStuffRegionWords(&w, f)
+	var state uint8
+	return countStuffWords(&state, w[:], n)
 }
 
 // FDWireTime returns the on-wire duration of an FD frame given the nominal
@@ -265,31 +339,23 @@ func FDWireTime(f FDFrame, nominalBps, dataBps int) time.Duration {
 // over the dynamically stuffed region as on the wire.
 func FDCRC(f FDFrame) (crc uint32, width int) {
 	width = 17
-	poly := uint32(crc17Poly)
+	t := &crc17Table
 	if f.Len > 16 {
 		width = 21
-		poly = crc21Poly
+		t = &crc21Table
 	}
-	// ID(11) + DLC(4) + payload bits, built in a fixed stack buffer so
-	// per-frame CRC computation allocates nothing.
-	var bits [15 + MaxFDDataLen*8]byte
-	n := 0
-	for i := 10; i >= 0; i-- {
-		bits[n] = byte(uint16(f.ID) >> uint(i) & 1)
-		n++
-	}
+	// The covered region is ID(11) + DLC(4) + payload. The register starts
+	// at zero, so one pad bit byte-aligns the 15-bit prefix for free and
+	// the whole CRC runs byte-at-a-time with no bit buffer at all.
+	mask := uint32(1)<<width - 1
 	dlc, _ := FDLengthToDLC(int(f.Len))
-	for i := 3; i >= 0; i-- {
-		bits[n] = dlc >> uint(i) & 1
-		n++
-	}
+	hdr := uint16(f.ID)<<4 | uint16(dlc)
+	crc = t[byte(hdr>>8)] & mask
+	crc = ((crc << 8) ^ t[byte(crc>>(width-8))^byte(hdr)]) & mask
 	for _, by := range f.Data[:f.Len] {
-		for i := 7; i >= 0; i-- {
-			bits[n] = by >> uint(i) & 1
-			n++
-		}
+		crc = ((crc << 8) ^ t[byte(crc>>(width-8))^by]) & mask
 	}
-	return crcFD(bits[:n], poly, width), width
+	return crc, width
 }
 
 // MarshalFD encodes an FD frame in a compact binary record:

@@ -172,6 +172,95 @@ func (s *Scheduler) Every(interval time.Duration, fn Event) *Timer {
 	return t
 }
 
+// Reset returns the scheduler to virtual time zero with an empty queue.
+// Every pending node is recycled onto the free list with its generation
+// bumped, so stale Timer/Periodic handles from before the reset can never
+// cancel an event scheduled after it. The node pool and queue capacity
+// are retained: a reset-and-rebuild cycle allocates nothing, which is
+// what makes pooled world reuse (fleet trials recycling a whole
+// simulation) allocation-free in steady state.
+//
+// Reset must not be called from inside a running event; like the rest of
+// the Scheduler it is single-threaded by design.
+func (s *Scheduler) Reset() {
+	if s.running {
+		panic("clock: Reset while the scheduler is running")
+	}
+	for _, it := range s.queue {
+		s.recycle(it)
+	}
+	s.queue = s.queue[:0]
+	s.now = 0
+	s.seq = 0
+	s.stopped = false
+}
+
+// Periodic is a reusable repeating timer: allocated once, then armed and
+// disarmed any number of times with zero steady-state allocations. It is
+// the re-armable counterpart of Every for components that live across
+// Scheduler.Reset cycles — an Every call allocates a Timer and a closure
+// per arm, a Periodic allocates only at construction.
+type Periodic struct {
+	s        *Scheduler
+	interval time.Duration
+	fn       Event
+	tick     Event
+	it       *item
+	gen      uint32
+	running  bool
+}
+
+// NewPeriodic builds a stopped periodic timer firing fn every interval
+// once started. The interval must be positive.
+func (s *Scheduler) NewPeriodic(interval time.Duration, fn Event) *Periodic {
+	if interval <= 0 {
+		panic("clock: Periodic interval must be positive")
+	}
+	if fn == nil {
+		panic("clock: nil event")
+	}
+	p := &Periodic{s: s, interval: interval, fn: fn}
+	p.tick = func() {
+		if !p.running {
+			return
+		}
+		p.fn()
+		if p.running {
+			it := p.s.schedule(p.s.now+p.interval, p.tick)
+			p.it, p.gen = it, it.gen
+		}
+	}
+	return p
+}
+
+// Start arms the timer: the first fire is one interval from now. Starting
+// a running timer is a no-op.
+func (p *Periodic) Start() {
+	if p.running {
+		return
+	}
+	p.running = true
+	it := p.s.schedule(p.s.now+p.interval, p.tick)
+	p.it, p.gen = it, it.gen
+}
+
+// Stop disarms the timer; safe from inside its own callback, after a
+// Scheduler.Reset (the generation check keeps it from touching a recycled
+// node), and when already stopped.
+func (p *Periodic) Stop() {
+	if !p.running {
+		return
+	}
+	p.running = false
+	if p.it != nil && p.it.gen == p.gen {
+		p.it.dead = true
+	}
+	p.it = nil
+}
+
+// Running reports whether the timer is armed.
+func (p *Periodic) Running() bool { return p.running }
+
 // Pending returns the number of events waiting to fire (including dead ones
 // not yet drained).
 func (s *Scheduler) Pending() int { return len(s.queue) }

@@ -74,7 +74,7 @@ func NewBitFuzzer(sched *clock.Scheduler, port *bus.Port, cfg BitFuzzConfig) *Bi
 		sched: sched,
 		port:  port,
 		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		rng:   rand.New(newRestartableSource(cfg.Seed)),
 	}
 	bf.onResult = func(res bus.RawResult) {
 		if res == bus.RawDelivered {

@@ -174,7 +174,10 @@ type Campaign struct {
 	errsByCause [numSendErrorCauses]uint64
 	started     time.Duration
 	running     bool
-	timer       *clock.Timer
+	// timer is the pacing loop: a re-armable Periodic allocated once at
+	// construction, so Start/Stop cycles (and pooled world reuse) never
+	// allocate a timer or closure.
+	timer *clock.Periodic
 
 	stopOnFinding bool
 	reset         func()
@@ -182,6 +185,14 @@ type Campaign struct {
 	window        int
 	maxFrames     uint64
 	src           FrameSource
+
+	// Construction-time snapshots consulted by Reset: RunUntilFinding
+	// mutates stopOnFinding and lazily installs a default resilience
+	// policy, and a reused world must start the next trial from the
+	// as-constructed values, not whatever the previous trial left behind.
+	stopOnFindingInit bool
+	resCfg            Resilience
+	hasResCfg         bool
 
 	// res is the resilience policy; nil (the default) means no retries and
 	// no watchdog, with zero overhead on the send path.
@@ -220,6 +231,11 @@ func NewCampaign(sched *clock.Scheduler, port *bus.Port, cfg Config, opts ...Opt
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	c.timer = sched.NewPeriodic(gen.cfg.Interval, c.sendOne)
+	c.stopOnFindingInit = c.stopOnFinding
+	if c.res != nil {
+		c.resCfg, c.hasResCfg = c.res.Resilience, true
 	}
 	c.mon = NewMonitor(c.window)
 	if c.tel != nil {
@@ -304,7 +320,7 @@ func (c *Campaign) Start() {
 	for _, o := range c.oracles {
 		o.Start(c.sched, c.report)
 	}
-	c.timer = c.sched.Every(c.gen.cfg.Interval, c.sendOne)
+	c.timer.Start()
 	c.startWatchdog()
 }
 
@@ -325,13 +341,41 @@ func (c *Campaign) Stop() {
 			Actor: "campaign", Name: "gen-batch", N: c.framesSent,
 		})
 	}
-	if c.timer != nil {
-		c.timer.Stop()
-		c.timer = nil
-	}
+	c.timer.Stop()
 	c.stopWatchdog()
 	for _, o := range c.oracles {
 		o.Stop()
+	}
+}
+
+// Reset returns the campaign to its freshly-constructed state under a new
+// seed, for pooled world reuse. The wiring — port receiver, oracles,
+// hooks, frame source, telemetry handles — survives; the run state does
+// not: the generator stream restarts from seed, the monitor statistics
+// and findings are cleared, the error accounting zeroes, and the
+// resilience policy returns to its as-constructed form (in particular,
+// the default watchdog RunUntilFinding installs lazily is discarded, so
+// a reused campaign re-derives it exactly like a fresh one). The caller
+// must Reset the scheduler first; the campaign's pacing timer and
+// watchdog handles from the previous life are already invalidated by the
+// scheduler's generation bump and are simply dropped. Steady state
+// allocates nothing.
+func (c *Campaign) Reset(seed int64) {
+	c.running = false
+	c.timer.Stop()
+	c.gen.Reset(seed)
+	c.mon.Reset()
+	c.findings = c.findings[:0]
+	c.framesSent = 0
+	c.sendErrors = 0
+	c.errsByCause = [numSendErrorCauses]uint64{}
+	c.started = 0
+	c.wallExpired = false
+	c.stopOnFinding = c.stopOnFindingInit
+	if c.hasResCfg {
+		*c.res = resState{Resilience: c.resCfg}
+	} else {
+		c.res = nil
 	}
 }
 

@@ -75,7 +75,7 @@ func NewFDFuzzer(sched *clock.Scheduler, port *bus.Port, cfg FDFuzzConfig) (*FDF
 		sched: sched,
 		port:  port,
 		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		rng:   rand.New(newRestartableSource(cfg.Seed)),
 	}, nil
 }
 

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/can"
 )
@@ -11,7 +10,7 @@ import (
 // deterministic given the seed.
 type Generator struct {
 	cfg Config
-	rng *rand.Rand
+	rng *restartableSource
 
 	// Sweep state: an odometer over (payload bytes, id).
 	sweepID      can.ID
@@ -46,7 +45,7 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	}
 	g := &Generator{
 		cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Seed)),
+		rng: newRestartableSource(cfg.Seed),
 	}
 	if cfg.Mode == ModeSweep {
 		g.sweepID = cfg.IDMin
@@ -60,6 +59,25 @@ func NewGenerator(cfg Config) (*Generator, error) {
 
 // Config returns the defaulted configuration in effect.
 func (g *Generator) Config() Config { return g.cfg }
+
+// Reset restores the generator to the state NewGenerator produced, under a
+// (possibly different) seed: the RNG stream restarts from seed and the
+// sweep odometer returns to its origin. The already-validated
+// configuration is retained, so Reset skips validation and corpus
+// filtering and allocates nothing — the restartable source makes a
+// same-seed reseed a state copy rather than a full re-derivation, and
+// either way the stream matches a freshly built generator's.
+func (g *Generator) Reset(seed int64) {
+	g.cfg.Seed = seed
+	g.rng.Seed(seed)
+	g.sweepWrapped = false
+	if g.cfg.Mode == ModeSweep {
+		g.sweepID = g.cfg.IDMin
+		for i := range g.sweepPayload {
+			g.sweepPayload[i] = g.cfg.ByteMin
+		}
+	}
+}
 
 // Next returns the next fuzz frame.
 func (g *Generator) Next() can.Frame {

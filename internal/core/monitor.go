@@ -40,6 +40,21 @@ func NewMonitor(window int) *Monitor {
 	}
 }
 
+// Reset clears every accumulated statistic and the recent-frame window in
+// place for world reuse, allocating nothing: the dense per-identifier
+// arrays are zeroed with a memclr and the window ring is rewound (stale
+// frames past the write cursor are unreachable through Recent).
+func (m *Monitor) Reset() {
+	m.sentMeans = analysis.ByteMeans{}
+	m.observedMeans = analysis.ByteMeans{}
+	clear(m.sentByID[:])
+	clear(m.observedByID[:])
+	m.distinctSent = 0
+	m.distinctObserved = 0
+	m.next = 0
+	m.filled = false
+}
+
 // NoteSent records a transmitted fuzz frame.
 func (m *Monitor) NoteSent(f can.Frame) {
 	m.sentMeans.Add(f)

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRestartableSourceMatchesMathRand pins the restartable source
+// word-identical to math/rand across seeds, replay/continuation boundary
+// and derived rand.Rand methods.
+func TestRestartableSourceMatchesMathRand(t *testing.T) {
+	for _, seed := range []int64{0, 1, 7, -3, 1 << 40, -(1 << 40)} {
+		ref := rand.NewSource(seed).(rand.Source64)
+		got := newRestartableSource(seed)
+		// Cover well past the 607-draw replay phase.
+		for i := 0; i < 5*rngLen; i++ {
+			if w, r := got.Uint64(), ref.Uint64(); w != r {
+				t.Fatalf("seed %d draw %d: Uint64 = %#x, math/rand %#x", seed, i, w, r)
+			}
+		}
+	}
+}
+
+// TestRestartableSourceReseed checks every reseed — same seed (cached) or
+// different (re-derived) — restarts the stream exactly like a fresh
+// math/rand source, including mid-replay and mid-continuation reseeds.
+func TestRestartableSourceReseed(t *testing.T) {
+	s := newRestartableSource(42)
+	for _, drawsBefore := range []int{0, 10, rngLen - 1, rngLen, 3 * rngLen} {
+		for _, seed := range []int64{42, 42, 99, 42} {
+			for i := 0; i < drawsBefore; i++ {
+				s.Uint64()
+			}
+			s.Seed(seed)
+			ref := rand.NewSource(seed).(rand.Source64)
+			for i := 0; i < 2*rngLen; i++ {
+				if w, r := s.Uint64(), ref.Uint64(); w != r {
+					t.Fatalf("seed %d after %d draws, draw %d: %#x != %#x", seed, drawsBefore, i, w, r)
+				}
+			}
+		}
+	}
+}
+
+// TestRestartableSourceViaRand checks the derived rand.Rand streams
+// (Intn, Int63, Float64 — the draws the generators use) coincide with
+// rand.Rand over a real source.
+func TestRestartableSourceViaRand(t *testing.T) {
+	got := rand.New(newRestartableSource(7))
+	ref := rand.New(rand.NewSource(7))
+	for i := 0; i < 4*rngLen; i++ {
+		switch i % 3 {
+		case 0:
+			if w, r := got.Intn(2048), ref.Intn(2048); w != r {
+				t.Fatalf("draw %d: Intn %d != %d", i, w, r)
+			}
+		case 1:
+			if w, r := got.Int63(), ref.Int63(); w != r {
+				t.Fatalf("draw %d: Int63 %d != %d", i, w, r)
+			}
+		default:
+			if w, r := got.Float64(), ref.Float64(); w != r {
+				t.Fatalf("draw %d: Float64 %v != %v", i, w, r)
+			}
+		}
+	}
+}
+
+// TestRestartableSourceDirectDerivations pins the source's own Intn /
+// Int31n / Int63n / Int31 replicas — the interface-free fast path the
+// blind generator draws through — against rand.Rand over a real source.
+// The n values mix power-of-two masks with moduli that exercise the
+// rejection loop, and a mid-stream reseed checks the replicas stay in
+// lockstep across a restart.
+func TestRestartableSourceDirectDerivations(t *testing.T) {
+	for _, seed := range []int64{0, 7, -3, 1 << 40} {
+		src := newRestartableSource(seed)
+		ref := rand.New(rand.NewSource(seed))
+		ns := []int{1, 2, 9, 97, 256, 2048, 1<<31 - 1, 3}
+		check := func(label string) {
+			for i := 0; i < 4*rngLen; i++ {
+				switch i % 4 {
+				case 0:
+					n := ns[i%len(ns)]
+					if w, r := src.Intn(n), ref.Intn(n); w != r {
+						t.Fatalf("%s seed %d draw %d: Intn(%d) %d != %d", label, seed, i, n, w, r)
+					}
+				case 1:
+					if w, r := src.Int31(), ref.Int31(); w != r {
+						t.Fatalf("%s seed %d draw %d: Int31 %d != %d", label, seed, i, w, r)
+					}
+				case 2:
+					n := int32(ns[i%len(ns)])
+					if w, r := src.Int31n(n), ref.Int31n(n); w != r {
+						t.Fatalf("%s seed %d draw %d: Int31n(%d) %d != %d", label, seed, i, n, w, r)
+					}
+				default:
+					n := int64(ns[i%len(ns)]) << 16
+					if w, r := src.Int63n(n), ref.Int63n(n); w != r {
+						t.Fatalf("%s seed %d draw %d: Int63n(%d) %d != %d", label, seed, i, n, w, r)
+					}
+				}
+			}
+		}
+		check("fresh")
+		src.Seed(seed)
+		ref.Seed(seed)
+		check("reseeded")
+	}
+}
+
+// TestRestartableSourceSeedAllocs pins the cached-reseed path at zero
+// allocations — it sits on the world-reuse hot path.
+func TestRestartableSourceSeedAllocs(t *testing.T) {
+	s := newRestartableSource(7)
+	if n := testing.AllocsPerRun(100, func() { s.Seed(7) }); n != 0 {
+		t.Fatalf("cached Seed allocates %v times per call, want 0", n)
+	}
+}

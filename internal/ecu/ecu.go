@@ -65,8 +65,15 @@ type Handler func(bus.Message)
 
 type periodicSpec struct {
 	interval time.Duration
-	fn       func()
-	timer    *clock.Timer
+	per      *clock.Periodic
+}
+
+// handlerEntry pairs one arbitration identifier with its handler chain.
+// Dispatch is a linear scan: ECUs register a handful of identifiers, so
+// the scan beats a map lookup (no hashing) on the per-frame hot path.
+type handlerEntry struct {
+	id can.ID
+	hs []Handler
 }
 
 // ECU is the base runtime for a simulated control unit. Concrete ECUs
@@ -77,7 +84,7 @@ type ECU struct {
 	sched *clock.Scheduler
 	port  *bus.Port
 
-	handlers map[can.ID][]Handler
+	handlers []handlerEntry
 	catchAll []Handler
 
 	periodics []*periodicSpec
@@ -116,15 +123,14 @@ func New(name string, sched *clock.Scheduler, port *bus.Port) *ECU {
 		panic("ecu: nil scheduler or port")
 	}
 	e := &ECU{
-		name:     name,
-		sched:    sched,
-		port:     port,
-		handlers: make(map[can.ID][]Handler),
-		nvram:    make(map[string][]byte),
-		ram:      make(map[string][]byte),
-		mils:     make(map[string]bool),
-		powered:  true,
-		mode:     ModeNormal,
+		name:    name,
+		sched:   sched,
+		port:    port,
+		nvram:   make(map[string][]byte),
+		ram:     make(map[string][]byte),
+		mils:    make(map[string]bool),
+		powered: true,
+		mode:    ModeNormal,
 	}
 	port.SetReceiver(e.dispatch)
 	return e
@@ -173,7 +179,13 @@ func (e *ECU) Handle(id can.ID, h Handler) {
 	if h == nil {
 		panic("ecu: nil handler")
 	}
-	e.handlers[id] = append(e.handlers[id], h)
+	for i := range e.handlers {
+		if e.handlers[i].id == id {
+			e.handlers[i].hs = append(e.handlers[i].hs, h)
+			return
+		}
+	}
+	e.handlers = append(e.handlers, handlerEntry{id: id, hs: []Handler{h}})
 }
 
 // HandleAll registers a handler that sees every received frame after the
@@ -193,16 +205,16 @@ func (e *ECU) Periodic(interval time.Duration, fn func()) {
 		panic("ecu: nil periodic")
 	}
 	spec := &periodicSpec{interval: interval}
-	spec.fn = func() {
+	spec.per = e.sched.NewPeriodic(interval, func() {
 		if !e.powered || e.crashed || e.sched.Now() < e.stalledUntil {
 			return // stalled application: the tick is skipped, not deferred
 		}
 		defer e.guard()
 		fn()
-	}
+	})
 	e.periodics = append(e.periodics, spec)
 	if e.powered {
-		spec.timer = e.sched.Every(interval, spec.fn)
+		spec.per.Start()
 	}
 }
 
@@ -251,8 +263,13 @@ func (e *ECU) dispatch(m bus.Message) {
 		e.panicNext = ""
 		panic(detail)
 	}
-	for _, h := range e.handlers[m.Frame.ID] {
-		h(m)
+	for i := range e.handlers {
+		if e.handlers[i].id == m.Frame.ID {
+			for _, h := range e.handlers[i].hs {
+				h(m)
+			}
+			break
+		}
 	}
 	for _, h := range e.catchAll {
 		h(m)
@@ -362,10 +379,7 @@ func (e *ECU) PowerOff() {
 		})
 	}
 	for _, p := range e.periodics {
-		if p.timer != nil {
-			p.timer.Stop()
-			p.timer = nil
-		}
+		p.per.Stop()
 	}
 	e.port.Detach()
 	e.ram = make(map[string][]byte)
@@ -384,7 +398,7 @@ func (e *ECU) PowerOn() {
 	e.powered = true
 	e.port.Reattach()
 	for _, p := range e.periodics {
-		p.timer = e.sched.Every(p.interval, p.fn)
+		p.per.Start()
 	}
 	for _, fn := range e.onPowerOn {
 		fn()
@@ -395,6 +409,35 @@ func (e *ECU) PowerOn() {
 func (e *ECU) PowerCycle() {
 	e.PowerOff()
 	e.PowerOn()
+}
+
+// Reset returns the ECU to its freshly-constructed state for world reuse:
+// powered on in normal mode, storage and indicators cleared, fault/crash/
+// stall state wiped, and every registered periodic re-armed from phase
+// zero in registration order — the same scheduling order construction
+// produced, which is what keeps a reused world's event stream
+// byte-identical to a fresh one's. Registered handlers and callbacks are
+// retained; the caller resets the scheduler and bus around it. Steady
+// state allocates nothing: maps are cleared in place and the periodic
+// timers are reused.
+func (e *ECU) Reset() {
+	for _, p := range e.periodics {
+		p.per.Stop()
+	}
+	e.powered = true
+	e.mode = ModeNormal
+	clear(e.nvram)
+	clear(e.ram)
+	clear(e.mils)
+	e.chimes = 0
+	e.faults = e.faults[:0]
+	e.crashed = false
+	e.crashDetail = ""
+	e.stalledUntil = 0
+	e.panicNext = ""
+	for _, p := range e.periodics {
+		p.per.Start()
+	}
 }
 
 // --- Storage ---------------------------------------------------------------

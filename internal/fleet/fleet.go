@@ -48,6 +48,65 @@ type World struct {
 	// run (guided mode: guided.Engine.CorpusFrames). The fleet records it in
 	// the TrialResult and merges all trials' corpora in index order.
 	Corpus func() []string
+	// Reset, when non-nil, re-initializes the world in place for the given
+	// trial — scheduler back to time zero, target to its as-built state,
+	// campaign re-seeded — so a fleet worker can recycle it for its next
+	// trial instead of rebuilding through the factory. Reset-then-run must
+	// be bit-for-bit identical to fresh-build-then-run at the same spec
+	// (the reuse differential tests pin this); a Reset that returns an
+	// error or panics makes the worker discard the world and fall back to
+	// the factory, so a failed reset costs one rebuild, never a wrong
+	// result. Nil disables reuse for this world.
+	Reset func(spec TrialSpec) error
+}
+
+// WorldPool retains reset-capable worlds across Run calls, so back-to-back
+// fleets over the same target configuration (benchmark iterations, a
+// campaign service draining trial batches) skip world construction
+// entirely. Every world ever put in one pool must come from the same
+// factory and configuration, because the pool hands any retained world to
+// any worker; worlds without a Reset hook are never pooled. Safe for
+// concurrent use; the zero value and a nil pool are both valid and empty.
+type WorldPool struct {
+	mu     sync.Mutex
+	worlds []*World
+}
+
+// get pops a pooled world, or returns nil when the pool is empty or nil.
+func (p *WorldPool) get() *World {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.worlds)
+	if n == 0 {
+		return nil
+	}
+	w := p.worlds[n-1]
+	p.worlds[n-1] = nil
+	p.worlds = p.worlds[:n-1]
+	return w
+}
+
+// put returns a world to the pool. Nil pools and nil worlds are ignored.
+func (p *WorldPool) put(w *World) {
+	if p == nil || w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.worlds = append(p.worlds, w)
+}
+
+// Len reports how many worlds are currently pooled.
+func (p *WorldPool) Len() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.worlds)
 }
 
 // TrialSpec identifies one trial for a TargetFactory.
@@ -119,6 +178,15 @@ type Config struct {
 	// Observer, when non-nil, receives lifecycle callbacks (trial start
 	// and end, campaign start and end) from the worker goroutines.
 	Observer Observer
+	// DisableReuse forces every trial through the TargetFactory even when
+	// worlds advertise a Reset hook — the cold path, kept as the
+	// correctness oracle the reuse differential tests compare against.
+	DisableReuse bool
+	// Pool, when non-nil, seeds each worker's world cache from previously
+	// pooled worlds and returns the caches there after the run, extending
+	// reuse across Run calls. Ignored when DisableReuse is set. All runs
+	// sharing a pool must use the same factory and target configuration.
+	Pool *WorldPool
 }
 
 // Validation errors.
@@ -190,16 +258,32 @@ func Run(cfg Config, factory TargetFactory) (*Report, error) {
 		}
 	}()
 
+	reuse := !cfg.DisableReuse
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// cached is this worker's reusable world from its previous
+			// trial (or the cross-run pool): reset in place and recycled
+			// when it advertises Reset, discarded on any panic, error or
+			// failed reset. Per-trial results stay a pure function of
+			// (BaseSeed, index) because reset-then-run is pinned
+			// bit-identical to fresh-build-then-run.
+			var cached *World
+			if reuse {
+				cached = cfg.Pool.get()
+				defer func() { cfg.Pool.put(cached) }()
+			}
 			for i := range indices {
 				spec := TrialSpec{Index: i, Seed: seeds[i]}
 				if obs != nil {
 					obs.TrialStarted(spec)
 				}
-				res := RunTrial(spec, cfg, factory)
+				res, keep := runTrial(spec, cfg, factory, cached)
+				cached = nil
+				if reuse {
+					cached = keep
+				}
 				results[i] = res
 				if obs != nil {
 					obs.TrialFinished(res)
@@ -240,40 +324,78 @@ func Run(cfg Config, factory TargetFactory) (*Report, error) {
 // consulted. It is exported for the distributed campaign service: a
 // campaignd worker executes leased trials through it, so a trial's result
 // is bit-for-bit the same whether it ran in-process or on a remote worker.
+// RunTrial always takes the cold path — every call builds a fresh world
+// through the factory — which is what makes it the correctness oracle the
+// warm reuse path is differentially tested against.
+func RunTrial(spec TrialSpec, cfg Config, factory TargetFactory) TrialResult {
+	res, _ := runTrial(spec, cfg, factory, nil)
+	return res
+}
+
+// tryReset re-initializes a cached world for the next trial, containing
+// any panic: a reset that fails in any way just sends the trial down the
+// cold factory path.
+func tryReset(w *World, spec TrialSpec) (ok bool) {
+	if w.Reset == nil {
+		return false
+	}
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	return w.Reset(spec) == nil
+}
+
+// runTrial runs one trial, recycling cached (reset in place) when
+// possible and falling back to the factory otherwise. It returns the
+// result plus the world to cache for the worker's next trial — nil when
+// the world panicked (poisoned), errored, or does not support Reset.
 //
-// A panic anywhere inside — factory or simulation — is contained and
-// classified; the named return keeps the partial result fields gathered
-// before the panic. Wall-clock phase durations (world build vs campaign
-// run) are recorded on the result for the live progress view but excluded
-// from its JSON, which must stay a pure function of the seed.
-func RunTrial(spec TrialSpec, cfg Config, factory TargetFactory) (res TrialResult) {
+// A panic anywhere inside — reset, factory or simulation — is contained
+// and classified; the named return keeps the partial result fields
+// gathered before the panic. Wall-clock phase durations (world build vs
+// campaign run) are recorded on the result for the live progress view but
+// excluded from its JSON, which must stay a pure function of the seed.
+func runTrial(spec TrialSpec, cfg Config, factory TargetFactory, cached *World) (res TrialResult, keep *World) {
 	res = TrialResult{Trial: spec.Index, Seed: spec.Seed}
 	defer func() {
 		if r := recover(); r != nil {
 			res.Status = StatusPanic
 			res.PanicValue = fmt.Sprint(r)
+			keep = nil
 		}
 	}()
-	buildStart := time.Now()
-	w, err := factory(spec)
-	res.BuildWall = time.Since(buildStart)
-	if err != nil {
-		res.Status = StatusError
-		res.Err = err.Error()
-		return res
+	w := cached
+	if w != nil && !tryReset(w, spec) {
+		w = nil
 	}
 	if w == nil {
-		res.Status = StatusError
-		res.Err = errNilWorld.Error()
-		return res
+		buildStart := time.Now()
+		var err error
+		w, err = factory(spec)
+		res.BuildWall = time.Since(buildStart)
+		if err != nil {
+			res.Status = StatusError
+			res.Err = err.Error()
+			return res, nil
+		}
+		if w == nil {
+			res.Status = StatusError
+			res.Err = errNilWorld.Error()
+			return res, nil
+		}
+		if w.Sched == nil || w.Campaign == nil {
+			res.Status = StatusError
+			res.Err = errWorldFields.Error()
+			return res, nil
+		}
 	}
-	if w.Sched == nil || w.Campaign == nil {
-		res.Status = StatusError
-		res.Err = errWorldFields.Error()
-		return res
-	}
-	if cfg.TrialTimeout > 0 {
-		w.Campaign.SetWallBudget(cfg.TrialTimeout)
+	// Unconditional so a pooled world never inherits a stale budget from a
+	// previous run's configuration (zero disables the bound).
+	w.Campaign.SetWallBudget(cfg.TrialTimeout)
+	if w.Reset != nil {
+		keep = w
 	}
 	runStart := time.Now()
 	finding, ok := w.Campaign.RunUntilFinding(cfg.MaxPerTrial)
@@ -294,7 +416,7 @@ func RunTrial(spec TrialSpec, cfg Config, factory TargetFactory) (res TrialResul
 		} else {
 			res.Status = StatusTimeout
 		}
-		return res
+		return res, keep
 	}
 	res.Status = StatusFinding
 	res.TimeToFinding = finding.Elapsed
@@ -307,5 +429,5 @@ func RunTrial(spec TrialSpec, cfg Config, factory TargetFactory) (res TrialResul
 			res.TriggerFrames = append(res.TriggerFrames, core.FormatCorpusFrame(f))
 		}
 	}
-	return res
+	return res, keep
 }

@@ -38,6 +38,12 @@ func newCorpus() *corpus {
 
 func (c *corpus) size() int { return len(c.entries) }
 
+// reset empties the corpus in place, retaining entry and index capacity.
+func (c *corpus) reset() {
+	c.entries = c.entries[:0]
+	clear(c.index)
+}
+
 // add admits a frame with the given energy credit, or tops up an existing
 // entry's energy. Reports whether the frame was newly admitted.
 func (c *corpus) add(f can.Frame, energy uint64) bool {

@@ -42,6 +42,15 @@ func New(e *ecu.ECU, token string) *HeadUnit {
 // ECU exposes the underlying runtime.
 func (h *HeadUnit) ECU() *ecu.ECU { return h.ecu }
 
+// Reset returns the application state to its as-constructed form for
+// world reuse: command sequence and counters rewound, acknowledgement
+// flag cleared. The pairing token and authentication mode survive.
+func (h *HeadUnit) Reset() {
+	h.seq = 0
+	h.commands = 0
+	h.lastAck = false
+}
+
 // SetAuthenticate enables the truncated-MAC command authentication of the
 // hardened BCM variant (bcm.CheckAuthenticated): the head unit stamps
 // byte 6 of each relayed command with signal.CommandAuthCode.

@@ -162,8 +162,16 @@ type Heartbeat struct {
 
 	report Reporter
 	sched  *clock.Scheduler
-	timer  *clock.Timer
 	armed  bool
+
+	// per is the silence deadline: a re-armable Periodic allocated once
+	// per scheduler and restarted on every supervised frame. The old
+	// implementation scheduled a fresh After timer (heap node handle plus
+	// closure) per observation — the heartbeat supervises a 10 ms status
+	// broadcast, so that was two allocations every 10 virtual
+	// milliseconds for the whole campaign.
+	per      *clock.Periodic
+	perSched *clock.Scheduler
 }
 
 // Name implements Oracle.
@@ -175,6 +183,28 @@ func (h *Heartbeat) Start(sched *clock.Scheduler, report Reporter) {
 	h.sched = sched
 	h.report = report
 	h.armed = false
+	if h.per == nil || h.perSched != sched {
+		w := h.Window
+		if w <= 0 {
+			w = 1 // degenerate window: expire at the next instant
+		}
+		h.perSched = sched
+		h.per = sched.NewPeriodic(w, h.expire)
+	}
+}
+
+// expire fires the silence verdict. Stopping the periodic first makes it
+// single-shot — one verdict per silence, re-armed by the next frame —
+// matching the old one-shot After timer.
+func (h *Heartbeat) expire() {
+	h.per.Stop()
+	if h.report != nil && h.armed {
+		h.report(Verdict{
+			Time:   h.sched.Now(),
+			Oracle: h.Name(),
+			Detail: "identifier " + h.ID.String() + " silent",
+		})
+	}
 }
 
 // Observe implements Oracle.
@@ -183,29 +213,15 @@ func (h *Heartbeat) Observe(m bus.Message) {
 		return
 	}
 	h.armed = true
-	h.rearm()
-}
-
-func (h *Heartbeat) rearm() {
-	if h.timer != nil {
-		h.timer.Stop()
-	}
-	h.timer = h.sched.After(h.Window, func() {
-		if h.report != nil && h.armed {
-			h.report(Verdict{
-				Time:   h.sched.Now(),
-				Oracle: h.Name(),
-				Detail: "identifier " + h.ID.String() + " silent",
-			})
-		}
-	})
+	h.per.Stop()
+	h.per.Start()
 }
 
 // Stop implements Oracle.
 func (h *Heartbeat) Stop() {
 	h.report = nil
-	if h.timer != nil {
-		h.timer.Stop()
+	if h.per != nil {
+		h.per.Stop()
 	}
 }
 
@@ -227,8 +243,13 @@ type Probe struct {
 
 	report Reporter
 	sched  *clock.Scheduler
-	timer  *clock.Timer
 	fired  bool
+
+	// per is the polling loop: a re-armable Periodic allocated on the
+	// first Start against a scheduler and reused by every later Start, so
+	// a pooled world re-arms its probes without allocating.
+	per      *clock.Periodic
+	perSched *clock.Scheduler
 }
 
 // Name implements Oracle.
@@ -244,22 +265,29 @@ func (p *Probe) Start(sched *clock.Scheduler, report Reporter) {
 	p.sched = sched
 	p.report = report
 	p.fired = false
-	interval := p.Interval
-	if interval <= 0 {
-		interval = 10 * time.Millisecond
+	if p.per == nil || p.perSched != sched {
+		interval := p.Interval
+		if interval <= 0 {
+			interval = 10 * time.Millisecond
+		}
+		p.perSched = sched
+		p.per = sched.NewPeriodic(interval, p.poll)
 	}
-	p.timer = sched.Every(interval, func() {
-		if p.report == nil || p.Check == nil {
-			return
-		}
-		if p.Once && p.fired {
-			return
-		}
-		if detail := p.Check(); detail != "" {
-			p.fired = true
-			p.report(Verdict{Time: sched.Now(), Oracle: p.Name(), Detail: detail})
-		}
-	})
+	p.per.Start()
+}
+
+// poll is the periodic body.
+func (p *Probe) poll() {
+	if p.report == nil || p.Check == nil {
+		return
+	}
+	if p.Once && p.fired {
+		return
+	}
+	if detail := p.Check(); detail != "" {
+		p.fired = true
+		p.report(Verdict{Time: p.sched.Now(), Oracle: p.Name(), Detail: detail})
+	}
 }
 
 // Observe implements Oracle (probes do not watch traffic).
@@ -268,8 +296,8 @@ func (p *Probe) Observe(bus.Message) {}
 // Stop implements Oracle.
 func (p *Probe) Stop() {
 	p.report = nil
-	if p.timer != nil {
-		p.timer.Stop()
+	if p.per != nil {
+		p.per.Stop()
 	}
 }
 

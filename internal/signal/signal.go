@@ -194,7 +194,11 @@ func (m *MessageDef) Decode(f can.Frame) map[string]float64 {
 // Encode builds a frame from physical signal values. Signals not present in
 // values encode as zero raw.
 func (m *MessageDef) Encode(values map[string]float64) (can.Frame, error) {
-	data := make([]byte, m.Len)
+	// Fixed-size scratch so the encode stays on the stack: a variable-length
+	// make escapes, and periodic broadcasters (BCM status every 100 ms)
+	// call this on the campaign hot path.
+	var buf [can.MaxDataLen]byte
+	data := buf[:m.Len]
 	copy(data, m.Template)
 	for _, s := range m.Signals {
 		v, ok := values[s.Name]

@@ -131,10 +131,11 @@ func Build(spec Spec, cfg core.Config, o Options) (*Built, error) {
 
 	var campaign *core.Campaign
 	var probes []guided.Probe
+	var bench *testbench.Bench
 	var err error
 	switch spec.Target {
 	case "bench":
-		bench := testbench.New(sched, testbench.Config{Check: spec.Check, AckUnlock: true})
+		bench = testbench.New(sched, testbench.Config{Check: spec.Check, AckUnlock: true})
 		bench.Instrument(tel)
 		fuzzPort := bench.AttachFuzzer("fuzzer")
 		armChaos(inj, spec.Recovery, bench.Bus, bench.ECUs(), fuzzPort)
@@ -215,6 +216,7 @@ func Build(spec Spec, cfg core.Config, o Options) (*Built, error) {
 	}
 
 	world := &fleet.World{Sched: sched, Campaign: campaign}
+	var eng *guided.Engine
 	if cfg.Mode == core.ModeGuided {
 		engOpts := []guided.EngineOption{guided.WithProbes(probes...)}
 		if tel != nil {
@@ -226,12 +228,31 @@ func Build(spec Spec, cfg core.Config, o Options) (*Built, error) {
 		if len(spec.GuidedSeed) > 0 {
 			engOpts = append(engOpts, guided.WithSeedFrames(spec.GuidedSeed))
 		}
-		eng, err := guided.NewEngine(cfg, engOpts...)
+		eng, err = guided.NewEngine(cfg, engOpts...)
 		if err != nil {
 			return nil, err
 		}
 		campaign.SetFrameSource(eng)
 		world.Corpus = eng.CorpusFrames
+	}
+	// The bench target supports in-place world reuse: every component on
+	// it knows how to return to its as-built state, so fleet workers can
+	// recycle the world across trials instead of rebuilding it. Worlds
+	// with a fault-injection plan are excluded — the injector schedules
+	// its plan at construction and has no re-arm path — as are the cluster
+	// and vehicle targets (their ECU applications keep state the reset
+	// plumbing does not yet cover).
+	if spec.Target == "bench" && o.Plan == nil {
+		world.Reset = func(ts fleet.TrialSpec) error {
+			sched.Reset()
+			tel.Reset()
+			bench.Reset()
+			if eng != nil {
+				eng.Reset(ts.Seed)
+			}
+			campaign.Reset(ts.Seed)
+			return nil
+		}
 	}
 	return &Built{World: world, Injector: inj, Probes: probes}, nil
 }

@@ -125,6 +125,24 @@ type metric interface {
 	writeProm(w io.Writer) error
 	// jsonValue returns the export value for the JSON snapshot.
 	jsonValue() any
+	// zero clears the series value, keeping its registration — the plane
+	// of a pooled world must not carry one trial's counts into the next.
+	zero()
+}
+
+// Reset zeroes every registered series in place, keeping all
+// registrations (components hold direct metric handles, so the series
+// themselves must survive). Used when a world is reused across trials.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.metrics {
+		m.zero()
+	}
+	r.now.Store(0)
 }
 
 // register interns a series: registering the same name+labels twice returns
@@ -194,6 +212,7 @@ func (c *Counter) Value() uint64 {
 func (c *Counter) describe() *desc { return &c.d }
 func (c *Counter) typ() string     { return "counter" }
 func (c *Counter) jsonValue() any  { return c.Value() }
+func (c *Counter) zero()           { c.v.Store(0) }
 
 func (c *Counter) writeProm(w io.Writer) error {
 	_, err := fmt.Fprintf(w, "%s%s %d\n", c.d.name, c.d.labelString(), c.Value())
@@ -235,6 +254,7 @@ func (g *Gauge) Value() float64 {
 func (g *Gauge) describe() *desc { return &g.d }
 func (g *Gauge) typ() string     { return "gauge" }
 func (g *Gauge) jsonValue() any  { return g.Value() }
+func (g *Gauge) zero()           { g.bits.Store(0) }
 
 func (g *Gauge) writeProm(w io.Writer) error {
 	_, err := fmt.Fprintf(w, "%s%s %s\n", g.d.name, g.d.labelString(), formatFloat(g.Value()))
@@ -320,6 +340,14 @@ func (h *Histogram) Sum() float64 {
 
 func (h *Histogram) describe() *desc { return &h.d }
 func (h *Histogram) typ() string     { return "histogram" }
+
+func (h *Histogram) zero() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumBits.Store(0)
+}
 
 func (h *Histogram) jsonValue() any {
 	type bucket struct {

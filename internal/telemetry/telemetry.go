@@ -67,6 +67,17 @@ func (t *Telemetry) Advance(now time.Duration) {
 	t.Registry.Advance(now)
 }
 
+// Reset zeroes every metric series and discards retained trace events,
+// keeping all registrations and handles. Called when a pooled world is
+// reused so one trial's telemetry cannot leak into the next. Nil-safe.
+func (t *Telemetry) Reset() {
+	if t == nil {
+		return
+	}
+	t.Registry.Reset()
+	t.Tracer.Reset()
+}
+
 // Emit forwards one trace event.
 func (t *Telemetry) Emit(e Event) {
 	if t == nil {

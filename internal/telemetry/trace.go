@@ -156,6 +156,19 @@ func (t *Tracer) Emit(e Event) {
 	t.mu.Unlock()
 }
 
+// Reset discards all retained events (the kind filter and capacity are
+// kept), so a reused world's trace starts empty like a fresh one's.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next = 0
+	t.filled = false
+	t.total = 0
+}
+
 // Total returns how many events were emitted (including overwritten ones).
 func (t *Tracer) Total() uint64 {
 	if t == nil {

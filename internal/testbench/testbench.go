@@ -72,6 +72,22 @@ func New(sched *clock.Scheduler, cfg Config) *Bench {
 // Scheduler returns the bench clock.
 func (b *Bench) Scheduler() *clock.Scheduler { return b.sched }
 
+// Reset returns the bench to its freshly-assembled state for world reuse.
+// The caller must Reset the scheduler first. The reset order mirrors
+// construction — bus, head unit, BCM, monitor — so the BCM status
+// broadcast is re-armed with the same scheduling sequence number a fresh
+// bench would give it, keeping a reused bench's event stream
+// byte-identical to a new one's.
+func (b *Bench) Reset() {
+	b.Bus.Reset()
+	b.HeadUnit.ECU().Reset()
+	b.HeadUnit.Reset()
+	b.BCM.ECU().Reset()
+	b.BCM.Reset()
+	b.Monitor.Reset()
+	b.monitorFrames = 0
+}
+
 // Instrument attaches the bench bus and its three nodes to a telemetry
 // plane. Passing nil is a no-op.
 func (b *Bench) Instrument(t *telemetry.Telemetry) {
@@ -145,6 +161,18 @@ func NewUnlockExperiment(cfg Config, fuzzCfg core.Config) (*UnlockExperiment, er
 	return &UnlockExperiment{Bench: bench, Campaign: campaign}, nil
 }
 
+// Reset re-initializes the whole experiment world in place under a new
+// seed: scheduler back to time zero, bench to its freshly-assembled
+// state, campaign (generator stream, monitor, findings) to its
+// as-constructed state. A reset experiment runs bit-for-bit identically
+// to one newly built with the same seed, which is what lets fleet
+// workers recycle worlds across trials instead of rebuilding them.
+func (e *UnlockExperiment) Reset(seed int64) {
+	e.Bench.Scheduler().Reset()
+	e.Bench.Reset()
+	e.Campaign.Reset(seed)
+}
+
 // Run executes the experiment and returns the time to unlock. ok is false
 // if the deadline elapsed first.
 func (e *UnlockExperiment) Run(maxDuration time.Duration) (timeToUnlock time.Duration, ok bool) {
@@ -207,6 +235,17 @@ func NewGuidedUnlockExperiment(cfg Config, fuzzCfg core.Config, opts ...guided.E
 	}
 	campaign.AddOracle(bench.UnlockOracle())
 	return &GuidedUnlockExperiment{Bench: bench, Campaign: campaign, Engine: engine}, nil
+}
+
+// Reset re-initializes the guided experiment world in place under a new
+// seed — scheduler, bench, feedback engine (RNG stream, novelty map,
+// corpus) and campaign — so a reused guided world replays exactly like a
+// freshly built one.
+func (e *GuidedUnlockExperiment) Reset(seed int64) {
+	e.Bench.Scheduler().Reset()
+	e.Bench.Reset()
+	e.Engine.Reset(seed)
+	e.Campaign.Reset(seed)
 }
 
 // Run executes the guided experiment; same contract as UnlockExperiment.Run.
